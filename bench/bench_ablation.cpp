@@ -1,0 +1,283 @@
+// Ablation studies over the design choices DESIGN.md calls out:
+//   A1  Daly vs Young checkpoint-interval formula (model).
+//   A2  Linearized (paper, Eq. 3) vs exact-exponential (Eq. 2) node failure
+//       probability.
+//   A3  t_RR exactly as published (Eq. 13) vs the conditional-expectation
+//       variant.
+//   A4  Failures allowed during checkpoints (model's assumption) vs
+//       deferred (the paper's experimental condition), on the DES.
+//   A5  All-to-all vs msg-plus-hash replication mode: time and bytes (DES).
+//   A6  NIC contention on/off: where the superlinear redundancy overhead
+//       comes from (DES).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace redcr;
+
+void ablation_model(const bench::BenchArgs& args) {
+  util::Table t({"MTBF", "r", "Daly [min]", "Young [min]", "exact-exp [min]",
+                 "conditional tRR [min]"});
+  t.set_title("A1-A3: model variants, total time [minutes]");
+  auto csv = args.csv("ablation_model");
+  if (csv)
+    csv->write_row({"mtbf_h", "r", "daly", "young", "exact", "conditional"});
+  for (const double mtbf : {6.0, 18.0, 30.0}) {
+    for (const double r : {1.0, 2.0, 3.0}) {
+      model::CombinedConfig base;
+      base.app = bench::paper_app();
+      base.machine = bench::paper_machine(mtbf);
+
+      model::CombinedConfig young = base;
+      young.use_young_interval = true;
+      model::CombinedConfig exact = base;
+      exact.failure_model = model::NodeFailureModel::kExactExponential;
+      model::CombinedConfig conditional = base;
+      conditional.restart_model = model::RestartModel::kConditional;
+
+      const double daly_min = util::to_minutes(model::predict(base, r).total_time);
+      const double young_min = util::to_minutes(model::predict(young, r).total_time);
+      const double exact_min = util::to_minutes(model::predict(exact, r).total_time);
+      const double cond_min =
+          util::to_minutes(model::predict(conditional, r).total_time);
+      t.add_row({util::fmt(mtbf, 0) + " h", util::fmt(r, 0) + "x",
+                 util::fmt(daly_min, 1), util::fmt(young_min, 1),
+                 util::fmt(exact_min, 1), util::fmt(cond_min, 1)});
+      if (csv)
+        csv->write_numeric_row({mtbf, r, daly_min, young_min, exact_min,
+                                cond_min});
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablation_failures_during_checkpoint(const bench::BenchArgs& args) {
+  util::Table t({"MTBF", "r", "deferred (paper) [min]", "anytime [min]"});
+  t.set_title("A4: failures during checkpoints — deferred vs anytime (DES)");
+  for (const double mtbf : {6.0, 18.0}) {
+    for (const double r : {1.0, 2.0}) {
+      double results[2];
+      for (const bool anytime : {false, true}) {
+        util::RunningStats stats;
+        for (int seed = 0; seed < args.seeds; ++seed) {
+          runtime::JobConfig cfg = bench::paper_cluster_config(
+              mtbf, r, 500 + static_cast<std::uint64_t>(seed));
+          cfg.fail.inject_during_checkpoint = anytime;
+          cfg.max_episodes = 2000;
+          runtime::JobExecutor executor(
+              cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+          stats.add(util::to_minutes(executor.run().wallclock));
+        }
+        results[anytime ? 1 : 0] = stats.mean();
+      }
+      t.add_row({util::fmt(mtbf, 0) + " h", util::fmt(r, 0) + "x",
+                 util::fmt(results[0], 0), util::fmt(results[1], 0)});
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablation_modes(const bench::BenchArgs& args) {
+  util::Table t({"r", "mode", "t_red [min]", "messages", "contention wait [s]"});
+  t.set_title("A5-A6: replication mode and NIC contention (failure-free DES)");
+  for (const double r : {2.0, 3.0}) {
+    struct Variant {
+      const char* name;
+      red::Mode mode;
+      bool contention;
+    };
+    const Variant variants[] = {
+        {"all-to-all", red::Mode::kAllToAll, true},
+        {"msg-plus-hash", red::Mode::kMsgPlusHash, true},
+        {"all-to-all, no NIC contention", red::Mode::kAllToAll, false},
+    };
+    for (const Variant& v : variants) {
+      runtime::JobConfig cfg = bench::paper_cluster_config(30.0, r, 1);
+      cfg.red.mode = v.mode;
+      cfg.network.model_contention = v.contention;
+      const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
+          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      t.add_row({util::fmt(r, 0) + "x", v.name,
+                 util::fmt(util::to_minutes(report.wallclock), 1),
+                 util::fmt_count(static_cast<long long>(report.messages)),
+                 util::fmt(report.network_contention_wait, 0)});
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading: msg-plus-hash cuts transferred bytes (same message count);\n"
+      "disabling NIC contention removes the superlinear overhead of Fig. 10\n"
+      "and collapses t_red to the linear Eq.-1 value.\n\n");
+}
+
+void ablation_checkpoint_optimizations(const bench::BenchArgs& args) {
+  // Incremental and forked checkpointing (background §2 techniques) on the
+  // DES. Incremental shrinks the images outright; forked removes the
+  // *blocking* span but delays snapshot durability (images drain in the
+  // background), so it trades overhead for rework exposure — the classic
+  // checkpoint overhead-vs-latency distinction.
+  util::Table t({"variant", "T [min]", "checkpoints", "ckpt time [min]"});
+  t.set_title("A8: checkpoint optimizations (DES, 18 h MTBF, 1x)");
+  struct Variant {
+    const char* name;
+    double incremental;
+    bool forked;
+  };
+  const Variant variants[] = {
+      {"full blocking images (paper)", 1.0, false},
+      {"incremental (25% dirty)", 0.25, false},
+      {"forked (background writes)", 1.0, true},
+  };
+  for (const Variant& v : variants) {
+    util::RunningStats wall, ckpt_time, ckpts;
+    for (int seed = 0; seed < args.seeds; ++seed) {
+      runtime::JobConfig cfg = bench::paper_cluster_config(
+          18.0, 1.0, 900 + static_cast<std::uint64_t>(seed));
+      // Route the extended knobs through a custom executor setup: the
+      // JobConfig carries them via the checkpoint section.
+      cfg.ckpt_incremental_fraction = v.incremental;
+      cfg.ckpt_forked = v.forked;
+      cfg.max_episodes = 2000;
+      runtime::JobExecutor executor(
+          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      const runtime::JobReport report = executor.run();
+      wall.add(util::to_minutes(report.wallclock));
+      ckpt_time.add(util::to_minutes(report.checkpoint_time));
+      ckpts.add(report.checkpoints);
+    }
+    t.add_row({v.name, util::fmt(wall.mean(), 0), util::fmt(ckpts.mean(), 0),
+               util::fmt(ckpt_time.mean(), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablation_weibull(const bench::BenchArgs& args) {
+  // Failure-distribution ablation: exponential (paper assumption 3) vs
+  // Weibull infant-mortality and wear-out at the same mean.
+  util::Table t({"shape k", "regime", "T [min]", "job failures"});
+  t.set_title("A9: failure distribution (DES, 12 h mean MTBF, 2x)");
+  const std::pair<double, const char*> shapes[] = {
+      {0.7, "infant mortality"}, {1.0, "exponential (paper)"},
+      {2.0, "wear-out"}};
+  for (const auto& [shape, label] : shapes) {
+    util::RunningStats wall, failures;
+    for (int seed = 0; seed < args.seeds; ++seed) {
+      runtime::JobConfig cfg = bench::paper_cluster_config(
+          12.0, 2.0, 1700 + static_cast<std::uint64_t>(seed));
+      cfg.fail.weibull_shape = shape;
+      cfg.max_episodes = 2000;
+      runtime::JobExecutor executor(
+          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      const runtime::JobReport report = executor.run();
+      wall.add(util::to_minutes(report.wallclock));
+      failures.add(report.job_failures);
+    }
+    t.add_row({util::fmt(shape, 1), label, util::fmt(wall.mean(), 0),
+               util::fmt(failures.mean(), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading: at equal mean MTBF, wear-out (k>1) failure times cluster,\n"
+      "so early sphere deaths get rarer and the job finishes faster; infant\n"
+      "mortality (k<1) does the opposite — the exponential assumption is\n"
+      "the middle ground.\n\n");
+}
+
+void ablation_live_semantics(const bench::BenchArgs& args) {
+  // The paper's injector is bookkeeping-only (dead replicas keep computing
+  // and communicating); real replication libraries degrade live. Compare
+  // both at 2x without checkpointing (live mode cannot join the collective
+  // quiesce — see runtime::JobConfig::live_failure_semantics).
+  util::Table t({"semantics", "T [min]", "messages", "replica deaths",
+                 "job failures"});
+  t.set_title("A10: failure semantics — bookkeeping (paper) vs live (rMPI)");
+  for (const bool live : {false, true}) {
+    util::RunningStats wall, msgs, deaths, jobs;
+    for (int seed = 0; seed < args.seeds; ++seed) {
+      runtime::JobConfig cfg = bench::paper_cluster_config(
+          6.0, 2.0, 2700 + static_cast<std::uint64_t>(seed));
+      cfg.checkpoint_enabled = false;  // comparable restart-from-zero mode
+      cfg.live_failure_semantics = live;
+      cfg.max_episodes = 2000;
+      runtime::JobExecutor executor(
+          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      const runtime::JobReport report = executor.run();
+      wall.add(util::to_minutes(report.wallclock));
+      msgs.add(static_cast<double>(report.messages));
+      deaths.add(report.physical_failures);
+      jobs.add(report.job_failures);
+    }
+    t.add_row({live ? "live degradation" : "bookkeeping (paper)",
+               util::fmt(wall.mean(), 0),
+               util::fmt_count(static_cast<long long>(msgs.mean())),
+               util::fmt(deaths.mean(), 1), util::fmt(jobs.mean(), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablation_protocols(const bench::BenchArgs& args) {
+  // Push (RedMPI, the paper's library) vs pull (VolpexMPI) replication:
+  // bytes vs latency. Push moves r² payload copies per virtual message and
+  // supports voting; pull moves r copies behind a request round trip.
+  util::Table t({"r", "protocol", "t_red [min]", "messages"});
+  t.set_title(
+      "A11: replication protocol — push (RedMPI) vs pull (VolpexMPI), "
+      "failure-free");
+  for (const double r : {2.0, 3.0}) {
+    for (const bool pull : {false, true}) {
+      runtime::JobConfig cfg = bench::paper_cluster_config(30.0, r, 1);
+      cfg.replication =
+          pull ? runtime::Replication::kPull : runtime::Replication::kPush;
+      const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
+          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      t.add_row({util::fmt(r, 0) + "x",
+                 pull ? "pull (VolpexMPI-style)" : "push (RedMPI-style)",
+                 util::fmt(util::to_minutes(report.wallclock), 1),
+                 util::fmt_count(static_cast<long long>(report.messages))});
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading: pull halves (r=2) or thirds (r=3) the payload bytes on the\n"
+      "wire, trading a request round trip per message; with the CG-shaped\n"
+      "bandwidth-bound workload pull approaches the 1x failure-free time.\n"
+      "Push's r-squared copies are the price of SDC voting (A5).\n\n");
+}
+
+void ablation_quiesce(const bench::BenchArgs& args) {
+  util::Table t({"protocol", "t [min]", "checkpoints", "messages"});
+  t.set_title("A7: quiesce protocol — counting vs literal bookmark exchange");
+  for (const bool counting : {true, false}) {
+    runtime::JobConfig cfg = bench::paper_cluster_config(18.0, 2.0, 7);
+    cfg.use_counting_quiesce = counting;
+    cfg.max_episodes = 2000;
+    runtime::JobExecutor executor(
+        cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+    const runtime::JobReport report = executor.run();
+    t.add_row({counting ? "counting (Mattern-style)" : "bookmark all-to-all",
+               util::fmt(util::to_minutes(report.wallclock), 1),
+               util::fmt(report.checkpoints, 0),
+               util::fmt_count(static_cast<long long>(report.messages))});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("bench_ablation — design-choice ablations",
+                      "DESIGN.md ablation index (A1-A11)");
+  ablation_model(args);
+  ablation_failures_during_checkpoint(args);
+  ablation_modes(args);
+  ablation_quiesce(args);
+  ablation_checkpoint_optimizations(args);
+  ablation_weibull(args);
+  ablation_live_semantics(args);
+  ablation_protocols(args);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figures 13 and 14: modeled wallclock time of a 128-hour job
+// under weak scaling for redundancy degrees 1x, 1.5x, 2x, 2.5x, 3x, and the
+// headline crossover points:
+//   Fig. 13: T(2x) < T(1x) from ~4,351 processes; T(3x) < T(1x) from ~12,551.
+//   Fig. 14: 2·T(2x) = T(1x) at ~78,536 (two dual-redundant jobs finish
+//            within one plain job); 3x cheapest beyond ~771,251.
+// Node MTBF is 5 years (stated in the conclusion); c and R are not published
+// — we use c = 600 s, R = 1800 s and compare crossover *ordering and
+// magnitude*, not exact N (see EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace redcr;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "bench_fig13_14 — weak-scaling wallclock and crossover points",
+      "Figures 13 and 14 (128 h job, theta = 5 y/node)");
+
+  model::CombinedConfig cfg;
+  cfg.app.base_time = util::hours(128);
+  cfg.app.comm_fraction = 0.2;
+  cfg.machine.node_mtbf = util::years(5);
+  cfg.machine.checkpoint_cost = 600.0;
+  cfg.machine.restart_cost = 1800.0;
+
+  const std::vector<double> degrees = {1.0, 1.5, 2.0, 2.5, 3.0};
+
+  // ---- Fig. 13 series: up to 30k processes ----
+  {
+    util::Table t({"N", "1x [h]", "1.5x [h]", "2x [h]", "2.5x [h]", "3x [h]"});
+    t.set_title("Figure 13: modeled wallclock [hours] up to 30k processes");
+    auto csv = args.csv("fig13");
+    if (csv) csv->write_row({"N", "r1", "r1.5", "r2", "r2.5", "r3"});
+    for (const std::size_t n :
+         {1000u, 2000u, 4000u, 6000u, 8000u, 10000u, 15000u, 20000u, 25000u,
+          30000u}) {
+      cfg.app.num_procs = n;
+      std::vector<std::string> row{util::fmt_count(static_cast<long long>(n))};
+      std::vector<double> numeric{static_cast<double>(n)};
+      double best = 1e300;
+      std::size_t best_col = 0;
+      for (std::size_t i = 0; i < degrees.size(); ++i) {
+        const double hours_total =
+            util::to_hours(model::predict(cfg, degrees[i]).total_time);
+        row.push_back(util::fmt(hours_total, 1));
+        numeric.push_back(hours_total);
+        if (hours_total < best) {
+          best = hours_total;
+          best_col = i + 1;
+        }
+      }
+      t.add_row(std::move(row));
+      t.emphasize(t.rows() - 1, best_col);
+      if (csv) csv->write_numeric_row(numeric);
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  // ---- Fig. 14 series: up to 200k processes ----
+  {
+    util::Table t({"N", "1x [h]", "1.5x [h]", "2x [h]", "2.5x [h]", "3x [h]"});
+    t.set_title("Figure 14: modeled wallclock [hours] up to 200k processes");
+    auto csv = args.csv("fig14");
+    if (csv) csv->write_row({"N", "r1", "r1.5", "r2", "r2.5", "r3"});
+    for (const std::size_t n : {40000u, 60000u, 80000u, 100000u, 130000u,
+                                160000u, 200000u}) {
+      cfg.app.num_procs = n;
+      std::vector<std::string> row{util::fmt_count(static_cast<long long>(n))};
+      std::vector<double> numeric{static_cast<double>(n)};
+      for (const double r : degrees) {
+        const double hours_total =
+            util::to_hours(model::predict(cfg, r).total_time);
+        row.push_back(std::isfinite(hours_total) ? util::fmt(hours_total, 1)
+                                                 : "inf");
+        numeric.push_back(hours_total);
+      }
+      t.add_row(std::move(row));
+      if (csv) csv->write_numeric_row(numeric);
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  // ---- Crossover points ----
+  std::printf("Crossover points (measured vs paper):\n");
+  const auto x12 = model::crossover_procs(cfg, 1.0, 2.0, 100, 3000000);
+  const auto x13 = model::crossover_procs(cfg, 1.0, 3.0, 100, 3000000);
+  const auto be2 = model::break_even_procs(cfg, 2.0, 2.0, 1000, 10000000);
+  const auto x23 = model::crossover_procs(cfg, 2.0, 3.0, 10000, 10000000);
+  auto print_point = [](const char* what, const std::optional<double>& n,
+                        const char* paper) {
+    if (n)
+      std::printf("  %-46s N = %9s   (paper: %s)\n", what,
+                  util::fmt_count(static_cast<long long>(*n)).c_str(), paper);
+    else
+      std::printf("  %-46s not found in bracket (paper: %s)\n", what, paper);
+  };
+  print_point("T(2x) < T(1x) from", x12, "4,351");
+  print_point("T(3x) < T(1x) from", x13, "12,551");
+  print_point("two 2x jobs within one 1x job: T(1x)=2T(2x) at", be2, "78,536");
+  print_point("T(3x) < T(2x) from", x23, "771,251");
+
+  std::printf(
+      "\nOrdering checks: 1x/2x < 1x/3x crossover: %s; break-even < 2x/3x "
+      "crossover: %s\n",
+      (x12 && x13 && *x12 < *x13) ? "OK" : "FAIL",
+      (be2 && x23 && *be2 < *x23) ? "OK" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: event
+// engine throughput, p2p matching, collectives, the redundancy fan-out and
+// the analytic model evaluation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "model/combined.hpp"
+#include "net/network.hpp"
+#include "red/red_comm.hpp"
+#include "sim/task.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace redcr;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < n; ++i)
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+sim::Task ping(simmpi::World& world, int count) {
+  auto& ep = world.endpoint(0);
+  for (int i = 0; i < count; ++i) {
+    co_await ep.send(1, 1, simmpi::Payload::sized(1024));
+    co_await world.endpoint(0).recv(1, 2);
+  }
+}
+
+sim::Task pong(simmpi::World& world, int count) {
+  auto& ep = world.endpoint(1);
+  for (int i = 0; i < count; ++i) {
+    co_await ep.recv(0, 1);
+    co_await ep.send(0, 2, simmpi::Payload::sized(1024));
+  }
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Network network(engine, 2, {});
+    simmpi::World world(engine, network, 2);
+    engine.spawn(ping(world, count));
+    engine.spawn(pong(world, count));
+    engine.run();
+    benchmark::DoNotOptimize(world.stats().messages_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * count);
+}
+BENCHMARK(BM_PingPong)->Arg(256)->Arg(4096);
+
+sim::Task one_allreduce(simmpi::Comm& comm) {
+  co_await simmpi::allreduce(comm, simmpi::Payload::sized(16));
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Network network(engine, static_cast<std::size_t>(n), {});
+    simmpi::World world(engine, network, n);
+    for (int r = 0; r < n; ++r) engine.spawn(one_allreduce(world.endpoint(r)));
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Allreduce)->Arg(16)->Arg(128)->Arg(384);
+
+sim::Task red_exchange(red::RedComm& comm, int peers) {
+  // Each virtual rank sends to and receives from its ring successor.
+  const int n = comm.size();
+  simmpi::Request rx = comm.irecv((comm.rank() - 1 + n) % n, 3);
+  co_await comm.send((comm.rank() + 1) % n, 3, simmpi::Payload::sized(4096));
+  co_await wait(std::move(rx));
+  (void)peers;
+}
+
+void BM_RedundantExchange(benchmark::State& state) {
+  const double r = static_cast<double>(state.range(0)) / 100.0;
+  constexpr int kVirtual = 64;
+  for (auto _ : state) {
+    sim::Engine engine;
+    const red::ReplicaMap map(kVirtual, r);
+    net::Network network(engine, map.num_physical(), {});
+    simmpi::World world(engine, network, static_cast<int>(map.num_physical()));
+    red::RedConfig cfg;
+    std::vector<std::unique_ptr<red::RedComm>> comms;
+    for (std::size_t p = 0; p < map.num_physical(); ++p)
+      comms.push_back(std::make_unique<red::RedComm>(
+          world, map, static_cast<red::Rank>(p), cfg));
+    for (auto& comm : comms) engine.spawn(red_exchange(*comm, kVirtual));
+    engine.run();
+    benchmark::DoNotOptimize(world.stats().messages_sent);
+  }
+}
+BENCHMARK(BM_RedundantExchange)->Arg(100)->Arg(150)->Arg(200)->Arg(300);
+
+void BM_ModelPredict(benchmark::State& state) {
+  model::CombinedConfig cfg;
+  cfg.app.base_time = util::hours(128);
+  cfg.app.num_procs = 100000;
+  double r = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::predict(cfg, r).total_time);
+    r = r >= 3.0 ? 1.0 : r + 0.01;
+  }
+}
+BENCHMARK(BM_ModelPredict);
+
+void BM_ModelOptimize(benchmark::State& state) {
+  model::CombinedConfig cfg;
+  cfg.app.base_time = util::hours(128);
+  cfg.app.num_procs = 50000;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model::optimize_redundancy(cfg).r);
+}
+BENCHMARK(BM_ModelOptimize);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256ss rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(100.0));
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

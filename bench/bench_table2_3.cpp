@@ -1,0 +1,137 @@
+// Reproduces Tables 2 and 3: work / checkpoint / recompute / restart
+// breakdown of a long-running job under pure C/R (r = 1), from the combined
+// model's breakdown view. (Table 1 is background data quoted from the
+// literature; we reprint it for context.)
+//
+// The paper quotes these tables from the 2009 Sandia study; its cluster
+// parameters (c, R) are not fully published, so we report our model's
+// breakdown side by side with the paper's values and compare the *trend*:
+// useful work collapses with node count and with job length / worse MTBF.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "model/breakdown.hpp"
+
+namespace {
+
+using namespace redcr;
+using bench::BenchArgs;
+using util::fmt;
+using util::fmt_count;
+
+struct PaperRow {
+  double work, checkpt, recomp, restart;
+};
+
+void print_table1() {
+  util::Table t({"System", "# CPUs", "MTBF/I"});
+  t.set_title("Table 1 (context, quoted): Reliability of HPC Clusters");
+  t.add_row({"ASCI Q", "8,192", "6.5 hrs"});
+  t.add_row({"ASCI White", "8,192", "5/40 hrs ('01/'03)"});
+  t.add_row({"PSC Lemieux", "3,016", "9.7 hrs"});
+  t.add_row({"Google", "15,000", "20 reboots/day"});
+  t.add_row({"ASC BG/L", "212,992", "6.9 hrs (LLNL est.)"});
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::print_header("bench_table2_3 — C/R overhead breakdown",
+                      "Tables 2 and 3 (168 h / varied jobs, 5 y node MTBF)");
+  print_table1();
+
+  // Model parameters chosen to represent the Sandia study's machine: 5-year
+  // node MTBF, 5-minute checkpoints, 10-minute restarts, compute-only app.
+  model::CombinedConfig cfg;
+  cfg.app.comm_fraction = 0.0;
+  cfg.machine.checkpoint_cost = 300.0;
+  cfg.machine.restart_cost = 600.0;
+
+  {
+    // ---- Table 2: 168-hour job, 5-year MTBF, varying node count ----
+    cfg.app.base_time = util::hours(168);
+    cfg.machine.node_mtbf = util::years(5);
+    const PaperRow paper[] = {{96, 1, 3, 0}, {92, 7, 1, 0}, {75, 15, 6, 4},
+                              {35, 20, 10, 35}};
+    const std::size_t nodes[] = {100, 1000, 10000, 100000};
+    util::Table t({"# Nodes", "work", "checkpt", "recomp.", "restart",
+                   "paper(work/ckpt/rec/rst)"});
+    t.set_title("Table 2: 168-hour Job, 5 year MTBF (model vs paper)");
+    auto csv = args.csv("table2");
+    if (csv) csv->write_row({"nodes", "work", "checkpt", "recomp", "restart"});
+    for (std::size_t i = 0; i < 4; ++i) {
+      cfg.app.num_procs = nodes[i];
+      const model::TimeBreakdown b = model::compute_breakdown(cfg, 1.0);
+      t.add_row({fmt_count(static_cast<long long>(nodes[i])),
+                 fmt(100 * b.work, 0) + "%", fmt(100 * b.checkpoint, 0) + "%",
+                 fmt(100 * b.recompute, 0) + "%",
+                 fmt(100 * b.restart, 0) + "%",
+                 fmt(paper[i].work, 0) + "/" + fmt(paper[i].checkpt, 0) + "/" +
+                     fmt(paper[i].recomp, 0) + "/" + fmt(paper[i].restart, 0)});
+      if (csv)
+        csv->write_numeric_row({static_cast<double>(nodes[i]), b.work,
+                                b.checkpoint, b.recompute, b.restart});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    // ---- Table 3: 100k-node job, varied length and MTBF ----
+    cfg.app.num_procs = 100000;
+    struct Config3 {
+      double job_hours;
+      double mtbf_years;
+      PaperRow paper;
+    };
+    const Config3 rows[] = {
+        {168, 5, {35, 20, 10, 35}},
+        {700, 5, {38, 18, 9, 43}},
+        {5000, 1, {5, 5, 5, 85}},
+    };
+    util::Table t({"job work", "MTBF", "work", "checkpt", "recomp.", "restart",
+                   "paper(work/ckpt/rec/rst)"});
+    t.set_title("Table 3: 100k Node Job, varied MTBF (model vs paper)");
+    auto csv = args.csv("table3");
+    if (csv)
+      csv->write_row(
+          {"job_hours", "mtbf_years", "work", "checkpt", "recomp", "restart"});
+    for (const Config3& row : rows) {
+      cfg.app.base_time = util::hours(row.job_hours);
+      cfg.machine.node_mtbf = util::years(row.mtbf_years);
+      const model::TimeBreakdown b = model::compute_breakdown(cfg, 1.0);
+      t.add_row({fmt(row.job_hours, 0) + " hrs", fmt(row.mtbf_years, 0) + " yrs",
+                 fmt(100 * b.work, 0) + "%", fmt(100 * b.checkpoint, 0) + "%",
+                 fmt(100 * b.recompute, 0) + "%",
+                 fmt(100 * b.restart, 0) + "%",
+                 fmt(row.paper.work, 0) + "/" + fmt(row.paper.checkpt, 0) +
+                     "/" + fmt(row.paper.recomp, 0) + "/" +
+                     fmt(row.paper.restart, 0)});
+      if (csv)
+        csv->write_numeric_row({row.job_hours, row.mtbf_years, b.work,
+                                b.checkpoint, b.recompute, b.restart});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  {
+    // ---- The redundancy punchline behind Table 3's discussion: doubling
+    // the nodes (r = 2) restores useful work at 100k nodes. ----
+    cfg.app.base_time = util::hours(168);
+    cfg.app.num_procs = 100000;
+    cfg.machine.node_mtbf = util::years(5);
+    util::Table t({"r", "work", "checkpt", "recomp.", "restart", "T_total"});
+    t.set_title("Redundancy restores useful work (100k nodes, 168 h, 5 y)");
+    for (const double r : {1.0, 1.5, 2.0, 3.0}) {
+      const model::TimeBreakdown b = model::compute_breakdown(cfg, r);
+      t.add_row({fmt(r, 1) + "x", fmt(100 * b.work, 0) + "%",
+                 fmt(100 * b.checkpoint, 0) + "%",
+                 fmt(100 * b.recompute, 0) + "%",
+                 fmt(100 * b.restart, 0) + "%",
+                 fmt(util::to_hours(b.total_time), 0) + " h"});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}

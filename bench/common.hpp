@@ -1,0 +1,173 @@
+// Shared configuration and CLI plumbing for the experiment harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper and prints it
+// as text (optionally also CSV via --csv <dir>). The parameters below are
+// the paper's experimental setup (Section 6): modified NPB-CG class D on
+// 128 processes, failure-free base time t = 46 min, α = 0.2, checkpoint
+// cost c = 120 s, restart cost R = 500 s, node MTBF 6..30 h.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/synthetic.hpp"
+#include "model/combined.hpp"
+#include "runtime/executor.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace redcr::bench {
+
+struct BenchArgs {
+  int seeds = 2;          ///< DES repetitions averaged per cell
+  bool quick = false;     ///< --quick: 1 seed, coarser grids
+  bool full = false;      ///< --full: 5 seeds, finest grids
+  std::optional<std::string> csv_dir;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+        args.seeds = 1;
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        args.full = true;
+        args.seeds = 5;
+      } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+        args.seeds = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+        args.csv_dir = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::unique_ptr<util::CsvWriter> csv(
+      const std::string& name) const {
+    if (!csv_dir) return nullptr;
+    return std::make_unique<util::CsvWriter>(*csv_dir + "/" + name + ".csv");
+  }
+};
+
+/// The paper's measured CG application parameters (Section 6).
+inline model::AppParams paper_app() {
+  model::AppParams app;
+  app.base_time = util::minutes(46);
+  app.comm_fraction = 0.2;
+  app.num_procs = 128;
+  return app;
+}
+
+/// The paper's measured cluster parameters (Section 6).
+inline model::MachineParams paper_machine(double node_mtbf_hours) {
+  model::MachineParams m;
+  m.node_mtbf = util::hours(node_mtbf_hours);
+  m.checkpoint_cost = util::seconds(120);
+  m.restart_cost = util::seconds(500);
+  return m;
+}
+
+/// Synthetic workload calibrated to the paper's CG: 92 iterations of 30 s
+/// (24 s compute + ~6 s communication at r=1 -> α ≈ 0.2, t = 46 min).
+inline apps::SyntheticSpec paper_cg_spec(bool quick = false) {
+  apps::SyntheticSpec spec;
+  spec.iterations = quick ? 46 : 92;
+  spec.compute_per_iteration = quick ? 48.0 : 24.0;
+  spec.halo_bytes = quick ? 600e6 : 300e6;
+  spec.halo_radius = 1;
+  spec.allreduces_per_iteration = 2;
+  spec.allreduce_bytes = 16;
+  return spec;
+}
+
+/// DES cluster configuration matching the paper's testbed scale-down.
+/// The per-process image size is chosen so the emergent coordinated
+/// checkpoint cost stays ≈ c at every redundancy degree (the paper treats
+/// c as a constant of the machine, not of the job size).
+inline runtime::JobConfig paper_cluster_config(double node_mtbf_hours,
+                                               double redundancy,
+                                               std::uint64_t seed) {
+  runtime::JobConfig cfg;
+  cfg.num_virtual = 128;
+  cfg.redundancy = redundancy;
+  cfg.network.bandwidth = 100e6;  // scaled with the workload for α = 0.2
+  cfg.network.latency = 10e-6;
+  cfg.storage.bandwidth = 2e9;
+  cfg.storage.base_latency = 0.05;
+  const std::size_t physical =
+      model::partition_processes(cfg.num_virtual, redundancy).total_procs;
+  cfg.image_bytes =
+      120.0 * cfg.storage.bandwidth / static_cast<double>(physical);
+  cfg.restart_cost = 500.0;
+  cfg.fail.node_mtbf = util::hours(node_mtbf_hours);
+  cfg.fail.seed = seed;
+  cfg.fail.inject_during_checkpoint = false;  // the paper's condition
+  // δ from Daly's formula (Eq. 15) through the combined model, exactly as
+  // the paper's checkpointer background process computes it.
+  model::CombinedConfig mc;
+  mc.app = paper_app();
+  mc.machine = paper_machine(node_mtbf_hours);
+  cfg.checkpoint_interval = model::predict(mc, redundancy).interval;
+  return cfg;
+}
+
+inline runtime::WorkloadFactory synthetic_factory(apps::SyntheticSpec spec) {
+  return [spec](int, int) {
+    return std::make_unique<apps::SyntheticWorkload>(spec);
+  };
+}
+
+/// Runs one cell of the paper's experimental campaign (Table 4): the CG-
+/// shaped workload at the given node MTBF and redundancy degree, averaged
+/// over `seeds` repetitions. Returns mean total wallclock in minutes plus
+/// auxiliary statistics.
+struct CellResult {
+  double minutes_mean = 0.0;
+  double minutes_stddev = 0.0;
+  double job_failures_mean = 0.0;
+  double checkpoints_mean = 0.0;
+  bool all_completed = true;
+};
+
+inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
+                                      int seeds, bool quick) {
+  CellResult cell;
+  util::RunningStats wall, failures, checkpoints;
+  for (int seed = 0; seed < seeds; ++seed) {
+    runtime::JobConfig cfg = paper_cluster_config(
+        node_mtbf_hours, redundancy, 1000 + static_cast<std::uint64_t>(seed));
+    cfg.max_episodes = 2000;
+    runtime::JobExecutor executor(cfg,
+                                  synthetic_factory(paper_cg_spec(quick)));
+    const runtime::JobReport report = executor.run();
+    cell.all_completed = cell.all_completed && report.completed;
+    wall.add(util::to_minutes(report.wallclock));
+    failures.add(report.job_failures);
+    checkpoints.add(report.checkpoints);
+  }
+  cell.minutes_mean = wall.mean();
+  cell.minutes_stddev = wall.stddev();
+  cell.job_failures_mean = failures.mean();
+  cell.checkpoints_mean = checkpoints.mean();
+  return cell;
+}
+
+/// Prints the standard bench header.
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace redcr::bench

@@ -1,0 +1,102 @@
+// Capacity planner: the paper's "tuning knob" (conclusion) as a tool.
+//
+// Given a machine and a job, prints for each redundancy degree the total
+// wallclock time, node cost, and node-hours, then answers three planning
+// questions:
+//   - fastest completion (capability user),
+//   - cheapest node-hours (capacity user),
+//   - a cost-weighted blend (the paper's "cost function giving different
+//     weights to execution time and number of resources").
+//
+//   $ ./capacity_planner [--procs N] [--hours T] [--mtbf-years Y]
+//                        [--alpha A] [--ckpt-sec C] [--restart-sec R]
+//                        [--time-weight W]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "model/combined.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+double arg_or(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace redcr;
+  using namespace redcr::util;
+
+  model::CombinedConfig config;
+  config.app.num_procs =
+      static_cast<std::size_t>(arg_or(argc, argv, "--procs", 100000));
+  config.app.base_time = hours(arg_or(argc, argv, "--hours", 128));
+  config.app.comm_fraction = arg_or(argc, argv, "--alpha", 0.2);
+  config.machine.node_mtbf = years(arg_or(argc, argv, "--mtbf-years", 5));
+  config.machine.checkpoint_cost = arg_or(argc, argv, "--ckpt-sec", 600);
+  config.machine.restart_cost = arg_or(argc, argv, "--restart-sec", 1800);
+  const double time_weight = arg_or(argc, argv, "--time-weight", 0.5);
+
+  std::printf("Job: N=%zu procs, t=%.0f h, alpha=%.2f | Machine: theta=%.1f y,"
+              " c=%.0f s, R=%.0f s\n\n",
+              config.app.num_procs, to_hours(config.app.base_time),
+              config.app.comm_fraction, to_years(config.machine.node_mtbf),
+              config.machine.checkpoint_cost, config.machine.restart_cost);
+
+  util::Table t({"r", "T_total [h]", "nodes", "node-hours", "delta [min]",
+                 "E[failures]", "Theta_sys [h]"});
+  t.set_title("Redundancy/checkpoint trade-off");
+
+  struct Row {
+    double r, time_h, node_hours;
+    std::size_t nodes;
+  };
+  std::vector<Row> rows;
+  for (double r = 1.0; r <= 3.0 + 1e-9; r += 0.25) {
+    const model::Prediction p = model::predict(config, r);
+    const double node_hours =
+        to_hours(p.total_time) * static_cast<double>(p.total_procs);
+    rows.push_back({r, to_hours(p.total_time), node_hours, p.total_procs});
+    t.add_row({fmt(r, 2) + "x", fmt(to_hours(p.total_time), 1),
+               fmt_count(static_cast<long long>(p.total_procs)),
+               fmt(node_hours / 1e6, 2) + "M",
+               fmt(to_minutes(p.interval), 1), fmt(p.expected_failures, 1),
+               fmt(to_hours(p.system_mtbf), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const Row* fastest = &rows[0];
+  const Row* cheapest = &rows[0];
+  const Row* blended = &rows[0];
+  const double t0 = rows[0].time_h, nh0 = rows[0].node_hours;
+  auto blend = [&](const Row& row) {
+    return time_weight * row.time_h / t0 +
+           (1.0 - time_weight) * row.node_hours / nh0;
+  };
+  for (const Row& row : rows) {
+    if (row.time_h < fastest->time_h) fastest = &row;
+    if (row.node_hours < cheapest->node_hours) cheapest = &row;
+    if (blend(row) < blend(*blended)) blended = &row;
+  }
+  std::printf("Fastest completion:    r=%.2fx (%.1f h)\n", fastest->r,
+              fastest->time_h);
+  std::printf("Cheapest node-hours:   r=%.2fx (%.2fM node-hours)\n",
+              cheapest->r, cheapest->node_hours / 1e6);
+  std::printf("Blended (w_time=%.2f): r=%.2fx\n", time_weight, blended->r);
+
+  // Throughput view (Fig. 14): how many redundant jobs fit in one plain job?
+  const double plain = rows[0].time_h;
+  const model::Prediction dual = model::predict(config, 2.0);
+  std::printf(
+      "\nThroughput: %.2f dual-redundant jobs complete within one "
+      "non-redundant job's wallclock.\n",
+      plain / to_hours(dual.total_time));
+  return 0;
+}

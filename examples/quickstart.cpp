@@ -1,0 +1,48 @@
+// Quickstart: the 20-line tour of the public API.
+//
+// Given a machine (node MTBF, checkpoint/restart costs) and an application
+// (base time, communication fraction, process count), ask the combined
+// model: what redundancy degree and checkpoint interval minimize the total
+// wallclock time?
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "model/combined.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace redcr;
+  using namespace redcr::util;
+
+  model::CombinedConfig config;
+  config.app.base_time = hours(128);   // t: failure-free execution time
+  config.app.comm_fraction = 0.2;      // α: share of t spent communicating
+  config.app.num_procs = 50000;        // N: application processes
+  config.machine.node_mtbf = years(5); // θ: per-node mean time to failure
+  config.machine.checkpoint_cost = seconds(600);  // c
+  config.machine.restart_cost = seconds(1800);    // R
+
+  // Evaluate a few interesting degrees...
+  for (const double r : {1.0, 1.5, 2.0, 3.0}) {
+    const model::Prediction p = model::predict(config, r);
+    std::printf(
+        "r=%.1fx: T_total=%7.1f h on %6zu procs  "
+        "(Θ_sys=%6.1f h, δ_opt=%5.1f min, E[failures]=%5.1f)\n",
+        r, to_hours(p.total_time), p.total_procs, to_hours(p.system_mtbf),
+        to_minutes(p.interval), p.expected_failures);
+  }
+
+  // ...and let the optimizer pick the best one.
+  const model::Optimum best = model::optimize_redundancy(config);
+  std::printf(
+      "\nOptimal degree: r=%.2fx -> %.1f h (vs %.1f h without redundancy; "
+      "%.0f%% faster, %.1fx the nodes)\n",
+      best.r, to_hours(best.prediction.total_time),
+      to_hours(model::predict(config, 1.0).total_time),
+      100.0 * (1.0 - best.prediction.total_time /
+                         model::predict(config, 1.0).total_time),
+      static_cast<double>(best.prediction.total_procs) /
+          static_cast<double>(config.app.num_procs));
+  return 0;
+}

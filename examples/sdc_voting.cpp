@@ -1,0 +1,107 @@
+// SDC voting demo: triple modular redundancy at the message layer.
+//
+// One replica of a sender sphere suffers silent data corruption (its
+// outgoing payloads are perturbed). With r = 3 in all-to-all mode, every
+// receiver replica compares the three copies, detects the divergence, and
+// outvotes the corrupt one — the application sees only clean data. With
+// r = 2 the corruption is detected but cannot be corrected (paper,
+// Section 2: "With triple redundancy, it can vote out the corrupt
+// message").
+//
+//   $ ./sdc_voting
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "red/red_comm.hpp"
+#include "sim/task.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/world.hpp"
+
+namespace {
+
+using namespace redcr;
+using simmpi::Payload;
+
+struct Cluster {
+  sim::Engine engine;
+  red::ReplicaMap map;
+  net::Network network;
+  simmpi::World world;
+  red::RedConfig config;
+  std::vector<std::unique_ptr<red::RedComm>> comms;
+
+  Cluster(std::size_t num_virtual, double r)
+      : map(num_virtual, r),
+        network(engine, map.num_physical(), {}),
+        world(engine, network, static_cast<int>(map.num_physical())) {
+    for (std::size_t p = 0; p < map.num_physical(); ++p)
+      comms.push_back(std::make_unique<red::RedComm>(
+          world, map, static_cast<red::Rank>(p), config));
+  }
+};
+
+sim::Task pipeline_stage(red::RedComm& comm, int rounds,
+                         std::vector<double>& sink) {
+  // Each virtual rank forwards a running sum around the ring.
+  const int n = comm.size();
+  double value = comm.rank() + 1.0;
+  for (int round = 0; round < rounds; ++round) {
+    simmpi::Request rx = comm.irecv((comm.rank() - 1 + n) % n, 5);
+    co_await comm.send((comm.rank() + 1) % n, 5,
+                       simmpi::scalar_payload(value));
+    simmpi::Message m = co_await wait(std::move(rx));
+    value += m.payload.values()[0];
+  }
+  if (comm.replica_index() == 0) sink[static_cast<std::size_t>(comm.rank())] = value;
+}
+
+double run(double r, bool corrupt, std::uint64_t* detected,
+           std::uint64_t* corrected) {
+  Cluster cluster(4, r);
+  if (corrupt) {
+    // Replica 1 of virtual rank 2 flips a bit in everything it sends.
+    const red::Rank victim = cluster.map.replicas(2)[1];
+    cluster.comms[static_cast<std::size_t>(victim)]->set_corruption_hook(
+        [](Payload p) {
+          std::vector<double> bad(p.values().begin(), p.values().end());
+          bad[0] += 1e6;  // a very silent, very wrong bit flip
+          return Payload::of(std::move(bad));
+        });
+  }
+  std::vector<double> results(4, 0.0);
+  for (auto& comm : cluster.comms)
+    cluster.engine.spawn(pipeline_stage(*comm, 16, results));
+  cluster.engine.run();
+  *detected = *corrected = 0;
+  for (auto& comm : cluster.comms) {
+    *detected += comm->stats().mismatches_detected;
+    *corrected += comm->stats().mismatches_corrected;
+  }
+  return results[0];
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t detected = 0, corrected = 0;
+  const double clean = run(3.0, false, &detected, &corrected);
+  std::printf("clean run (r=3):        result=%.0f, mismatches=%llu\n", clean,
+              static_cast<unsigned long long>(detected));
+
+  const double voted = run(3.0, true, &detected, &corrected);
+  std::printf("corrupted replica, r=3: result=%.0f, detected=%llu, "
+              "corrected=%llu -> %s\n",
+              voted, static_cast<unsigned long long>(detected),
+              static_cast<unsigned long long>(corrected),
+              voted == clean ? "VOTED OUT, application unaffected"
+                             : "CORRUPTED THE APPLICATION");
+
+  const double dual = run(2.0, true, &detected, &corrected);
+  std::printf("corrupted replica, r=2: result=%.0f, detected=%llu, "
+              "corrected=%llu -> detection only (no majority)\n",
+              dual, static_cast<unsigned long long>(detected),
+              static_cast<unsigned long long>(corrected));
+  return voted == clean ? 0 : 1;
+}

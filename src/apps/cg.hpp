@@ -1,0 +1,103 @@
+// CgSolver: a real distributed conjugate-gradient solver, the executable
+// analogue of the paper's NPB-CG test program.
+//
+// Problem: A x = b for the 1-D Laplacian-like SPD matrix
+//   A = tridiag(-1, 2 + shift, -1)   (shift > 0 keeps it well-conditioned),
+// block-partitioned by rows across ranks. Each matvec needs one halo
+// exchange (boundary elements with left/right neighbours) and each CG
+// iteration performs two dot products (allreduces with real partial sums),
+// matching the "irregular long-distance communication + reductions"
+// character the paper picked CG for.
+//
+// All data moves through the Comm abstraction with real payloads, so when
+// the solver runs over red::RedComm, replica divergence (injected SDC) is
+// *observable* in the numerics — the voting tests rely on this.
+//
+// State management: on a positive checkpoint hook the solver snapshots
+// (x, r, p, rho, iteration); restore() rewinds to that snapshot, which must
+// reproduce bit-identical results on re-execution (determinism test).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace redcr::apps {
+
+struct CgSpec {
+  /// Rows per rank; the global problem is rows_per_rank * world size.
+  std::size_t rows_per_rank = 64;
+  /// Diagonal shift (> 0): A = tridiag(-1, 2 + shift, -1).
+  double shift = 0.5;
+  /// Maximum CG iterations (the SPMD-uniform bound).
+  long max_iterations = 200;
+  /// Local compute time charged per iteration, seconds (the simulated cost
+  /// of the matvec and vector updates; the real arithmetic also runs).
+  double compute_per_iteration = 0.1;
+  /// Stop when the squared residual norm drops below this (uniform across
+  /// ranks because the decision value comes from an allreduce).
+  double tolerance_sq = 1e-20;
+};
+
+class CgSolver final : public Workload {
+ public:
+  CgSolver(CgSpec spec, int rank, int world_size);
+
+  [[nodiscard]] long total_iterations() const noexcept override {
+    return spec_.max_iterations;
+  }
+  sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
+                        BoundaryHook hook) override;
+  void restore(long iteration) override;
+
+  /// Rank-local slice of the current solution estimate.
+  [[nodiscard]] const std::vector<double>& solution() const noexcept {
+    return x_;
+  }
+  /// Squared global residual norm after the last completed iteration.
+  [[nodiscard]] double residual_sq() const noexcept { return rho_; }
+  /// Iterations actually executed (early convergence stops the loop).
+  [[nodiscard]] long iterations_run() const noexcept { return iterations_run_; }
+
+  /// Rank-local right-hand-side slice (deterministic; for verification).
+  [[nodiscard]] const std::vector<double>& rhs() const noexcept { return b_; }
+
+  /// Rank-local residual of `x` against A x = b given halo values.
+  [[nodiscard]] static std::vector<double> apply_tridiag(
+      const std::vector<double>& v, double shift, double left_halo,
+      double right_halo);
+
+ private:
+  struct State {
+    long iteration = 0;
+    std::vector<double> x, r, p;
+    double rho = 0.0;
+    bool converged = false;
+  };
+
+  void reset();
+
+  /// One halo exchange of p's boundary values; returns (left, right) halos.
+  sim::CoTask<std::pair<double, double>> exchange_halo(simmpi::Comm& comm,
+                                                       double leftmost,
+                                                       double rightmost);
+
+  /// Global sum of a scalar through the collective library (real payload).
+  static sim::CoTask<double> global_sum(simmpi::Comm& comm, double value,
+                                        int call_id);
+
+  CgSpec spec_;
+  int rank_;
+  int world_size_;
+  std::vector<double> b_;
+  // Live state.
+  std::vector<double> x_, r_, p_;
+  double rho_ = 0.0;
+  bool converged_ = false;
+  long iterations_run_ = 0;
+  // Last checkpointed state.
+  std::optional<State> saved_;
+};
+
+}  // namespace redcr::apps

@@ -1,0 +1,66 @@
+// MasterWorker: a task-farm workload whose master collects results with
+// MPI_ANY_SOURCE — the communication pattern that motivates the paper's
+// three-step wildcard protocol (Section 3). Workers finish their unevenly
+// sized tasks out of order, so the master's wildcard receives genuinely
+// race; under redundancy, every master replica must still account the same
+// results (the envelope-forwarding protocol guarantees it).
+//
+// The workload is structured in rounds so the checkpoint hook stays
+// SPMD-uniform: each round the master deals one task per worker and reaps
+// one result per worker.
+#pragma once
+
+#include <optional>
+
+#include "apps/workload.hpp"
+#include "util/units.hpp"
+
+namespace redcr::apps {
+
+struct MasterWorkerSpec {
+  long rounds = 32;
+  /// Mean per-task compute time; actual tasks vary ±75% around it.
+  util::Seconds base_task_cost = 1.0;
+};
+
+class MasterWorker final : public Workload {
+ public:
+  /// Rank 0 is the master; all other ranks are workers.
+  MasterWorker(MasterWorkerSpec spec, int rank, int world_size);
+
+  [[nodiscard]] long total_iterations() const noexcept override {
+    return spec_.rounds;
+  }
+  sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
+                        BoundaryHook hook) override;
+  void restore(long iteration) override;
+
+  /// Master-side: sum of all collected task results (exact in double).
+  [[nodiscard]] double accumulated() const noexcept { return accumulated_; }
+  [[nodiscard]] long tasks_completed() const noexcept {
+    return tasks_completed_;
+  }
+
+  /// The value every run must converge to (for verification).
+  [[nodiscard]] static double expected_total(long rounds, int workers);
+
+ private:
+  struct State {
+    long round = 0;
+    double accumulated = 0.0;
+    long tasks_completed = 0;
+  };
+
+  void reset();
+  [[nodiscard]] static double task_value(long task_id) noexcept;
+  [[nodiscard]] util::Seconds task_cost(long task_id) const noexcept;
+
+  MasterWorkerSpec spec_;
+  int rank_;
+  int world_size_;
+  double accumulated_ = 0.0;
+  long tasks_completed_ = 0;
+  std::optional<State> saved_;
+};
+
+}  // namespace redcr::apps

@@ -1,0 +1,39 @@
+// SpectralWorkload: a timing-only kernel shaped like distributed FFT /
+// spectral-transform codes — each iteration does local compute plus a full
+// all-to-all transpose. Under redundancy this is the worst-case pattern:
+// per iteration a rank injects (N-1)·r copies of its transpose slabs, so
+// the Eq.-1 dilation and NIC contention bite hardest here. Used by the
+// communication-pattern bench to show how the redundancy overhead depends
+// on the application's messaging structure.
+#pragma once
+
+#include "apps/workload.hpp"
+#include "util/units.hpp"
+
+namespace redcr::apps {
+
+struct SpectralSpec {
+  long iterations = 32;
+  util::Seconds compute_per_iteration = 1.0;
+  /// Bytes of each per-destination transpose slab.
+  util::Bytes slab_bytes = 64.0 * 1024;
+  /// A residual-norm allreduce every iteration (convergence check).
+  bool residual_check = true;
+};
+
+class SpectralWorkload final : public Workload {
+ public:
+  explicit SpectralWorkload(SpectralSpec spec);
+
+  [[nodiscard]] long total_iterations() const noexcept override {
+    return spec_.iterations;
+  }
+  sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
+                        BoundaryHook hook) override;
+  void restore(long /*iteration*/) override {}  // stateless
+
+ private:
+  SpectralSpec spec_;
+};
+
+}  // namespace redcr::apps

@@ -1,0 +1,52 @@
+// Stencil3d: a timing-only 7-point-stencil workload on a 3-D process grid —
+// the nearest-neighbour-dominated communication pattern typical of the
+// structured-grid HPC codes the paper's introduction motivates (in contrast
+// to CG's reductions). Exercises the redundancy layer on a non-ring
+// topology.
+#pragma once
+
+#include <array>
+
+#include "apps/workload.hpp"
+#include "util/units.hpp"
+
+namespace redcr::apps {
+
+struct StencilSpec {
+  long iterations = 64;
+  /// Process grid dimensions; their product must equal the world size.
+  std::array<int, 3> grid{4, 4, 4};
+  util::Seconds compute_per_iteration = 1.0;
+  /// Bytes per face exchanged with each of the up-to-6 neighbours.
+  util::Bytes face_bytes = 1.0 * 1024 * 1024;
+  /// Periodic boundaries (torus) if true; open boundaries otherwise.
+  bool periodic = false;
+  /// A global residual allreduce every `residual_every` iterations
+  /// (0 = never) — the usual convergence check of iterative stencil codes.
+  int residual_every = 8;
+};
+
+class Stencil3d final : public Workload {
+ public:
+  explicit Stencil3d(StencilSpec spec);
+
+  [[nodiscard]] long total_iterations() const noexcept override {
+    return spec_.iterations;
+  }
+  sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
+                        BoundaryHook hook) override;
+  void restore(long /*iteration*/) override {}  // stateless
+
+  /// Grid coordinates of `rank` (x fastest).
+  [[nodiscard]] std::array<int, 3> coords_of(int rank) const noexcept;
+  /// Rank at the given coordinates.
+  [[nodiscard]] int rank_of(const std::array<int, 3>& coords) const noexcept;
+  /// Neighbour rank along `dim` in direction `dir` (+1/-1), or -1 if the
+  /// boundary is open there.
+  [[nodiscard]] int neighbor(int rank, int dim, int dir) const noexcept;
+
+ private:
+  StencilSpec spec_;
+};
+
+}  // namespace redcr::apps

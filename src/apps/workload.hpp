@@ -1,0 +1,44 @@
+// Workload interface: an application kernel that runs on one rank of a
+// (virtual) communicator, structured as iterations with a checkpoint hook at
+// every boundary.
+//
+// Contract:
+//  - `run` executes iterations [start_iteration, total) and must
+//    `co_await hook(i)` exactly once before each iteration i — the hook is
+//    collective across ranks (it hides the checkpoint agreement protocol),
+//    so every rank must make the same sequence of hook calls.
+//  - When the hook returns true, a coordinated checkpoint was taken at this
+//    boundary and the workload must persist whatever rank-local state it
+//    needs to later `restore(i)`.
+//  - `restore(i)` rewinds the workload to the state it persisted at
+//    iteration boundary i (i == 0 means pristine initial state). Workload
+//    objects outlive job episodes; communicators do not.
+#pragma once
+
+#include <functional>
+
+#include "sim/cotask.hpp"
+#include "simmpi/comm.hpp"
+
+namespace redcr::apps {
+
+/// Collective per-boundary hook; returns true if a checkpoint was taken.
+using BoundaryHook = std::function<sim::CoTask<bool>(long iteration)>;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Upper bound on iterations (SPMD-uniform). Early termination is allowed
+  /// only if every rank terminates at the same boundary.
+  [[nodiscard]] virtual long total_iterations() const noexcept = 0;
+
+  /// Runs this rank's part of iterations [start_iteration, total).
+  virtual sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
+                                BoundaryHook hook) = 0;
+
+  /// Rewinds rank-local state to the checkpoint taken at `iteration`.
+  virtual void restore(long iteration) = 0;
+};
+
+}  // namespace redcr::apps

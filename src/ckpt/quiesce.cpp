@@ -1,0 +1,215 @@
+#include "ckpt/quiesce.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace redcr::ckpt {
+
+using simmpi::Endpoint;
+using simmpi::kQuiesceTagBase;
+using simmpi::Message;
+using simmpi::Payload;
+using simmpi::Rank;
+using simmpi::Request;
+
+namespace {
+
+/// Tag sub-bands within the quiesce band.
+constexpr int kSumBand = kQuiesceTagBase;                 // counting rounds
+constexpr int kBarrierBand = kQuiesceTagBase + (1 << 20);  // closing barrier
+constexpr int kBookmarkBand = kQuiesceTagBase + (2 << 20);  // claims
+constexpr int kAgreeBand = kQuiesceTagBase + (3 << 20);    // epoch agreement
+
+/// Back-off between drain checks; small relative to any checkpoint cost.
+constexpr double kDrainBackoff = 100e-6;
+
+int pow2_floor(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Recursive-doubling global sum of a (sent, received) pair, any world size,
+/// communicating only in the quiesce band. `round_salt` keeps tags of
+/// successive quiesce rounds distinct.
+sim::CoTask<std::pair<double, double>> sum_pair(Endpoint& ep, double a,
+                                                double b, int round_salt) {
+  const int n = ep.size();
+  const Rank me = ep.rank();
+  const int base = kSumBand + (round_salt % 256) * 64;
+  const int pof2 = pow2_floor(n);
+  const int rem = n - pof2;
+  std::pair<double, double> value{a, b};
+
+  auto payload = [](const std::pair<double, double>& v) {
+    return Payload::of({v.first, v.second});
+  };
+  auto combine = [](std::pair<double, double>& v, const Message& m) {
+    v.first += m.payload.values()[0];
+    v.second += m.payload.values()[1];
+  };
+
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      co_await ep.send(me + 1, base, payload(value));
+      newrank = -1;
+    } else {
+      Message m = co_await ep.recv(me - 1, base);
+      combine(value, m);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank != -1) {
+    auto old_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    for (int k = 0; (1 << k) < pof2; ++k) {
+      const Rank partner = old_rank(newrank ^ (1 << k));
+      const int tag = base + k + 1;
+      Request rx = ep.irecv(partner, tag);
+      co_await ep.send(partner, tag, payload(value));
+      Message m = co_await wait(std::move(rx));
+      combine(value, m);
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      Message m = co_await ep.recv(me + 1, base + 63);
+      value = {m.payload.values()[0], m.payload.values()[1]};
+    } else {
+      co_await ep.send(me - 1, base + 63, payload(value));
+    }
+  }
+  co_return value;
+}
+
+}  // namespace
+
+sim::CoTask<double> quiesce_reduce_max(Endpoint& ep, double value, int salt) {
+  const int n = ep.size();
+  const Rank me = ep.rank();
+  const int base = kAgreeBand + (salt % 4096) * 64;
+  const int pof2 = pow2_floor(n);
+  const int rem = n - pof2;
+
+  auto payload = [](double v) { return Payload::of({v}); };
+
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      co_await ep.send(me + 1, base, payload(value));
+      newrank = -1;
+    } else {
+      Message m = co_await ep.recv(me - 1, base);
+      value = std::max(value, m.payload.values()[0]);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank != -1) {
+    auto old_rank = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+    for (int k = 0; (1 << k) < pof2; ++k) {
+      const Rank partner = old_rank(newrank ^ (1 << k));
+      const int tag = base + k + 1;
+      Request rx = ep.irecv(partner, tag);
+      co_await ep.send(partner, tag, payload(value));
+      Message m = co_await wait(std::move(rx));
+      value = std::max(value, m.payload.values()[0]);
+    }
+  }
+
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      Message m = co_await ep.recv(me + 1, base + 63);
+      value = m.payload.values()[0];
+    } else {
+      co_await ep.send(me - 1, base + 63, payload(value));
+    }
+  }
+  co_return value;
+}
+
+sim::CoTask<void> quiesce_barrier(Endpoint& ep) {
+  const int n = ep.size();
+  const Rank me = ep.rank();
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int dist = 1 << k;
+    const Rank to = (me + dist) % n;
+    const Rank from = (me - dist + n) % n;
+    const int tag = kBarrierBand + k;
+    Request rx = ep.irecv(from, tag);
+    co_await ep.send(to, tag, Payload::sized(0.0));
+    co_await wait(std::move(rx));
+  }
+}
+
+sim::CoTask<QuiesceStats> counting_quiesce(Endpoint& ep) {
+  QuiesceStats stats;
+  // Precondition: every rank has stopped issuing application sends, so the
+  // global sent total is frozen and the received total can only climb
+  // toward it; equality therefore certifies drained channels.
+  for (;;) {
+    ++stats.rounds;
+    const auto [sent, received] =
+        co_await sum_pair(ep, static_cast<double>(ep.total_sent()),
+                          static_cast<double>(ep.total_received()),
+                          stats.rounds);
+    if (sent == received) break;
+    co_await sim::delay(ep.engine(), kDrainBackoff);
+  }
+  co_return stats;
+}
+
+sim::CoTask<QuiesceStats> bookmark_exchange_quiesce(Endpoint& ep) {
+  QuiesceStats stats;
+  const int n = ep.size();
+  const Rank me = ep.rank();
+  if (n == 1) co_return stats;
+
+  // Tell every peer how many messages we have sent to it...
+  for (Rank peer = 0; peer < n; ++peer) {
+    if (peer == me) continue;
+    const auto sent_to_peer =
+        static_cast<double>(ep.sent_counts()[static_cast<std::size_t>(peer)]);
+    ep.isend(peer, kBookmarkBand, Payload::of({sent_to_peer}));
+  }
+  // ...and collect every peer's claim about us.
+  std::vector<double> claimed(static_cast<std::size_t>(n), 0.0);
+  std::vector<Request> claims;
+  claims.reserve(static_cast<std::size_t>(n) - 1);
+  for (Rank peer = 0; peer < n; ++peer) {
+    if (peer == me) continue;
+    claims.push_back(ep.irecv(peer, kBookmarkBand));
+  }
+  for (auto& claim : claims) {
+    Message m = co_await wait(std::move(claim));
+    claimed[static_cast<std::size_t>(m.envelope.source)] =
+        m.payload.values()[0];
+  }
+
+  // Wait until our receive counters reach the claimed totals.
+  for (;;) {
+    ++stats.rounds;
+    bool drained = true;
+    for (Rank peer = 0; peer < n && drained; ++peer) {
+      if (peer == me) continue;
+      drained = static_cast<double>(
+                    ep.received_counts()[static_cast<std::size_t>(peer)]) >=
+                claimed[static_cast<std::size_t>(peer)];
+    }
+    if (drained) break;
+    co_await sim::delay(ep.engine(), kDrainBackoff);
+  }
+  co_return stats;
+}
+
+}  // namespace redcr::ckpt

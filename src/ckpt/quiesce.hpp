@@ -1,0 +1,50 @@
+// Channel-quiesce protocols run before a coordinated checkpoint.
+//
+// A consistent distributed snapshot requires that no application message is
+// in flight when the per-process images are taken (paper Section 2:
+// OpenMPI's all-to-all "bookmark exchange", a relative of Chandy–Lamport).
+// Two implementations are provided:
+//
+//   bookmark_exchange_quiesce — the literal protocol: every rank tells every
+//     peer how many messages it has sent to it, then waits until its receive
+//     counters reach the claimed totals. O(P²) messages; used for small
+//     worlds and as the reference in tests.
+//
+//   counting_quiesce — scalable variant (Mattern-style credit counting):
+//     repeat a global sum of (total sent, total received) until the two
+//     agree. O(P log P) messages per round; used by experiment harnesses.
+//
+// Both protocols communicate exclusively in the kQuiesceTagBase band, which
+// the endpoints exclude from bookmark counters. Precondition for
+// termination: every rank has stopped issuing new application sends (all
+// ranks are inside the checkpoint).
+#pragma once
+
+#include "sim/cotask.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::ckpt {
+
+/// Statistics of one quiesce execution (rank-local).
+struct QuiesceStats {
+  int rounds = 0;  ///< counting: global-sum rounds; bookmark: poll rounds
+};
+
+/// Literal all-to-all bookmark exchange. All ranks of `endpoint`'s world
+/// must call this collectively.
+sim::CoTask<QuiesceStats> bookmark_exchange_quiesce(simmpi::Endpoint& endpoint);
+
+/// Scalable counting quiesce. All ranks must call collectively.
+sim::CoTask<QuiesceStats> counting_quiesce(simmpi::Endpoint& endpoint);
+
+/// Dissemination barrier in the quiesce tag band (does not disturb bookmark
+/// counters). Used to close the checkpoint after all images are durable.
+sim::CoTask<void> quiesce_barrier(simmpi::Endpoint& endpoint);
+
+/// Max-allreduce of a scalar in the quiesce tag band; `salt` must advance
+/// between successive calls (e.g. the iteration index). Used by the
+/// checkpoint controller's per-boundary agreement.
+sim::CoTask<double> quiesce_reduce_max(simmpi::Endpoint& endpoint,
+                                       double value, int salt);
+
+}  // namespace redcr::ckpt

@@ -1,0 +1,23 @@
+#include "ckpt/storage.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redcr::ckpt {
+
+StableStorage::StableStorage(sim::Engine& engine, StorageParams params)
+    : engine_(engine), params_(params) {
+  assert(params_.bandwidth > 0.0);
+  assert(params_.base_latency >= 0.0);
+}
+
+sim::Time StableStorage::write_completion(util::Bytes size) {
+  assert(size >= 0.0);
+  ++writes_;
+  bytes_ += size;
+  const sim::Time start = std::max(engine_.now(), device_free_);
+  device_free_ = start + params_.base_latency + size / params_.bandwidth;
+  return device_free_;
+}
+
+}  // namespace redcr::ckpt

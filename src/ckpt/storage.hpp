@@ -1,0 +1,48 @@
+// Stable-storage cost model.
+//
+// The paper's checkpoint cost `c` is dominated by writing per-process images
+// to a shared parallel filesystem. We model the store as a single device
+// with an aggregate bandwidth: concurrent writers serialize, so the
+// coordinated checkpoint of P processes with image size S completes in
+// roughly base_latency + P·S/bandwidth — which is how experiment harnesses
+// calibrate an effective `c`.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace redcr::ckpt {
+
+struct StorageParams {
+  /// Aggregate write bandwidth of the stable store, bytes/second.
+  double bandwidth = 1.0e9;
+  /// Per-write setup latency (metadata, open, sync), seconds.
+  util::Seconds base_latency = 0.05;
+};
+
+class StableStorage {
+ public:
+  StableStorage(sim::Engine& engine, StorageParams params);
+
+  /// Reserves device time for a write of `size` bytes starting no earlier
+  /// than now; returns the absolute completion time.
+  sim::Time write_completion(util::Bytes size);
+
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] double bytes_written() const noexcept { return bytes_; }
+  [[nodiscard]] const StorageParams& params() const noexcept { return params_; }
+  /// Time at which all writes reserved so far will have completed; used by
+  /// forked checkpointing to know when a whole image set becomes durable.
+  [[nodiscard]] sim::Time busy_until() const noexcept { return device_free_; }
+
+ private:
+  sim::Engine& engine_;
+  StorageParams params_;
+  sim::Time device_free_ = 0.0;
+  std::uint64_t writes_ = 0;
+  double bytes_ = 0.0;
+};
+
+}  // namespace redcr::ckpt

@@ -1,0 +1,128 @@
+#include "failure/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace redcr::failure {
+
+SphereMonitor::SphereMonitor(const red::ReplicaMap& map)
+    : map_(&map),
+      dead_(map.num_physical(), false),
+      alive_in_sphere_(map.num_virtual()) {
+  for (std::size_t v = 0; v < map.num_virtual(); ++v)
+    alive_in_sphere_[v] = map.degree(static_cast<Rank>(v));
+}
+
+bool SphereMonitor::mark_dead(Rank physical) {
+  if (physical < 0 || static_cast<std::size_t>(physical) >= dead_.size())
+    throw std::out_of_range("SphereMonitor::mark_dead: rank out of range");
+  auto idx = static_cast<std::size_t>(physical);
+  if (dead_[idx]) return false;  // already dead; idempotent
+  dead_[idx] = true;
+  ++dead_count_;
+  const Rank sphere = map_->virtual_of(physical);
+  auto& alive = alive_in_sphere_[static_cast<std::size_t>(sphere)];
+  assert(alive > 0);
+  if (--alive == 0) {
+    if (!dead_sphere_) dead_sphere_ = sphere;
+    return true;
+  }
+  return false;
+}
+
+bool SphereMonitor::is_dead(Rank physical) const {
+  if (physical < 0 || static_cast<std::size_t>(physical) >= dead_.size())
+    throw std::out_of_range("SphereMonitor::is_dead: rank out of range");
+  return dead_[static_cast<std::size_t>(physical)];
+}
+
+bool SphereMonitor::sphere_dead(Rank virtual_rank) const {
+  if (virtual_rank < 0 ||
+      static_cast<std::size_t>(virtual_rank) >= alive_in_sphere_.size())
+    throw std::out_of_range("SphereMonitor::sphere_dead: rank out of range");
+  return alive_in_sphere_[static_cast<std::size_t>(virtual_rank)] == 0;
+}
+
+FailureInjector::FailureInjector(const red::ReplicaMap& map,
+                                 FailureParams params)
+    : map_(&map), params_(params) {
+  if (!(params_.node_mtbf > 0.0))
+    throw std::invalid_argument("FailureInjector: node MTBF must be > 0");
+  if (!(params_.weibull_shape > 0.0))
+    throw std::invalid_argument("FailureInjector: Weibull shape must be > 0");
+}
+
+std::vector<sim::Time> FailureInjector::draw_failure_times(
+    std::uint64_t episode) const {
+  util::Xoshiro256ss root(params_.seed);
+  util::Xoshiro256ss episode_stream = root.split(episode);
+  // Weibull with mean θ: scale λ = θ / Γ(1 + 1/k); draw λ(-ln(1-u))^{1/k}.
+  // For k = 1 this is exactly the exponential inverse CDF.
+  const double k = params_.weibull_shape;
+  const double scale = params_.node_mtbf / std::tgamma(1.0 + 1.0 / k);
+  std::vector<sim::Time> times(map_->num_physical());
+  for (std::size_t p = 0; p < times.size(); ++p) {
+    // Independent per-node stream: results do not depend on how many draws
+    // other nodes consume.
+    util::Xoshiro256ss node_stream = episode_stream.split(p);
+    const double u = node_stream.uniform01();
+    times[p] = scale * std::pow(-std::log1p(-u), 1.0 / k);
+  }
+  return times;
+}
+
+std::optional<JobFailure> FailureInjector::first_sphere_death(
+    const red::ReplicaMap& map, const std::vector<sim::Time>& times) {
+  assert(times.size() == map.num_physical());
+  std::optional<JobFailure> earliest;
+  for (std::size_t v = 0; v < map.num_virtual(); ++v) {
+    // A sphere dies when its *last* replica dies.
+    sim::Time death = 0.0;
+    for (const Rank p : map.replicas(static_cast<Rank>(v)))
+      death = std::max(death, times[static_cast<std::size_t>(p)]);
+    if (!earliest || death < earliest->time)
+      earliest = JobFailure{death, static_cast<Rank>(v)};
+  }
+  return earliest;
+}
+
+sim::Task FailureInjector::run(sim::Engine& engine, SphereMonitor& monitor,
+                               std::uint64_t episode,
+                               std::function<bool()> protected_phase,
+                               std::function<void(JobFailure)> on_job_failure,
+                               std::function<void(Rank)> on_replica_death) {
+  // Sort upcoming failures by time; walk them in order.
+  const std::vector<sim::Time> times = draw_failure_times(episode);
+  std::vector<std::size_t> order(times.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return times[a] != times[b] ? times[a] < times[b] : a < b;
+  });
+
+  // Granularity of the "wait for the protected phase to end" poll; far
+  // below any checkpoint duration, far above the network timescale.
+  constexpr sim::Time kPhasePoll = 0.25;
+
+  for (const std::size_t p : order) {
+    const sim::Time when = times[p];
+    if (when > engine.now())
+      co_await sim::delay(engine, when - engine.now());
+    if (!params_.inject_during_checkpoint && protected_phase) {
+      // Paper Section 6 (observation 5): the experiments do not trigger
+      // failures while a checkpoint is in progress; defer to phase end.
+      while (protected_phase()) co_await sim::delay(engine, kPhasePoll);
+    }
+    const bool sphere_died = monitor.mark_dead(static_cast<Rank>(p));
+    if (on_replica_death) on_replica_death(static_cast<Rank>(p));
+    if (sphere_died) {
+      on_job_failure(JobFailure{engine.now(),
+                                map_->virtual_of(static_cast<Rank>(p))});
+      co_return;  // the job is down; this episode is over
+    }
+  }
+}
+
+}  // namespace redcr::failure

@@ -1,0 +1,115 @@
+// Failure injection (paper Section 5, first background process).
+//
+// Each physical node fails as a Poisson process with per-node MTBF θ. Per
+// episode (a run from the last checkpoint until completion or job failure),
+// the injector draws each node's first failure time from Exp(θ) — valid by
+// memorylessness, since a restart relaunches every process on fresh spare
+// nodes (assumption 5). The injector runs as a simulated background process:
+// it sleeps until each failure instant, marks the physical process dead in
+// the sphere monitor, and reports a *job* failure as soon as every replica
+// of some virtual process (sphere) is dead — failures of single replicas do
+// not interrupt the application (Fig. 7).
+//
+// Matching the paper's experimental condition, failures are (optionally)
+// deferred while a checkpoint is in progress (`protected_phase` hook);
+// restart phases happen between episodes, where the injector does not run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "red/red_comm.hpp"
+#include "red/replica_map.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace redcr::failure {
+
+using red::Rank;
+
+struct FailureParams {
+  /// θ: per-node MTBF, seconds.
+  util::Seconds node_mtbf = util::hours(6);
+  /// Root seed; per-node, per-episode streams are derived from it.
+  std::uint64_t seed = 42;
+  /// If false (paper's experiments), failures landing inside a protected
+  /// phase (checkpoint) are deferred to the end of that phase.
+  bool inject_during_checkpoint = false;
+  /// Weibull shape k of the failure-time distribution, with the scale set
+  /// so the mean stays node_mtbf. k = 1 is the paper's exponential
+  /// assumption; k < 1 models infant mortality, k > 1 wear-out (the
+  /// "other failure distributions" of related work [3]).
+  double weibull_shape = 1.0;
+};
+
+/// Tracks which physical processes are dead and whether any sphere (virtual
+/// process) has lost all of its replicas. Implements red::Liveness so the
+/// redundancy layer can degrade live traffic around dead replicas.
+class SphereMonitor final : public red::Liveness {
+ public:
+  explicit SphereMonitor(const red::ReplicaMap& map);
+
+  /// Marks a physical process dead; returns true if this killed its sphere.
+  bool mark_dead(Rank physical);
+
+  [[nodiscard]] bool is_dead(Rank physical) const override;
+  [[nodiscard]] bool sphere_dead(Rank virtual_rank) const;
+  [[nodiscard]] std::optional<Rank> first_dead_sphere() const noexcept {
+    return dead_sphere_;
+  }
+  [[nodiscard]] std::size_t dead_processes() const noexcept {
+    return dead_count_;
+  }
+
+ private:
+  const red::ReplicaMap* map_;
+  std::vector<bool> dead_;                 // by physical rank
+  std::vector<unsigned> alive_in_sphere_;  // by virtual rank
+  std::optional<Rank> dead_sphere_;
+  std::size_t dead_count_ = 0;
+};
+
+/// Outcome reported by the injector when a sphere dies.
+struct JobFailure {
+  sim::Time time = 0.0;
+  Rank sphere = -1;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(const red::ReplicaMap& map, FailureParams params);
+
+  /// First failure time of every physical node for the given episode,
+  /// indexed by physical rank. Deterministic in (seed, episode).
+  [[nodiscard]] std::vector<sim::Time> draw_failure_times(
+      std::uint64_t episode) const;
+
+  /// Closed-form episode analysis (no engine needed): the earliest sphere
+  /// death implied by `times`, if any sphere dies at all. Used by the
+  /// fast-path harness and to cross-check the simulated injector.
+  [[nodiscard]] static std::optional<JobFailure> first_sphere_death(
+      const red::ReplicaMap& map, const std::vector<sim::Time>& times);
+
+  /// The background injector process. Marks failures in `monitor` as they
+  /// occur; on sphere death invokes `on_job_failure` (which typically stops
+  /// the engine). `protected_phase` (may be empty) defers failures while it
+  /// returns true, unless params.inject_during_checkpoint is set.
+  /// `on_replica_death` (may be empty) fires for *every* death — live
+  /// failure semantics hook it to abort pending receives from the corpse.
+  [[nodiscard]] sim::Task run(sim::Engine& engine, SphereMonitor& monitor,
+                              std::uint64_t episode,
+                              std::function<bool()> protected_phase,
+                              std::function<void(JobFailure)> on_job_failure,
+                              std::function<void(Rank)> on_replica_death = {});
+
+  [[nodiscard]] const FailureParams& params() const noexcept { return params_; }
+
+ private:
+  const red::ReplicaMap* map_;
+  FailureParams params_;
+};
+
+}  // namespace redcr::failure

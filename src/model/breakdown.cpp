@@ -1,0 +1,33 @@
+#include "model/breakdown.hpp"
+
+#include <cmath>
+
+namespace redcr::model {
+
+TimeBreakdown compute_breakdown(const CombinedConfig& config, double r) {
+  const Prediction p = predict(config, r);
+  TimeBreakdown b;
+  b.total_time = p.total_time;
+  b.expected_failures = p.expected_failures;
+  if (!std::isfinite(p.total_time) || p.total_time <= 0.0) {
+    // Degenerate regime: all time is repair; report the asymptotic split.
+    b.restart = 1.0;
+    return b;
+  }
+  const double work_time = p.redundant_time;
+  const double checkpoint_time =
+      p.redundant_time * config.machine.checkpoint_cost / p.interval;
+  const double rr_total = p.expected_failures * p.restart_rework;
+  // Split each combined restart+rework phase proportionally to its two
+  // ingredients (Eq. 13 folds R and t_lw into one expected duration).
+  const double ingredients = config.machine.restart_cost + p.lost_work;
+  const double restart_share =
+      ingredients > 0.0 ? config.machine.restart_cost / ingredients : 1.0;
+  b.work = work_time / p.total_time;
+  b.checkpoint = checkpoint_time / p.total_time;
+  b.restart = rr_total * restart_share / p.total_time;
+  b.recompute = rr_total * (1.0 - restart_share) / p.total_time;
+  return b;
+}
+
+}  // namespace redcr::model

@@ -1,0 +1,26 @@
+// Time-breakdown view of the model: splits T_total into the work /
+// checkpoint / recompute / restart fractions that the Sandia study (and the
+// paper's Tables 2-3) report.
+#pragma once
+
+#include "model/combined.hpp"
+
+namespace redcr::model {
+
+/// Fractions of the total wallclock time; they sum to 1 (up to rounding).
+struct TimeBreakdown {
+  double work = 0.0;        ///< useful computation, t_Red/T_total
+  double checkpoint = 0.0;  ///< periodic checkpoint overhead
+  double recompute = 0.0;   ///< rework of lost progress after failures
+  double restart = 0.0;     ///< restart phases after failures
+  double total_time = 0.0;  ///< T_total itself, seconds
+  double expected_failures = 0.0;
+};
+
+/// Evaluates the combined model at degree r and splits the resulting
+/// T_total. The rework/restart split of each t_RR phase is proportional to
+/// t_lw vs. R (the model folds both into one phase, Eq. 13).
+[[nodiscard]] TimeBreakdown compute_breakdown(const CombinedConfig& config,
+                                              double r = 1.0);
+
+}  // namespace redcr::model

@@ -1,0 +1,87 @@
+#include "model/checkpoint.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace redcr::model {
+
+double young_interval(double checkpoint_cost, double system_mtbf) noexcept {
+  assert(checkpoint_cost > 0.0);
+  assert(system_mtbf > 0.0);
+  return std::sqrt(2.0 * checkpoint_cost * system_mtbf);
+}
+
+double daly_interval(double checkpoint_cost, double system_mtbf) noexcept {
+  assert(checkpoint_cost > 0.0);
+  if (!(system_mtbf > 0.0) || !std::isfinite(system_mtbf)) {
+    // Infinite MTBF: failures never happen; any interval works. Return a
+    // huge-but-finite interval so c/δ → 0 in Eq. 14.
+    return std::numeric_limits<double>::max() / 4.0;
+  }
+  const double c = checkpoint_cost;
+  const double theta = system_mtbf;
+  if (c >= 2.0 * theta) return theta;  // Daly's validity guard
+  const double ratio = c / (2.0 * theta);
+  return std::sqrt(2.0 * c * theta) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         c;
+}
+
+double expected_lost_work(double delta, double checkpoint_cost,
+                          double system_mtbf) noexcept {
+  assert(delta > 0.0);
+  assert(checkpoint_cost >= 0.0);
+  if (!(system_mtbf > 0.0)) return delta;  // immediate failure: lose a segment
+  const double theta = system_mtbf;
+  const double delta_c = delta + checkpoint_cost;
+  // expm1 keeps precision in the Θ ≫ δ_c regime, where 1 - e^{-δ_c/Θ}
+  // cancels catastrophically.
+  const double denom =
+      std::isfinite(theta) ? -std::expm1(-delta_c / theta) : 0.0;
+  if (denom <= 0.0) {
+    // Θ ≫ δ_c beyond double precision: the failure position is uniform over
+    // the segment in the limit; use the series limit t_lw → δ(δ/2 + c)/δ_c.
+    return delta * (delta / 2.0 + checkpoint_cost) / delta_c;
+  }
+  const double numer = -theta * std::expm1(-delta / theta) -
+                       delta * std::exp(-delta_c / theta);
+  return numer / denom;
+}
+
+double restart_rework_time(double restart_cost, double lost_work,
+                           double system_mtbf, RestartModel model) noexcept {
+  assert(restart_cost >= 0.0);
+  assert(lost_work >= 0.0);
+  const double x = restart_cost + lost_work;  // R + t_lw
+  if (!(system_mtbf > 0.0)) return x;
+  if (!std::isfinite(system_mtbf)) return x;
+  const double theta = system_mtbf;
+  const double survive = std::exp(-x / theta);     // Pr(no failure before x)
+  const double fail = 1.0 - survive;               // Pr(failure before x)
+  // ∫_0^x t·(1/Θ)e^{-t/Θ} dt = Θ - e^{-x/Θ}(x + Θ)  (truncated expectation).
+  const double truncated = theta - survive * (x + theta);
+  switch (model) {
+    case RestartModel::kAsPublished:
+      // Eq. 13 exactly as printed: the truncated expectation is multiplied
+      // by Pr(failure before x) once more.
+      return fail * truncated + survive * x;
+    case RestartModel::kConditional:
+      // Consistent variant: E[t | t < x]·Pr(t < x) = truncated expectation,
+      // i.e. drop the extra probability factor.
+      return truncated + survive * x;
+  }
+  return x;
+}
+
+double total_time(double base_time, double checkpoint_cost, double delta,
+                  double failure_rate, double t_rr) noexcept {
+  assert(base_time > 0.0);
+  assert(delta > 0.0);
+  assert(failure_rate >= 0.0);
+  const double denom = 1.0 - failure_rate * t_rr;
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return (base_time + base_time * checkpoint_cost / delta) / denom;  // Eq. 14
+}
+
+}  // namespace redcr::model

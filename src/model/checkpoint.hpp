@@ -1,0 +1,43 @@
+// Checkpoint/restart-side model: Section 4.2 of the paper (Eqs. 11-15) plus
+// Young's first-order interval as a baseline.
+#pragma once
+
+#include "model/params.hpp"
+
+namespace redcr::model {
+
+/// Young's first-order optimal checkpoint interval: δ = sqrt(2cΘ).
+[[nodiscard]] double young_interval(double checkpoint_cost,
+                                    double system_mtbf) noexcept;
+
+/// Eq. 15 — Daly's higher-order optimal interval:
+///   δ_opt = sqrt(2cΘ)·[1 + (1/3)sqrt(c/2Θ) + (1/9)(c/2Θ)] - c   for c < 2Θ,
+///   δ_opt = Θ                                                   otherwise
+/// (the c ≥ 2Θ guard is from Daly's original paper).
+[[nodiscard]] double daly_interval(double checkpoint_cost,
+                                   double system_mtbf) noexcept;
+
+/// Eq. 12 — expected lost work per failure under periodic checkpointing with
+/// work interval `delta`, checkpoint cost `c` and system MTBF `theta`:
+///   t_lw = [Θ - Θ e^{-δ/Θ} - δ e^{-δ_c/Θ}] / (1 - e^{-δ_c/Θ}),  δ_c = δ + c.
+/// Result lies in [0, δ] and tends to ~δ/2 for Θ ≫ δ.
+[[nodiscard]] double expected_lost_work(double delta, double checkpoint_cost,
+                                        double system_mtbf) noexcept;
+
+/// Eq. 13 — expected duration of one combined restart+rework phase, which
+/// accounts for failures striking *during* restart/rework. `restart_cost` is
+/// R, `lost_work` is t_lw, `theta` the system MTBF.
+[[nodiscard]] double restart_rework_time(double restart_cost, double lost_work,
+                                         double system_mtbf,
+                                         RestartModel model) noexcept;
+
+/// Eq. 14 — total completion time
+///   T_total = (t + t·c/δ) / (1 - λ·t_RR).
+/// Returns +infinity when λ·t_RR ≥ 1 (the job cannot make progress: the
+/// expected repair time per failure exceeds the expected time to the next
+/// failure).
+[[nodiscard]] double total_time(double base_time, double checkpoint_cost,
+                                double delta, double failure_rate,
+                                double t_rr) noexcept;
+
+}  // namespace redcr::model

@@ -1,0 +1,175 @@
+#include "model/extensions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "model/checkpoint.hpp"
+
+namespace redcr::model {
+
+Prediction predict_same_nodes(const CombinedConfig& config, double r) {
+  assert(r >= 1.0);
+  Prediction p;
+  p.r = r;
+  // Same nodes: machine cost stays N regardless of the degree.
+  p.total_procs = config.app.num_procs;
+  // Everything dilates: replicas time-share each node's compute *and* the
+  // per-node NIC carries r-fold traffic.
+  p.redundant_time = config.app.base_time * r;
+
+  const double log_rel = log_system_reliability(
+      config.app.num_procs, r, p.redundant_time, config.machine.node_mtbf,
+      config.failure_model);
+  p.reliability = std::exp(log_rel);
+  if (!std::isfinite(log_rel)) {
+    p.failure_rate = std::numeric_limits<double>::infinity();
+    p.system_mtbf = 0.0;
+    p.total_time = std::numeric_limits<double>::infinity();
+    return p;
+  }
+  p.failure_rate = -log_rel / p.redundant_time;
+  p.system_mtbf = p.failure_rate == 0.0
+                      ? std::numeric_limits<double>::infinity()
+                      : 1.0 / p.failure_rate;
+  p.interval = config.fixed_interval.value_or(
+      config.use_young_interval
+          ? young_interval(config.machine.checkpoint_cost, p.system_mtbf)
+          : daly_interval(config.machine.checkpoint_cost, p.system_mtbf));
+  p.lost_work = expected_lost_work(p.interval, config.machine.checkpoint_cost,
+                                   p.system_mtbf);
+  p.restart_rework =
+      restart_rework_time(config.machine.restart_cost, p.lost_work,
+                          p.system_mtbf, config.restart_model);
+  p.total_time = total_time(p.redundant_time, config.machine.checkpoint_cost,
+                            p.interval, p.failure_rate, p.restart_rework);
+  p.expected_checkpoints = p.redundant_time / p.interval;
+  p.expected_failures = std::isfinite(p.total_time)
+                            ? p.total_time * p.failure_rate
+                            : std::numeric_limits<double>::infinity();
+  return p;
+}
+
+IntervalOptimum optimal_interval_search(const CombinedConfig& config,
+                                        double r) {
+  IntervalOptimum result;
+  const Prediction daly = predict(config, r);
+  result.daly_interval = daly.interval;
+  result.daly_total_time = daly.total_time;
+
+  CombinedConfig probe = config;
+  auto time_at = [&](double delta) {
+    probe.fixed_interval = delta;
+    return predict(probe, r).total_time;
+  };
+
+  // T(δ) is not globally unimodal: past the λ·t_RR = 1 pole (Eq. 14) it is
+  // an infinite plateau, which defeats plain golden-section. Scan a log
+  // grid first, then refine between the best point's neighbours.
+  const double lo_bound = std::max(config.machine.checkpoint_cost / 10.0, 1e-3);
+  const double hi_bound =
+      std::isfinite(daly.system_mtbf)
+          ? std::max(daly.system_mtbf * 20.0, daly.interval * 4.0)
+          : daly.interval * 4.0;
+  constexpr int kGrid = 256;
+  const double log_lo = std::log(lo_bound);
+  const double log_hi = std::log(hi_bound);
+  double best_delta = daly.interval;
+  double best_time = daly.total_time;
+  int best_index = -1;
+  for (int i = 0; i <= kGrid; ++i) {
+    const double delta =
+        std::exp(log_lo + (log_hi - log_lo) * i / static_cast<double>(kGrid));
+    const double t = time_at(delta);
+    if (t < best_time) {
+      best_time = t;
+      best_delta = delta;
+      best_index = i;
+    }
+  }
+  // Golden-section between the neighbours of the winning grid point (the
+  // function is unimodal on the finite side of the pole).
+  double lo = best_index > 0 ? std::exp(log_lo + (log_hi - log_lo) *
+                                                     (best_index - 1) / kGrid)
+                             : best_delta / 1.5;
+  double hi = best_index >= 0 && best_index < kGrid
+                  ? std::exp(log_lo + (log_hi - log_lo) * (best_index + 1) /
+                                          kGrid)
+                  : best_delta * 1.5;
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = hi - kInvPhi * (hi - lo);
+  double b = lo + kInvPhi * (hi - lo);
+  double fa = time_at(a);
+  double fb = time_at(b);
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-5 * hi; ++iter) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - kInvPhi * (hi - lo);
+      fa = time_at(a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + kInvPhi * (hi - lo);
+      fb = time_at(b);
+    }
+  }
+  const double refined = (lo + hi) / 2.0;
+  if (time_at(refined) < best_time) {
+    best_delta = refined;
+    best_time = time_at(refined);
+  }
+  result.best_interval = best_delta;
+  result.best_total_time = best_time;
+  result.daly_penalty =
+      std::isfinite(result.best_total_time) && result.best_total_time > 0.0
+          ? result.daly_total_time / result.best_total_time - 1.0
+          : 0.0;
+  return result;
+}
+
+namespace {
+
+/// Central-difference log-log derivative of T_total along one parameter.
+template <typename Setter>
+double elasticity(const CombinedConfig& config, double r, double base_value,
+                  Setter set) {
+  constexpr double kStep = 0.05;
+  CombinedConfig up = config;
+  set(up, base_value * (1.0 + kStep));
+  CombinedConfig down = config;
+  set(down, base_value * (1.0 - kStep));
+  const double t_up = predict(up, r).total_time;
+  const double t_down = predict(down, r).total_time;
+  if (!std::isfinite(t_up) || !std::isfinite(t_down)) return 0.0;
+  return (std::log(t_up) - std::log(t_down)) /
+         (std::log1p(kStep) - std::log1p(-kStep));
+}
+
+}  // namespace
+
+Sensitivity sensitivity_at(const CombinedConfig& config, double r) {
+  Sensitivity s;
+  s.wrt_node_mtbf =
+      elasticity(config, r, config.machine.node_mtbf,
+                 [](CombinedConfig& c, double v) { c.machine.node_mtbf = v; });
+  s.wrt_checkpoint_cost = elasticity(
+      config, r, config.machine.checkpoint_cost,
+      [](CombinedConfig& c, double v) { c.machine.checkpoint_cost = v; });
+  s.wrt_restart_cost = elasticity(
+      config, r, config.machine.restart_cost,
+      [](CombinedConfig& c, double v) { c.machine.restart_cost = v; });
+  s.wrt_comm_fraction = elasticity(
+      config, r, config.app.comm_fraction,
+      [](CombinedConfig& c, double v) { c.app.comm_fraction = v; });
+  s.wrt_num_procs =
+      elasticity(config, r, static_cast<double>(config.app.num_procs),
+                 [](CombinedConfig& c, double v) {
+                   c.app.num_procs = static_cast<std::size_t>(v);
+                 });
+  return s;
+}
+
+}  // namespace redcr::model

@@ -1,0 +1,58 @@
+// Model extensions beyond the paper's core equations:
+//
+//  - predict_same_nodes: the Ferreira-et-al. execution assumption the paper
+//    contrasts itself against in Section 7 — replicas double up on the SAME
+//    node count instead of occupying extra nodes, so computation (not just
+//    communication) dilates by r. Lets a user quantify the paper's claim
+//    that its extra-nodes assumption "is more realistic".
+//
+//  - optimal_interval_search: direct numerical minimization of Eq. 14 over
+//    the checkpoint interval δ, independent of Daly's closed form (Eq. 15).
+//    The paper takes Daly's δ_opt on faith ("instead of deriving our own");
+//    this search quantifies how close Daly's formula lands to the true
+//    minimizer of the combined model.
+//
+//  - sensitivity: elasticities of T_total with respect to each input
+//    parameter at a configuration — which knob matters most.
+#pragma once
+
+#include "model/combined.hpp"
+
+namespace redcr::model {
+
+/// Evaluates the combined model under the same-node-count assumption:
+/// r replicas share each node's compute, so t_Red = r·t (both compute and
+/// communication dilate), while the node count — and therefore the machine
+/// cost — stays N. Reliability still follows Eq. 9 over the dilated time
+/// (each replica runs on its own *socket share*; replica deaths remain
+/// independent to first order).
+[[nodiscard]] Prediction predict_same_nodes(const CombinedConfig& config,
+                                            double r);
+
+/// Result of a direct δ search at a fixed redundancy degree.
+struct IntervalOptimum {
+  double best_interval = 0.0;   ///< argmin_δ of Eq. 14
+  double best_total_time = 0.0;
+  double daly_interval = 0.0;   ///< Eq. 15's closed form
+  double daly_total_time = 0.0; ///< Eq. 14 at Daly's δ
+  /// Relative excess of Daly's total time over the optimum (≥ 0).
+  double daly_penalty = 0.0;
+};
+
+/// Golden-section search of Eq. 14 over δ ∈ [c/10, Θ·20] at degree r.
+[[nodiscard]] IntervalOptimum optimal_interval_search(
+    const CombinedConfig& config, double r);
+
+/// d ln(T_total) / d ln(parameter), central differences at ±5%.
+struct Sensitivity {
+  double wrt_node_mtbf = 0.0;
+  double wrt_checkpoint_cost = 0.0;
+  double wrt_restart_cost = 0.0;
+  double wrt_comm_fraction = 0.0;
+  double wrt_num_procs = 0.0;
+};
+
+[[nodiscard]] Sensitivity sensitivity_at(const CombinedConfig& config,
+                                         double r);
+
+}  // namespace redcr::model

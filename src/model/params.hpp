@@ -1,0 +1,58 @@
+// Parameter sets for the analytic model (Section 4 of the paper).
+//
+// Symbols follow the paper:
+//   N — number of virtual processes,  r — redundancy degree,
+//   t — failure-free base execution time,  α — communication fraction,
+//   θ — per-node MTBF,  c — checkpoint cost,  R — restart cost.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace redcr::model {
+
+/// Hardware/infrastructure parameters of the machine the job runs on.
+struct MachineParams {
+  /// θ: mean time between failures of a single node, seconds. A "node" is
+  /// the paper's unit of independent failure (socket-equivalent).
+  util::Seconds node_mtbf = util::years(5);
+  /// c: wallclock overhead of taking one coordinated checkpoint, seconds.
+  util::Seconds checkpoint_cost = util::seconds(600);
+  /// R: maximum time for a restart phase (read images, relaunch, coordinate).
+  util::Seconds restart_cost = util::seconds(600);
+};
+
+/// Parameters of the application job.
+struct AppParams {
+  /// t: failure-free, redundancy-free execution time, seconds.
+  util::Seconds base_time = util::hours(128);
+  /// α: fraction of t spent communicating (0 ≤ α ≤ 1). Only this fraction
+  /// dilates under redundancy (Eq. 1).
+  double comm_fraction = 0.2;
+  /// N: number of virtual processes (each assigned to its own node).
+  std::size_t num_procs = 10000;
+};
+
+/// How the per-node failure probability over an interval t is computed.
+enum class NodeFailureModel {
+  /// Pr = t/θ — the paper's first-order Taylor form (Eq. 3). Invalid when
+  /// t approaches θ; we clamp to [0,1] and the exact model is available as
+  /// an ablation.
+  kLinearized,
+  /// Pr = 1 - e^{-t/θ} — the exact exponential CDF (Eq. 2).
+  kExactExponential,
+};
+
+/// How t_RR (Eq. 13) treats the expected-failure-time integral.
+enum class RestartModel {
+  /// Exactly as published: the truncated-expectation integral is further
+  /// multiplied by Pr(failure before R + t_lw).
+  kAsPublished,
+  /// Mathematically consistent variant: the integral is the *conditional*
+  /// expectation (divided by that probability). Kept as an ablation;
+  /// differences are small in the paper's parameter regime.
+  kConditional,
+};
+
+}  // namespace redcr::model

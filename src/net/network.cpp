@@ -1,0 +1,38 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redcr::net {
+
+Network::Network(sim::Engine& engine, std::size_t num_nodes,
+                 NetworkParams params)
+    : engine_(engine), params_(params), egress_free_(num_nodes, 0.0) {
+  assert(num_nodes > 0);
+  assert(params_.latency >= 0.0);
+  assert(params_.bandwidth > 0.0);
+}
+
+sim::Time Network::delivery_time(NodeId src, NodeId dst, util::Bytes size) {
+  assert(src < egress_free_.size());
+  assert(dst < egress_free_.size());
+  assert(size >= 0.0);
+  (void)dst;  // destination-side contention is folded into latency
+  const sim::Time now = engine_.now();
+  const double transmission = size / params_.bandwidth;
+
+  ++stats_.messages;
+  stats_.bytes += size;
+
+  if (!params_.model_contention) {
+    return now + params_.send_overhead + transmission + params_.latency;
+  }
+
+  const sim::Time inject_start =
+      std::max(now + params_.send_overhead, egress_free_[src]);
+  stats_.contention_wait += inject_start - (now + params_.send_overhead);
+  egress_free_[src] = inject_start + transmission;
+  return egress_free_[src] + params_.latency;
+}
+
+}  // namespace redcr::net

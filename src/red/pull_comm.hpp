@@ -1,0 +1,125 @@
+// PullComm: VolpexMPI-style pull-model replication (paper Section 2:
+// "communication follows the pull model; the sending processes buffer data
+// objects locally and receiving processes contact one of the replicas of
+// the sending process to get the data object").
+//
+// Contrast with RedComm's push model:
+//   - a send buffers locally and completes immediately — zero network cost
+//     at send time, regardless of the destination's degree;
+//   - a receive sends a small REQUEST to *one* live replica of the sender
+//     sphere and gets back a single full copy, so total payload traffic is
+//     r_dst-proportional instead of r_src·r_dst-proportional;
+//   - the price: one request/response round trip of latency per message,
+//     and no copy comparison — pull mode targets availability (volunteer
+//     nodes), not silent-data-corruption detection.
+//
+// Failover: if the contacted replica dies before answering (its pending
+// response is aborted via live failure semantics), the receiver reissues
+// the request to the next live replica.
+//
+// Streams: messages from virtual sender S to virtual destination D with tag
+// t form one sequence; every replica of D consumes the same sequence
+// (seq = count of receives it has issued on (S, t)), and every replica of S
+// buffers the same sequence, so any replica can serve any request.
+//
+// Limitations: MPI_ANY_SOURCE is not supported (a puller must know whom to
+// ask — VolpexMPI shares this restriction in spirit); buffered payloads are
+// retained for the episode (no garbage collection — simulation memory is
+// bounded by tests'/benches' run lengths).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "red/replica_map.hpp"
+#include "red/red_comm.hpp"  // for Liveness
+#include "simmpi/comm.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::red {
+
+struct PullStats {
+  std::uint64_t sends_buffered = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_served = 0;
+  std::uint64_t failovers = 0;  ///< requests reissued after a replica death
+};
+
+class PullComm final : public simmpi::Comm {
+ public:
+  PullComm(simmpi::World& world, const ReplicaMap& map, Rank physical_rank);
+
+  [[nodiscard]] Rank rank() const noexcept override { return virtual_rank_; }
+  [[nodiscard]] int size() const noexcept override {
+    return static_cast<int>(map_->num_virtual());
+  }
+  [[nodiscard]] sim::Engine& engine() const noexcept override {
+    return endpoint_->engine();
+  }
+
+  /// Buffers the payload locally; completes immediately.
+  simmpi::Request isend(Rank dst, int tag, simmpi::Payload payload) override;
+
+  /// Requests the next message of stream (src, tag) from one live replica
+  /// of the sender sphere. kAnySource is not supported.
+  simmpi::Request irecv(Rank src, int tag) override;
+
+  [[nodiscard]] const PullStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Rank physical_rank() const noexcept {
+    return endpoint_->rank();
+  }
+
+  void set_liveness(const Liveness* liveness) { liveness_ = liveness; }
+
+ private:
+  /// Control tags (outside the collective band, below the quiesce band).
+  static constexpr int kRequestTag = 3 << 28;
+  static constexpr int kDataTagOffset = (3 << 28) + (1 << 27);
+
+  struct StreamKey {
+    Rank dst_virtual;  // or src_virtual on the receive side
+    int tag;
+    friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+  };
+
+  struct PendingRequest {
+    Rank requester_physical;
+    std::uint64_t seq;
+  };
+
+  /// Background server: answers pull requests against the local buffer.
+  sim::Task responder_loop();
+
+  /// Client side: issue the request for (src, tag, seq) and complete
+  /// `parent` with the response, failing over across replicas.
+  sim::Task drive_pull(Rank src_virtual, int tag, std::uint64_t seq,
+                       simmpi::Request parent);
+
+  /// Serves buffered message `seq` of stream (dst_virtual, tag) to the
+  /// requester if available; otherwise queues the request.
+  void serve_or_queue(Rank dst_virtual, int tag, std::uint64_t seq,
+                      Rank requester);
+
+  [[nodiscard]] bool dead(Rank physical) const {
+    return liveness_ != nullptr && liveness_->is_dead(physical);
+  }
+
+  simmpi::World* world_;
+  const ReplicaMap* map_;
+  simmpi::Endpoint* endpoint_;
+  Rank virtual_rank_;
+  unsigned replica_index_;
+  const Liveness* liveness_ = nullptr;
+  PullStats stats_;
+
+  /// Sender side: all payloads produced per stream, indexed by seq.
+  std::map<StreamKey, std::vector<simmpi::Payload>> out_buffers_;
+  /// Requests for payloads not yet produced, per stream.
+  std::map<StreamKey, std::deque<PendingRequest>> waiting_requests_;
+  /// Receiver side: next seq to consume per stream.
+  std::map<StreamKey, std::uint64_t> recv_cursor_;
+};
+
+}  // namespace redcr::red

@@ -1,0 +1,292 @@
+#include "red/red_comm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace redcr::red {
+
+using simmpi::kAnySource;
+using simmpi::Message;
+using simmpi::Payload;
+using simmpi::Request;
+
+namespace {
+
+/// Encodes a content hash as an 8-byte data payload (the "hash message" of
+/// msg-plus-hash mode).
+Payload hash_payload(std::uint64_t hash) {
+  return Payload::of({std::bit_cast<double>(hash)});
+}
+
+std::uint64_t decode_hash(const Payload& payload) {
+  assert(payload.has_data() && payload.values().size() == 1);
+  return std::bit_cast<std::uint64_t>(payload.values()[0]);
+}
+
+}  // namespace
+
+RedComm::RedComm(simmpi::World& world, const ReplicaMap& map,
+                 Rank physical_rank, const RedConfig& config)
+    : world_(&world),
+      map_(&map),
+      config_(&config),
+      endpoint_(&world.endpoint(physical_rank)),
+      virtual_rank_(map.virtual_of(physical_rank)),
+      replica_index_(map.replica_index(physical_rank)) {
+  if (world.size() != static_cast<int>(map.num_physical()))
+    throw std::invalid_argument(
+        "RedComm: physical world size must match the replica map");
+}
+
+Request RedComm::isend(Rank dst, int tag, Payload payload) {
+  if (dst < 0 || dst >= size())
+    throw std::out_of_range("RedComm::isend: virtual rank out of range");
+  if (corruption_hook_) payload = corruption_hook_(std::move(payload));
+
+  auto parent = std::make_shared<simmpi::RequestState>();
+  // A dead process sends nothing (live failure semantics); completing the
+  // request keeps its (doomed) coroutine from wedging mid-send.
+  if (dead(endpoint_->rank())) {
+    parent->aborted = true;
+    complete_request(*parent, engine());
+    return parent;
+  }
+
+  const auto dst_replicas = map_->replicas(dst);
+
+  // The full/hash pairing is computed over the *live* replica sets so a
+  // msg-plus-hash receiver whose designated full-sender died still gets a
+  // full copy from a surviving one.
+  std::vector<Rank> live_dst;
+  for (const Rank q : dst_replicas)
+    if (!dead(q)) live_dst.push_back(q);
+  if (live_dst.empty()) {
+    // Destination sphere is gone; the job is about to fail anyway.
+    parent->aborted = true;
+    complete_request(*parent, engine());
+    return parent;
+  }
+  unsigned my_live_index = 0, my_live_degree = 0;
+  for (const Rank q : map_->replicas(virtual_rank_)) {
+    if (dead(q)) continue;
+    if (q == endpoint_->rank()) my_live_index = my_live_degree;
+    ++my_live_degree;
+  }
+
+  auto remaining = std::make_shared<std::size_t>(live_dst.size());
+  for (unsigned j = 0; j < live_dst.size(); ++j) {
+    Request sub;
+    if (sends_full(my_live_index, j, my_live_degree, config_->mode)) {
+      sub = endpoint_->isend(live_dst[j], tag, payload);
+    } else {
+      sub = endpoint_->isend(live_dst[j], kHashTagOffset + tag,
+                             hash_payload(payload.hash()));
+    }
+    simmpi::attach_completion(sub, [this, remaining, parent] {
+      if (--*remaining == 0) complete_request(*parent, engine());
+    });
+  }
+  return parent;
+}
+
+Request RedComm::irecv(Rank src, int tag) {
+  auto parent = std::make_shared<simmpi::RequestState>();
+  if (src == kAnySource) {
+    // Paper Section 3: wildcard receives need the three-step envelope
+    // protocol so all replicas of this sphere agree on the virtual sender.
+    engine().spawn(drive_wildcard(tag, parent));
+    return parent;
+  }
+  if (src < 0 || src >= size())
+    throw std::out_of_range("RedComm::irecv: virtual rank out of range");
+  post_copy_set(src, tag, parent);
+  return parent;
+}
+
+void RedComm::post_copy_set(Rank src_virtual, int tag, Request parent) {
+  // Only expect copies from replicas that are still alive; the pairing of
+  // full vs hash copies is over the live set, mirroring isend.
+  std::vector<Rank> live_src;
+  for (const Rank q : map_->replicas(src_virtual))
+    if (!dead(q)) live_src.push_back(q);
+  if (live_src.empty()) {
+    parent->aborted = true;
+    complete_request(*parent, engine());
+    return;
+  }
+  const auto src_degree = static_cast<unsigned>(live_src.size());
+
+  // My pairing slot is my position among my sphere's live replicas — the
+  // same view the senders use when choosing full vs hash targets.
+  unsigned my_live_index = 0, live_seen = 0;
+  for (const Rank q : map_->replicas(virtual_rank_)) {
+    if (dead(q)) continue;
+    if (q == endpoint_->rank()) my_live_index = live_seen;
+    ++live_seen;
+  }
+
+  std::vector<Request> subs;
+  subs.reserve(src_degree);
+  for (unsigned i = 0; i < src_degree; ++i) {
+    const bool full = sends_full(i, my_live_index, src_degree, config_->mode);
+    subs.push_back(endpoint_->irecv(live_src[i],
+                                    full ? tag : kHashTagOffset + tag));
+  }
+
+  auto shared_subs = std::make_shared<std::vector<Request>>(std::move(subs));
+  auto remaining = std::make_shared<std::size_t>(shared_subs->size());
+  for (auto& sub : *shared_subs) {
+    simmpi::attach_completion(
+        sub, [this, remaining, shared_subs, src_virtual, tag, parent] {
+          if (--*remaining == 0)
+            finish_copy_set(*shared_subs, src_virtual, tag, parent);
+        });
+  }
+}
+
+sim::Task RedComm::drive_wildcard(int tag, Request parent) {
+  const auto my_replicas = map_->replicas(virtual_rank_);
+  // Under live semantics the sphere leader is the first *live* replica (a
+  // leader death between instances fails over; a death mid-instance is a
+  // documented window).
+  Rank leader = my_replicas[0];
+  for (const Rank q : my_replicas) {
+    if (!dead(q)) {
+      leader = q;
+      break;
+    }
+  }
+
+  Rank src_virtual;
+  std::vector<Message> copies;
+  if (endpoint_->rank() == leader) {
+    // Serialize wildcard instances per tag: until the previous instance has
+    // posted its remaining-copy receives, our ANY_SOURCE receive could
+    // steal the *duplicate* copy of the previous instance's message (every
+    // sender replica posts a full copy under the application tag).
+    auto my_turn_done = std::make_shared<sim::OneShotEvent>();
+    auto previous_turn = std::exchange(wildcard_turn_[tag], my_turn_done);
+    if (previous_turn) co_await previous_turn->wait();
+
+    // Step 1: only the sphere leader posts the physical wildcard receive.
+    // Hash copies travel in the private tag band, so in msg-plus-hash mode
+    // this can only match a full-payload copy.
+    Message first = co_await wait(endpoint_->irecv(kAnySource, tag));
+    src_virtual = map_->virtual_of(first.envelope.source);
+    // Step 2: forward the envelope (the winning virtual sender) to the
+    // live siblings.
+    for (const Rank sibling : my_replicas) {
+      if (sibling == endpoint_->rank() || dead(sibling)) continue;
+      endpoint_->isend(sibling, kEnvelopeTagOffset + tag,
+                       Payload::of({static_cast<double>(src_virtual)}));
+    }
+    // Step 3 (leader side): post receives for the remaining copies of this
+    // message, then release the next wildcard instance — the specific
+    // receives are now ahead of its ANY_SOURCE receive in the posting
+    // order, so duplicates can no longer be stolen.
+    const Rank first_source = first.envelope.source;
+    copies.push_back(std::move(first));
+    std::vector<Rank> live_src;
+    unsigned my_pos = 0;  // the leader receives the pairing slot of its
+                          // live index within its own sphere (0 by choice)
+    for (const Rank q : map_->replicas(src_virtual))
+      if (!dead(q)) live_src.push_back(q);
+    const auto src_degree = static_cast<unsigned>(live_src.size());
+    std::vector<Request> subs;
+    for (unsigned i = 0; i < src_degree; ++i) {
+      if (live_src[i] == first_source) continue;
+      const bool full = sends_full(i, my_pos, src_degree, config_->mode);
+      subs.push_back(endpoint_->irecv(live_src[i],
+                                      full ? tag : kHashTagOffset + tag));
+    }
+    my_turn_done->trigger(engine());
+    for (auto& sub : subs) {
+      Message copy = co_await wait(sub);
+      if (!sub->aborted) copies.push_back(std::move(copy));
+    }
+    finalize(src_virtual, tag, std::move(copies), parent);
+  } else {
+    // Step 3 (sibling side): learn the envelope from the leader, then post
+    // specific receives exactly like a non-wildcard receive.
+    Message envelope = co_await wait(
+        endpoint_->irecv(leader, kEnvelopeTagOffset + tag));
+    src_virtual = static_cast<Rank>(envelope.payload.values()[0]);
+    post_copy_set(src_virtual, tag, parent);
+  }
+}
+
+void RedComm::finish_copy_set(const std::vector<Request>& subs,
+                              Rank src_virtual, int tag, Request parent) {
+  std::vector<Message> copies;
+  copies.reserve(subs.size());
+  for (const auto& sub : subs) {
+    assert(sub->complete);
+    if (sub->aborted) continue;  // peer died before sending this copy
+    copies.push_back(sub->message);
+  }
+  if (copies.empty()) {
+    // Every copy aborted: the sender sphere died mid-exchange. The job is
+    // failing; complete the parent as aborted so nothing blocks teardown.
+    parent->aborted = true;
+    complete_request(*parent, engine());
+    return;
+  }
+  finalize(src_virtual, tag, std::move(copies), parent);
+}
+
+void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
+                       Request parent) {
+  assert(!copies.empty());
+  // Partition into full copies and hash-only copies by tag band.
+  std::vector<const Message*> fulls;
+  std::vector<std::uint64_t> hashes;
+  for (const Message& copy : copies) {
+    if (copy.envelope.tag >= kHashTagOffset &&
+        copy.envelope.tag < kEnvelopeTagOffset) {
+      hashes.push_back(decode_hash(copy.payload));
+    } else {
+      fulls.push_back(&copy);
+      hashes.push_back(copy.payload.hash());
+    }
+  }
+  assert(!fulls.empty() && "every copy-set carries at least one full copy");
+
+  const Message* chosen = fulls.front();
+  if (config_->vote && hashes.size() > 1) {
+    ++stats_.messages_compared;
+    std::map<std::uint64_t, unsigned> counts;
+    for (const std::uint64_t h : hashes) ++counts[h];
+    if (counts.size() > 1) {
+      ++stats_.mismatches_detected;
+      // Majority vote: adopt a full copy carrying the majority content, if
+      // both a strict majority and such a copy exist (paper: triple
+      // redundancy can vote out the corrupt message).
+      const auto majority = std::max_element(
+          counts.begin(), counts.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      if (majority->second * 2 > hashes.size()) {
+        const auto it = std::find_if(
+            fulls.begin(), fulls.end(), [&](const Message* m) {
+              return m->payload.hash() == majority->first;
+            });
+        if (it != fulls.end()) {
+          chosen = *it;
+          ++stats_.mismatches_corrected;
+        }
+      }
+    }
+  }
+
+  parent->message.envelope =
+      simmpi::Envelope{src_virtual, virtual_rank_, tag};
+  parent->message.payload = chosen->payload;
+  parent->message.seq = chosen->seq;
+  complete_request(*parent, engine());
+}
+
+}  // namespace redcr::red

@@ -1,0 +1,162 @@
+// RedComm: the RedMPI-like redundancy interposition layer (paper Section 3).
+//
+// One RedComm instance exists per *physical* process; it presents the
+// *virtual* world to the application (rank() is the virtual rank, size() the
+// virtual world size) and translates every point-to-point call into the
+// replica fan-out the paper describes:
+//
+//   send(dst, ...)  -> one physical send to every live replica of dst's
+//                      sphere (all-to-all mode), or one full message to the
+//                      paired replica plus hashes to the rest
+//                      (msg-plus-hash mode);
+//   recv(src, ...)  -> one physical receive from every replica of src's
+//                      sphere; the request completes when all copies have
+//                      arrived, the copies are compared (voting), and one
+//                      payload is surfaced to the application.
+//
+// Wildcard receives (kAnySource) follow the paper's three-step protocol:
+// the sphere's replica 0 posts the physical wildcard receive, determines the
+// winning sender sphere, forwards the envelope to its sibling replicas, and
+// everyone then posts specific receives for the remaining copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "red/replica_map.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::red {
+
+/// Replication protocol mode (paper Section 2, RedMPI description).
+enum class Mode {
+  kAllToAll,     ///< every sender replica sends the full message to every
+                 ///< receiver replica
+  kMsgPlusHash,  ///< full message from the paired replica, 8-byte hashes
+                 ///< from the others
+};
+
+struct RedConfig {
+  Mode mode = Mode::kAllToAll;
+  /// Compare replica copies on receive; mismatches are counted and, with
+  /// three or more copies, outvoted.
+  bool vote = true;
+};
+
+/// Liveness oracle consulted under live failure semantics (rMPI-style
+/// degradation: survivors stop exchanging with dead replicas). Absent
+/// (nullptr), the layer runs in the paper's bookkeeping mode — every
+/// replica is treated as alive and the injector only watches for
+/// whole-sphere deaths.
+class Liveness {
+ public:
+  virtual ~Liveness() = default;
+  [[nodiscard]] virtual bool is_dead(Rank physical) const = 0;
+};
+
+/// Counters for replica-divergence detection (SDC voting).
+struct RedStats {
+  std::uint64_t messages_compared = 0;
+  std::uint64_t mismatches_detected = 0;
+  std::uint64_t mismatches_corrected = 0;  ///< majority vote succeeded
+};
+
+class RedComm final : public simmpi::Comm {
+ public:
+  /// Binds the interposition layer of physical rank `physical_rank` to the
+  /// physical world. `map` and `config` must outlive the RedComm.
+  RedComm(simmpi::World& world, const ReplicaMap& map, Rank physical_rank,
+          const RedConfig& config);
+
+  /// Virtual rank presented to the application.
+  [[nodiscard]] Rank rank() const noexcept override { return virtual_rank_; }
+  /// Virtual world size presented to the application.
+  [[nodiscard]] int size() const noexcept override {
+    return static_cast<int>(map_->num_virtual());
+  }
+  [[nodiscard]] sim::Engine& engine() const noexcept override {
+    return endpoint_->engine();
+  }
+
+  simmpi::Request isend(Rank dst, int tag, simmpi::Payload payload) override;
+  simmpi::Request irecv(Rank src, int tag) override;
+
+  [[nodiscard]] const RedStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned replica_index() const noexcept {
+    return replica_index_;
+  }
+  [[nodiscard]] Rank physical_rank() const noexcept {
+    return endpoint_->rank();
+  }
+  [[nodiscard]] const ReplicaMap& map() const noexcept { return *map_; }
+
+  /// Test hook simulating silent data corruption: applied to every payload
+  /// this physical process sends.
+  void set_corruption_hook(std::function<simmpi::Payload(simmpi::Payload)> f) {
+    corruption_hook_ = std::move(f);
+  }
+
+  /// Enables live failure semantics against the given oracle (must outlive
+  /// this RedComm). Limitations: a wildcard receive whose sphere leader
+  /// dies *mid-instance* is not failed over (real RedMPI shares this
+  /// window); combined with coordinated checkpointing a dead rank cannot
+  /// join the collective quiesce — use bookkeeping mode there, as the
+  /// paper's experiments do.
+  void set_liveness(const Liveness* liveness) { liveness_ = liveness; }
+
+ private:
+  /// Tag offsets for the control plane (hash copies, envelope forwarding).
+  /// Application and collective tags are < 2^28, so these bands are private.
+  static constexpr int kHashTagOffset = 1 << 28;
+  static constexpr int kEnvelopeTagOffset = 1 << 29;
+
+  /// True if sender replica `sender_idx` sends the full message (rather
+  /// than a hash) to receiver replica `receiver_idx`: the pairing is
+  /// receiver_idx mod sender_degree.
+  static bool sends_full(unsigned sender_idx, unsigned receiver_idx,
+                         unsigned sender_degree, Mode mode) noexcept {
+    if (mode == Mode::kAllToAll) return true;
+    return sender_idx == receiver_idx % sender_degree;
+  }
+
+  /// Posts the physical receives for one copy-set from sphere `src_virtual`
+  /// and wires them to complete `parent` after comparison/voting.
+  void post_copy_set(Rank src_virtual, int tag, simmpi::Request parent);
+
+  /// Driver for the wildcard three-step protocol (runs as a spawned task).
+  sim::Task drive_wildcard(int tag, simmpi::Request parent);
+
+  /// Compares/votes the collected copies and surfaces the result.
+  void finish_copy_set(const std::vector<simmpi::Request>& subs,
+                       Rank src_virtual, int tag, simmpi::Request parent);
+
+  /// Votes over the copies (full payloads + hash copies), fills the parent's
+  /// message with the chosen payload under the *virtual* envelope, and
+  /// completes it.
+  void finalize(Rank src_virtual, int tag, std::vector<simmpi::Message> copies,
+                simmpi::Request parent);
+
+  simmpi::World* world_;
+  const ReplicaMap* map_;
+  const RedConfig* config_;
+  simmpi::Endpoint* endpoint_;
+  Rank virtual_rank_;
+  unsigned replica_index_;
+  RedStats stats_;
+  std::function<simmpi::Payload(simmpi::Payload)> corruption_hook_;
+  const Liveness* liveness_ = nullptr;
+
+  [[nodiscard]] bool dead(Rank physical) const {
+    return liveness_ != nullptr && liveness_->is_dead(physical);
+  }
+  /// Per-tag serialization of the leader's wildcard protocol: the physical
+  /// ANY_SOURCE receive of instance k+1 may only be posted after instance k
+  /// has posted its remaining-copy receives — otherwise instance k+1 could
+  /// steal a duplicate copy of instance k's message (see drive_wildcard).
+  std::unordered_map<int, std::shared_ptr<sim::OneShotEvent>> wildcard_turn_;
+};
+
+}  // namespace redcr::red

@@ -1,0 +1,245 @@
+#include "runtime/executor.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "red/pull_comm.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::runtime {
+
+namespace {
+
+/// Episode-wide completion bookkeeping shared by the rank processes.
+/// Under live failure semantics a dead replica never finishes (it starves
+/// on its receives), so the episode completes when every rank has either
+/// finished or died.
+struct EpisodeShared {
+  std::vector<bool> finished;
+  sim::Time finish_time = 0.0;
+  bool completed = false;
+  const failure::SphereMonitor* monitor = nullptr;  // live mode only
+
+  explicit EpisodeShared(std::size_t total) : finished(total, false) {}
+
+  void check_completion(sim::Engine& engine) {
+    if (completed) return;
+    for (std::size_t p = 0; p < finished.size(); ++p) {
+      const bool dead =
+          monitor != nullptr && monitor->is_dead(static_cast<red::Rank>(p));
+      if (!finished[p] && !dead) return;
+    }
+    completed = true;
+    finish_time = engine.now();
+    engine.request_stop();
+  }
+};
+
+/// Top-level simulated process for one physical rank: runs the workload
+/// behind its RedComm, hooking the checkpoint controller at every boundary.
+sim::Task rank_main(sim::Engine& engine, apps::Workload& workload,
+                    simmpi::Comm& comm, simmpi::Endpoint& endpoint,
+                    ckpt::CheckpointController& controller,
+                    long start_iteration, EpisodeShared& shared) {
+  apps::BoundaryHook hook = [&controller, &endpoint](long iteration) {
+    return controller.maybe_checkpoint(endpoint, iteration);
+  };
+  co_await workload.run(comm, start_iteration, std::move(hook));
+  shared.finished[static_cast<std::size_t>(endpoint.rank())] = true;
+  shared.check_completion(engine);
+}
+
+}  // namespace
+
+JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
+    : config_(std::move(config)),
+      map_(config_.num_virtual, config_.redundancy) {
+  if (!factory) throw std::invalid_argument("JobExecutor: null factory");
+  if (config_.checkpoint_enabled && config_.checkpoint_interval <= 0.0)
+    throw std::invalid_argument(
+        "JobExecutor: checkpointing enabled but no interval given "
+        "(compute one with model::daly_interval)");
+  if (config_.live_failure_semantics && config_.checkpoint_enabled)
+    throw std::invalid_argument(
+        "JobExecutor: live failure semantics cannot join the collective "
+        "checkpoint quiesce (dead ranks cannot participate) — disable "
+        "checkpointing or use the paper's bookkeeping mode");
+  workloads_.reserve(map_.num_physical());
+  for (std::size_t p = 0; p < map_.num_physical(); ++p) {
+    const int virtual_rank = map_.virtual_of(static_cast<red::Rank>(p));
+    workloads_.push_back(
+        factory(virtual_rank, static_cast<int>(map_.num_virtual())));
+    if (!workloads_.back())
+      throw std::invalid_argument("JobExecutor: factory returned null");
+  }
+}
+
+JobExecutor::EpisodeResult JobExecutor::run_episode(
+    long start_iteration, std::uint64_t episode_index) {
+  sim::Engine engine;
+  net::Network network(engine, map_.num_physical(), config_.network);
+  simmpi::World world(engine, network,
+                      static_cast<int>(map_.num_physical()));
+  ckpt::StableStorage storage(engine, config_.storage);
+
+  ckpt::CkptConfig ckpt_config;
+  ckpt_config.interval =
+      config_.checkpoint_enabled ? config_.checkpoint_interval : 1.0;
+  ckpt_config.image_bytes = config_.image_bytes;
+  ckpt_config.use_counting_quiesce = config_.use_counting_quiesce;
+  ckpt_config.enabled = config_.checkpoint_enabled;
+  ckpt_config.incremental_fraction = config_.ckpt_incremental_fraction;
+  ckpt_config.forked = config_.ckpt_forked;
+  ckpt::CheckpointController controller(engine, storage, ckpt_config,
+                                        static_cast<int>(map_.num_physical()));
+
+  failure::SphereMonitor monitor(map_);
+  failure::FailureInjector injector(map_, config_.fail);
+
+  std::vector<std::unique_ptr<simmpi::Comm>> comms;
+  comms.reserve(map_.num_physical());
+  for (std::size_t p = 0; p < map_.num_physical(); ++p) {
+    if (config_.replication == Replication::kPush) {
+      auto comm = std::make_unique<red::RedComm>(
+          world, map_, static_cast<red::Rank>(p), config_.red);
+      if (config_.live_failure_semantics) comm->set_liveness(&monitor);
+      comms.push_back(std::move(comm));
+    } else {
+      auto comm = std::make_unique<red::PullComm>(
+          world, map_, static_cast<red::Rank>(p));
+      if (config_.live_failure_semantics) comm->set_liveness(&monitor);
+      comms.push_back(std::move(comm));
+    }
+  }
+
+  EpisodeShared shared(map_.num_physical());
+  if (config_.live_failure_semantics) shared.monitor = &monitor;
+
+  for (std::size_t p = 0; p < map_.num_physical(); ++p) {
+    engine.spawn(rank_main(engine, *workloads_[p], *comms[p],
+                           world.endpoint(static_cast<red::Rank>(p)),
+                           controller, start_iteration, shared));
+  }
+  controller.arm();
+
+  std::optional<failure::JobFailure> job_failure;
+  if (config_.inject_failures) {
+    std::function<void(red::Rank)> on_replica_death;
+    if (config_.live_failure_semantics) {
+      // Abort every pending receive from the corpse so survivors degrade
+      // instead of hanging, then re-check completion (the corpse may have
+      // been the last unfinished rank).
+      on_replica_death = [&world, &shared, &engine](red::Rank dead) {
+        for (int p = 0; p < world.size(); ++p)
+          world.endpoint(p).abort_posted_from(dead);
+        shared.check_completion(engine);
+      };
+    }
+    engine.spawn(injector.run(
+        engine, monitor, episode_index,
+        [&controller] { return controller.in_checkpoint(); },
+        [&job_failure, &engine](failure::JobFailure jf) {
+          job_failure = jf;
+          engine.request_stop();
+        },
+        std::move(on_replica_death)));
+  }
+
+  engine.run();
+
+  EpisodeResult result;
+  result.finished = shared.completed && !job_failure;
+  result.failure = job_failure;
+  if (!result.finished && !job_failure)
+    throw std::logic_error(
+        "JobExecutor: episode stalled — simulation deadlock");
+  result.elapsed = job_failure ? job_failure->time : shared.finish_time;
+  result.checkpoint_time = controller.total_checkpoint_time() +
+                           controller.in_progress_elapsed(result.elapsed);
+  result.snapshot = controller.snapshot();
+  result.checkpoints = controller.checkpoints_completed();
+  result.physical_failures = monitor.dead_processes();
+  result.messages = world.stats().messages_sent;
+  result.events = engine.events_processed();
+  result.contention_wait = network.stats().contention_wait;
+  for (const auto& comm : comms) {
+    if (const auto* push = dynamic_cast<const red::RedComm*>(comm.get())) {
+      result.mismatches_detected += push->stats().mismatches_detected;
+      result.mismatches_corrected += push->stats().mismatches_corrected;
+    }
+  }
+  return result;
+}
+
+JobReport JobExecutor::run() {
+  JobReport report;
+  report.num_physical = map_.num_physical();
+
+  long start_iteration = 0;
+  for (int episode = 0; episode < config_.max_episodes; ++episode) {
+    for (auto& workload : workloads_) workload->restore(start_iteration);
+    const EpisodeResult res =
+        run_episode(start_iteration, static_cast<std::uint64_t>(episode));
+
+    EpisodeTrace ep;
+    ep.index = episode;
+    ep.start_wallclock = report.wallclock;
+    ep.elapsed = res.elapsed;
+    ep.start_iteration = start_iteration;
+    ep.snapshot_iteration =
+        res.snapshot.valid ? res.snapshot.iteration : start_iteration;
+    ep.checkpoints = res.checkpoints;
+    ep.replica_deaths = static_cast<int>(res.physical_failures);
+    ep.end = res.finished ? EpisodeTrace::End::kCompleted
+             : res.failure ? EpisodeTrace::End::kSphereDeath
+                           : EpisodeTrace::End::kAbandoned;
+    if (res.failure) ep.dead_sphere = res.failure->sphere;
+    report.trace.push_back(ep);
+
+    ++report.episodes;
+    report.checkpoints += res.checkpoints;
+    report.physical_failures += static_cast<int>(res.physical_failures);
+    report.messages += res.messages;
+    report.engine_events += res.events;
+    report.network_contention_wait += res.contention_wait;
+    report.red_mismatches_detected += res.mismatches_detected;
+    report.red_mismatches_corrected += res.mismatches_corrected;
+
+    const double work_this_episode = res.elapsed - res.checkpoint_time;
+    report.checkpoint_time += res.checkpoint_time;
+
+    if (res.finished) {
+      // Every work second of the final episode survives into the result.
+      report.wallclock += res.elapsed;
+      report.useful_work += work_this_episode;
+      report.completed = true;
+      return report;
+    }
+
+    // Sphere death: pay the restart and resume from the last snapshot.
+    ++report.job_failures;
+    report.wallclock += res.elapsed + config_.restart_cost;
+    report.restart_time += config_.restart_cost;
+    double retained = 0.0;
+    if (res.snapshot.valid) {
+      retained = res.snapshot.work_elapsed;
+      start_iteration = res.snapshot.iteration;
+    }
+    // Without a snapshot this episode, everything it did is lost and the
+    // next episode restarts from the same iteration as this one did.
+    report.useful_work += retained;
+    report.rework_time += work_this_episode - retained;
+  }
+  return report;  // completed == false: gave up after max_episodes
+}
+
+JobReport JobExecutor::run_failure_free(JobConfig config,
+                                        WorkloadFactory factory) {
+  config.inject_failures = false;
+  config.checkpoint_enabled = false;
+  JobExecutor executor(std::move(config), std::move(factory));
+  return executor.run();
+}
+
+}  // namespace redcr::runtime

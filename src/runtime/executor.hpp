@@ -1,0 +1,146 @@
+// JobExecutor: runs a workload to completion under (partial) redundancy,
+// coordinated checkpointing and Poisson failure injection — the simulated
+// analogue of the paper's experimental campaign (Section 5).
+//
+// Execution is a sequence of *episodes*. Each episode builds a fresh
+// simulation world (the restart relaunches every process), spawns one
+// application process per *physical* rank behind a RedComm, arms the
+// checkpoint timer and the failure injector, and runs until either every
+// rank finishes the workload or a sphere (a virtual process with all
+// replicas dead) dies. A sphere death charges the restart cost R and the
+// next episode resumes from the last coordinated snapshot's iteration.
+//
+// Accounting invariant (tested): wallclock == useful_work + checkpoint_time
+// + rework_time + restart_time, where useful work is work retained by the
+// final state, and rework is work that was redone after failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "apps/workload.hpp"
+#include "ckpt/coordinator.hpp"
+#include "failure/injector.hpp"
+#include "net/network.hpp"
+#include "red/red_comm.hpp"
+#include "runtime/trace.hpp"
+
+namespace redcr::runtime {
+
+/// Which replication protocol carries the application's traffic.
+enum class Replication {
+  kPush,  ///< RedMPI-style: every sender replica pushes to every receiver
+          ///< replica (the paper's library; supports voting and wildcards)
+  kPull,  ///< VolpexMPI-style: receivers pull one copy from one live sender
+          ///< replica (availability-oriented; no voting, no wildcards)
+};
+
+struct JobConfig {
+  /// N: virtual processes.
+  std::size_t num_virtual = 128;
+  /// r: redundancy degree in [1, 8]; fractional values give partial
+  /// redundancy per the paper's partition (Eqs. 5-8).
+  double redundancy = 1.0;
+  Replication replication = Replication::kPush;
+  red::RedConfig red;
+  net::NetworkParams network;
+  ckpt::StorageParams storage;
+  /// Per-process checkpoint image size (drives the emergent cost c).
+  util::Bytes image_bytes = 256.0 * 1024 * 1024;
+  /// δ: checkpoint interval. Must be > 0 when checkpointing is enabled;
+  /// harnesses compute it from Daly's formula (Eq. 15).
+  double checkpoint_interval = 0.0;
+  bool checkpoint_enabled = true;
+  bool use_counting_quiesce = true;
+  /// Incremental checkpointing: fraction of the image written after each
+  /// episode's first full checkpoint (1.0 = always full, the paper's setup).
+  double ckpt_incremental_fraction = 1.0;
+  /// Forked checkpointing: image writes drain in the background.
+  bool ckpt_forked = false;
+  /// R: dead time charged per restart, seconds.
+  double restart_cost = 500.0;
+  failure::FailureParams fail;
+  bool inject_failures = true;
+  /// Live failure semantics (rMPI-style degradation): survivors stop
+  /// exchanging with dead replicas and dead replicas freeze, instead of the
+  /// paper's bookkeeping-only injection. Requires checkpoint_enabled ==
+  /// false (a frozen rank cannot join the collective quiesce); restart
+  /// after a sphere death then replays from iteration 0.
+  bool live_failure_semantics = false;
+  /// Safety valve: give up after this many episodes (reported as
+  /// !completed). A job whose MTBF is far below its checkpoint cost can
+  /// otherwise livelock, which is exactly Eq. 14's λ·t_RR ≥ 1 regime.
+  int max_episodes = 10000;
+};
+
+struct JobReport {
+  bool completed = false;
+  /// Total wallclock including all restarts, seconds.
+  double wallclock = 0.0;
+  double useful_work = 0.0;
+  double checkpoint_time = 0.0;
+  double rework_time = 0.0;
+  double restart_time = 0.0;
+  int episodes = 0;
+  int job_failures = 0;        ///< sphere deaths (= restarts)
+  int physical_failures = 0;   ///< replica deaths incl. harmless ones
+  int checkpoints = 0;
+  std::uint64_t messages = 0;  ///< physical messages injected
+  std::uint64_t engine_events = 0;
+  std::size_t num_physical = 0;
+  double network_contention_wait = 0.0;
+  std::uint64_t red_mismatches_detected = 0;
+  std::uint64_t red_mismatches_corrected = 0;
+  /// Per-episode timeline (render with runtime::render_trace).
+  std::vector<EpisodeTrace> trace;
+};
+
+/// Creates the per-physical-rank workload instance. Called once per physical
+/// rank before the first episode; instances persist across episodes (they
+/// carry the application's checkpointed state). Arguments: virtual rank,
+/// virtual world size.
+using WorkloadFactory =
+    std::function<std::unique_ptr<apps::Workload>(int virtual_rank,
+                                                  int num_virtual)>;
+
+class JobExecutor {
+ public:
+  JobExecutor(JobConfig config, WorkloadFactory factory);
+
+  /// Runs the job to completion (or max_episodes) and returns the report.
+  JobReport run();
+
+  /// Convenience: measures the failure-free, checkpoint-free execution time
+  /// (the paper's Table-5 quantity t_Red as observed).
+  static JobReport run_failure_free(JobConfig config, WorkloadFactory factory);
+
+  [[nodiscard]] const red::ReplicaMap& replica_map() const noexcept {
+    return map_;
+  }
+
+ private:
+  struct EpisodeResult {
+    bool finished = false;                       // workload ran to completion
+    sim::Time elapsed = 0.0;                     // episode wallclock
+    double checkpoint_time = 0.0;                // incl. partial at kill
+    ckpt::Snapshot snapshot;                     // last durable snapshot
+    std::optional<failure::JobFailure> failure;  // set when a sphere died
+    int checkpoints = 0;
+    std::size_t physical_failures = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t events = 0;
+    double contention_wait = 0.0;
+    std::uint64_t mismatches_detected = 0;
+    std::uint64_t mismatches_corrected = 0;
+  };
+
+  EpisodeResult run_episode(long start_iteration, std::uint64_t episode_index);
+
+  JobConfig config_;
+  red::ReplicaMap map_;
+  std::vector<std::unique_ptr<apps::Workload>> workloads_;  // per physical
+};
+
+}  // namespace redcr::runtime

@@ -1,0 +1,36 @@
+#include "runtime/trace.hpp"
+
+#include <cstdio>
+
+namespace redcr::runtime {
+
+std::string render_trace(const std::vector<EpisodeTrace>& trace) {
+  std::string out;
+  char line[160];
+  for (const EpisodeTrace& ep : trace) {
+    const char* outcome = "completed";
+    char death[48];
+    if (ep.end == EpisodeTrace::End::kSphereDeath) {
+      std::snprintf(death, sizeof death, "sphere %d died", ep.dead_sphere);
+      outcome = death;
+    } else if (ep.end == EpisodeTrace::End::kAbandoned) {
+      outcome = "abandoned";
+    }
+    char progress[40];
+    if (ep.end == EpisodeTrace::End::kCompleted) {
+      std::snprintf(progress, sizeof progress, "it %ld->done",
+                    ep.start_iteration);
+    } else {
+      std::snprintf(progress, sizeof progress, "it %ld->%ld",
+                    ep.start_iteration, ep.snapshot_iteration);
+    }
+    std::snprintf(line, sizeof line,
+                  "  #%-3d %9.1fs %+10.1fs  %-14s %2d ckpt  %2d deaths  %s\n",
+                  ep.index, ep.start_wallclock, ep.elapsed, progress,
+                  ep.checkpoints, ep.replica_deaths, outcome);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace redcr::runtime

@@ -1,0 +1,36 @@
+// Episode-level execution trace: what happened in each run attempt —
+// requested by operators who want to see *why* a job took as long as it
+// did, not just the final breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace redcr::runtime {
+
+struct EpisodeTrace {
+  int index = 0;
+  /// Wallclock offset of the episode's start within the job (includes all
+  /// previous episodes and restart costs).
+  util::Seconds start_wallclock = 0.0;
+  /// Simulated time this episode ran before completing or dying.
+  util::Seconds elapsed = 0.0;
+  enum class End { kCompleted, kSphereDeath, kAbandoned } end = End::kCompleted;
+  /// Virtual rank whose sphere died (End::kSphereDeath only).
+  int dead_sphere = -1;
+  /// Application iteration the episode started from.
+  long start_iteration = 0;
+  /// Iteration durably checkpointed by the episode's end (= restart point).
+  long snapshot_iteration = 0;
+  int checkpoints = 0;
+  int replica_deaths = 0;
+};
+
+/// Renders a compact per-episode timeline, e.g.
+///   #0      0.0s +312.4s  it 0->18    2 ckpt  3 deaths  sphere 5 died
+///   #1    812.4s +448.1s  it 18->done 4 ckpt  1 death   completed
+[[nodiscard]] std::string render_trace(const std::vector<EpisodeTrace>& trace);
+
+}  // namespace redcr::runtime

@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "sim/task.hpp"
+
+namespace redcr::sim {
+
+Engine::~Engine() {
+  // Drop pending callbacks first: they may capture coroutine handles that we
+  // are about to destroy.
+  while (!queue_.empty()) queue_.pop();
+  for (void* frame : handles_)
+    std::coroutine_handle<>::from_address(frame).destroy();
+}
+
+EventId Engine::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  QueueEntry entry;
+  entry.time = t;
+  entry.seq = next_seq_++;
+  entry.id = next_id_++;
+  entry.callback = std::move(cb);
+  const EventId id{entry.id};
+  queue_.push(std::move(entry));
+  return id;
+}
+
+EventId Engine::schedule_after(Time dt, Callback cb) {
+  assert(dt >= 0.0);
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+void Engine::cancel(EventId id) {
+  if (id.value != 0) cancelled_.insert(id.value);
+}
+
+void Engine::spawn(Task task) {
+  const Task::Handle handle = task.release(*this);
+  handles_.insert(handle.address());
+  schedule_after(0.0, [this, handle] { resume_coroutine(handle); });
+}
+
+void Engine::resume_coroutine(std::coroutine_handle<> handle) {
+  handle.resume();
+}
+
+void Engine::reap_process(std::coroutine_handle<> handle) noexcept {
+  handles_.erase(handle.address());
+  handle.destroy();
+}
+
+void Engine::note_exception(std::exception_ptr ep) noexcept {
+  if (!pending_exception_) pending_exception_ = ep;
+}
+
+bool Engine::step(Time limit) {
+  // Skip over cancelled entries.
+  while (!queue_.empty() &&
+         cancelled_.erase(queue_.top().id) > 0) {
+    queue_.pop();
+  }
+  if (queue_.empty() || stop_requested_) return false;
+  if (queue_.top().time > limit) return false;
+  // priority_queue::top() is const; the callback must be moved out, so pop
+  // via const_cast-free copy of the small fields and move of the callback.
+  QueueEntry entry = std::move(const_cast<QueueEntry&>(queue_.top()));
+  queue_.pop();
+  assert(entry.time >= now_);
+  now_ = entry.time;
+  ++events_processed_;
+  entry.callback();
+  if (pending_exception_) {
+    auto ep = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(ep);
+  }
+  return true;
+}
+
+std::size_t Engine::run() {
+  return run_until(std::numeric_limits<Time>::infinity());
+}
+
+std::size_t Engine::run_until(Time t) {
+  std::size_t processed = 0;
+  while (step(t)) ++processed;
+  if (!stop_requested_ && std::isfinite(t) && t > now_) now_ = t;
+  return processed;
+}
+
+}  // namespace redcr::sim

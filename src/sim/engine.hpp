@@ -1,0 +1,129 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns a time-ordered event queue and a registry of coroutine
+// processes (sim::Task). Events scheduled for the same timestamp run in
+// scheduling order, so a run is a pure function of its inputs — the
+// reproducibility property the experiment harness depends on.
+//
+// Lifetime model: simulated processes are spawned into the engine and
+// destroyed either when they finish or when the engine is destroyed. An
+// experiment "episode" (run until job failure, then restart) is expressed by
+// building a fresh engine per episode — mirroring the paper's methodology
+// where a job-killing fault tears the whole MPI application down and the
+// restart relaunches every process.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace redcr::sim {
+
+/// Simulated time, in seconds since episode start.
+using Time = double;
+
+class Task;
+
+/// Identifies a scheduled event so it can be cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after a relative delay `dt` >= 0.
+  EventId schedule_after(Time dt, Callback cb);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is a
+  /// no-op.
+  void cancel(EventId id);
+
+  /// Registers a coroutine process and schedules its first step at now().
+  void spawn(Task task);
+
+  /// Runs until the queue is empty or a stop is requested. Returns the
+  /// number of events processed by this call. Rethrows the first exception
+  /// escaping a simulated process.
+  std::size_t run();
+
+  /// Runs events with timestamp <= `t`; afterwards now() == t unless the
+  /// run was stopped earlier. Returns events processed.
+  std::size_t run_until(Time t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void request_stop() noexcept { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+  /// Clears a previous stop request so the engine can be driven further.
+  void clear_stop() noexcept { stop_requested_ = false; }
+
+  /// Total events processed over the engine's lifetime.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+  /// Number of spawned processes that have not yet finished.
+  [[nodiscard]] std::size_t live_processes() const noexcept {
+    return handles_.size();
+  }
+
+  // --- Coroutine plumbing (used by Task, CoTask and the awaitables) -----
+
+  /// Resumes a suspended coroutine. Every suspension point receives at most
+  /// one scheduled resume (one-shot events latch; delays fire once), so the
+  /// handle is always valid here.
+  void resume_coroutine(std::coroutine_handle<> handle);
+
+  /// Unregisters and destroys a finished top-level process frame. Called
+  /// from Task's final awaiter while the frame is suspended.
+  void reap_process(std::coroutine_handle<> handle) noexcept;
+
+  /// Stores an exception thrown by a process; rethrown by run().
+  void note_exception(std::exception_ptr ep) noexcept;
+
+ private:
+  struct QueueEntry {
+    Time time = 0.0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id = 0;
+    Callback callback;
+
+    // min-heap by (time, seq)
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and executes one event; returns false if queue empty/stop.
+  bool step(Time limit);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<void*> handles_;  // live process coroutine frames
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace redcr::sim

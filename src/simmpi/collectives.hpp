@@ -1,0 +1,69 @@
+// Collective operations implemented purely from point-to-point messages,
+// against the abstract Comm interface.
+//
+// This layering is load-bearing for the reproduction: RedMPI interposes only
+// point-to-point calls, and the paper's Eq. 1 argues every collective
+// decomposes into p2p messages that each get multiplied r-fold. Running
+// these collectives over red::RedComm reproduces exactly that multiplication.
+//
+// Algorithms (the classic MPICH choices):
+//   barrier    — dissemination (any n, ⌈log2 n⌉ rounds)
+//   broadcast  — binomial tree
+//   allreduce  — recursive doubling with pre/post fold for non-power-of-two n
+//   allgather  — ring (n-1 rounds)
+//
+// SPMD discipline: every rank of a communicator must call the same sequence
+// of collectives. Distinct concurrent collectives on the same communicator
+// must pass distinct `call_id`s (tags encode algorithm, round and call id).
+#pragma once
+
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace redcr::simmpi {
+
+/// Element-wise sum of two payloads. Data payloads must have equal lengths;
+/// timing-only payloads combine into a timing-only payload of the larger
+/// declared size.
+[[nodiscard]] Payload payload_sum(const Payload& a, const Payload& b);
+
+/// Dissemination barrier.
+sim::CoTask<void> barrier(Comm& comm, int call_id = 0);
+
+/// Binomial-tree broadcast; every rank returns the root's payload.
+sim::CoTask<Payload> broadcast(Comm& comm, Rank root, Payload payload,
+                               int call_id = 0);
+
+/// All-reduce with payload_sum; every rank returns the reduced payload.
+sim::CoTask<Payload> allreduce(Comm& comm, Payload contribution,
+                               int call_id = 0);
+
+/// Ring allgather; returns one payload per rank, indexed by rank.
+sim::CoTask<std::vector<Payload>> allgather(Comm& comm, Payload mine,
+                                            int call_id = 0);
+
+/// Binomial-tree reduction with payload_sum. Only the root's return value
+/// carries the reduced payload; other ranks return their partial sum.
+sim::CoTask<Payload> reduce(Comm& comm, Rank root, Payload contribution,
+                            int call_id = 0);
+
+/// Gather to root (binomial tree). The root returns one payload per rank,
+/// indexed by rank; non-roots return an empty vector.
+sim::CoTask<std::vector<Payload>> gather(Comm& comm, Rank root, Payload mine,
+                                         int call_id = 0);
+
+/// Scatter from root (binomial tree): the root provides one payload per
+/// rank; every rank returns its own slot. Non-roots pass an empty vector.
+sim::CoTask<Payload> scatter(Comm& comm, Rank root,
+                             std::vector<Payload> payloads, int call_id = 0);
+
+/// All-to-all personalized exchange (ring-shift schedule: in round k every
+/// rank sends to (me+k) and receives from (me-k)). `sends[i]` goes to rank
+/// i; the result's slot i came from rank i. The transpose step of FFT-like
+/// codes — the heaviest pattern under redundancy (bytes scale with N·r²).
+sim::CoTask<std::vector<Payload>> alltoall(Comm& comm,
+                                           std::vector<Payload> sends,
+                                           int call_id = 0);
+
+}  // namespace redcr::simmpi

@@ -1,0 +1,163 @@
+// Core message-passing types shared by the plain MPI-like layer (Endpoint)
+// and the redundancy interposition layer (red::RedComm).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/cotask.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace redcr::simmpi {
+
+/// Process rank within a world (virtual or physical depending on layer).
+using Rank = int;
+
+/// Wildcard source for receive matching (MPI_ANY_SOURCE).
+inline constexpr Rank kAnySource = -1;
+/// Wildcard tag for receive matching (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Tag ranges. Application tags must stay below kCollectiveTagBase; the
+/// collective library and the redundancy/checkpoint control planes use
+/// reserved bands so a wildcard application receive can never match them.
+/// Tags at or above kQuiesceTagBase are *not* counted by the endpoints'
+/// bookmark counters — the quiesce protocol must be able to communicate
+/// without disturbing the totals it is trying to equalize.
+inline constexpr int kCollectiveTagBase = 1 << 27;
+inline constexpr int kControlTagBase = 1 << 28;
+inline constexpr int kQuiesceTagBase = 1 << 30;
+
+/// Message payload: either real data (a shared immutable vector of doubles)
+/// or a declared byte size for timing-only simulation. Experiment harnesses
+/// use sized payloads to keep memory flat; correctness tests use real data.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Timing-only payload of `bytes` bytes.
+  static Payload sized(util::Bytes bytes) {
+    assert(bytes >= 0.0);
+    Payload p;
+    p.bytes_ = bytes;
+    return p;
+  }
+
+  /// Real-data payload; size is 8 bytes per element.
+  static Payload of(std::vector<double> values) {
+    Payload p;
+    p.bytes_ = 8.0 * static_cast<double>(values.size());
+    p.data_ = std::make_shared<const std::vector<double>>(std::move(values));
+    return p;
+  }
+
+  [[nodiscard]] util::Bytes size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool has_data() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] std::span<const double> values() const {
+    assert(has_data());
+    return *data_;
+  }
+
+  /// Content hash (FNV-1a over the raw element bytes); timing-only payloads
+  /// hash their size. Used by the redundancy layer's Msg-plus-hash mode and
+  /// by replica voting.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  /// Byte-wise equality of contents (size equality for timing-only).
+  friend bool operator==(const Payload& a, const Payload& b) noexcept;
+
+ private:
+  std::shared_ptr<const std::vector<double>> data_;
+  util::Bytes bytes_ = 0.0;
+};
+
+/// Payload carrying a single double. Prefer this over Payload::of({v})
+/// inside co_await expressions: GCC 12 cannot place a brace-init-list's
+/// backing array into a coroutine frame ("array used as initializer").
+inline Payload scalar_payload(double value) {
+  std::vector<double> data(1, value);
+  return Payload::of(std::move(data));
+}
+
+/// Addressing triple of a message.
+struct Envelope {
+  Rank source = kAnySource;
+  Rank dest = kAnySource;
+  int tag = kAnyTag;
+};
+
+/// A delivered (or in-flight) message.
+struct Message {
+  Envelope envelope;
+  Payload payload;
+  /// World-unique injection sequence number; preserves and exposes ordering.
+  std::uint64_t seq = 0;
+};
+
+/// Shared state of a nonblocking operation. Both layers complete requests by
+/// filling `message` (receives), setting `complete`, and triggering `done`.
+struct RequestState {
+  bool complete = false;
+  /// Completed without a message because the peer died (live failure
+  /// semantics): the message field is empty and must not be consumed.
+  bool aborted = false;
+  Message message;  ///< for receives: the delivered message
+  sim::OneShotEvent done;
+  /// Optional completion hook (single-shot). The redundancy layer uses it to
+  /// aggregate sub-request completions without spawning a coroutine per
+  /// message. Runs after `complete` is set and `done` is triggered.
+  std::function<void()> on_complete;
+
+  RequestState() = default;
+  RequestState(const RequestState&) = delete;
+  RequestState& operator=(const RequestState&) = delete;
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+/// Canonical completion path: sets the flag, wakes waiters, runs the hook.
+inline void complete_request(RequestState& request, sim::Engine& engine) {
+  assert(!request.complete);
+  request.complete = true;
+  request.done.trigger(engine);
+  if (request.on_complete) {
+    auto hook = std::move(request.on_complete);
+    request.on_complete = nullptr;
+    hook();
+  }
+}
+
+/// Attaches a completion hook, running it immediately if the request already
+/// completed (e.g. a receive matched from the unexpected queue).
+inline void attach_completion(const Request& request,
+                              std::function<void()> hook) {
+  assert(request && !request->on_complete);
+  if (request->complete) {
+    hook();
+  } else {
+    request->on_complete = std::move(hook);
+  }
+}
+
+/// Suspends until the request completes; returns the delivered message
+/// (meaningful for receives; default-constructed for sends).
+inline sim::CoTask<Message> wait(Request request) {
+  assert(request);
+  co_await request->done.wait();
+  co_return request->message;
+}
+
+/// Suspends until all requests complete (MPI_Waitall).
+inline sim::CoTask<void> wait_all(std::vector<Request> requests) {
+  for (auto& request : requests) {
+    assert(request);
+    co_await request->done.wait();
+  }
+}
+
+}  // namespace redcr::simmpi

@@ -1,0 +1,175 @@
+#include "simmpi/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace redcr::simmpi {
+
+std::uint64_t Payload::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  auto mix = [&h](const unsigned char* bytes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  if (data_) {
+    mix(reinterpret_cast<const unsigned char*>(data_->data()),
+        data_->size() * sizeof(double));
+  } else {
+    mix(reinterpret_cast<const unsigned char*>(&bytes_), sizeof(bytes_));
+  }
+  return h;
+}
+
+bool operator==(const Payload& a, const Payload& b) noexcept {
+  if (a.bytes_ != b.bytes_) return false;
+  if (a.has_data() != b.has_data()) return false;
+  if (!a.has_data()) return true;
+  return *a.data_ == *b.data_ ||
+         std::equal(a.data_->begin(), a.data_->end(), b.data_->begin());
+}
+
+int Endpoint::size() const noexcept { return world_->size(); }
+
+sim::Engine& Endpoint::engine() const noexcept { return world_->engine(); }
+
+Request Endpoint::isend(Rank dst, int tag, Payload payload) {
+  if (dst < 0 || dst >= world_->size())
+    throw std::out_of_range("isend: destination rank out of range");
+  if (tag < 0) throw std::invalid_argument("isend: tag must be non-negative");
+  if (tag < kQuiesceTagBase) {
+    ++sent_counts_[static_cast<std::size_t>(dst)];
+    ++total_sent_;
+  }
+  return world_->inject(rank_, dst, tag, std::move(payload));
+}
+
+Request Endpoint::irecv(Rank src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= world_->size()))
+    throw std::out_of_range("irecv: source rank out of range");
+  auto request = std::make_shared<RequestState>();
+  const PostedRecv posted{src, tag, request};
+
+  // MPI semantics: first try the unexpected queue in arrival order.
+  const auto it = std::find_if(
+      unexpected_.begin(), unexpected_.end(),
+      [&](const Message& m) { return matches(posted, m); });
+  if (it != unexpected_.end()) {
+    request->message = std::move(*it);
+    unexpected_.erase(it);
+    complete_request(*request, world_->engine());
+    ++world_->stats_.matched_from_unexpected;
+    return request;
+  }
+  posted_.push_back(posted);
+  return request;
+}
+
+std::size_t Endpoint::abort_posted_from(Rank source) {
+  std::size_t aborted = 0;
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (it->src == source) {
+      Request request = std::move(it->request);
+      it = posted_.erase(it);
+      request->aborted = true;
+      complete_request(*request, world_->engine());
+      ++aborted;
+    } else {
+      ++it;
+    }
+  }
+  return aborted;
+}
+
+void Endpoint::deliver(Message message) {
+  assert(message.envelope.source >= 0 &&
+         message.envelope.source < world_->size());
+  if (message.envelope.tag < kQuiesceTagBase) {
+    ++received_counts_[static_cast<std::size_t>(message.envelope.source)];
+    ++total_received_;
+  }
+  const auto it = std::find_if(
+      posted_.begin(), posted_.end(),
+      [&](const PostedRecv& p) { return matches(p, message); });
+  if (it != posted_.end()) {
+    Request request = std::move(it->request);
+    posted_.erase(it);
+    request->message = std::move(message);
+    complete_request(*request, world_->engine());
+    ++world_->stats_.matched_posted;
+    return;
+  }
+  unexpected_.push_back(std::move(message));
+}
+
+World::World(sim::Engine& engine, net::Network& network, int size,
+             std::vector<net::NodeId> rank_to_node)
+    : engine_(&engine),
+      network_(&network),
+      rank_to_node_(std::move(rank_to_node)) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  if (rank_to_node_.empty()) {
+    rank_to_node_.resize(static_cast<std::size_t>(size));
+    for (std::size_t i = 0; i < rank_to_node_.size(); ++i)
+      rank_to_node_[i] = i;
+  }
+  if (rank_to_node_.size() != static_cast<std::size_t>(size))
+    throw std::invalid_argument("World: rank_to_node size mismatch");
+  for (const net::NodeId node : rank_to_node_) {
+    if (node >= network.num_nodes())
+      throw std::out_of_range("World: node id exceeds network size");
+  }
+  endpoints_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    endpoints_.push_back(
+        std::unique_ptr<Endpoint>(new Endpoint(*this, r, size)));
+}
+
+Endpoint& World::endpoint(Rank rank) {
+  if (rank < 0 || rank >= size())
+    throw std::out_of_range("World::endpoint: rank out of range");
+  return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+Request World::inject(Rank src, Rank dst, int tag, Payload payload) {
+  ++stats_.messages_sent;
+
+  Message message;
+  message.envelope = Envelope{src, dst, tag};
+  message.payload = std::move(payload);
+  message.seq = next_seq_++;
+
+  const net::NodeId src_node = rank_to_node_[static_cast<std::size_t>(src)];
+  const net::NodeId dst_node = rank_to_node_[static_cast<std::size_t>(dst)];
+  sim::Time arrival =
+      network_->delivery_time(src_node, dst_node, message.payload.size_bytes());
+
+  // Enforce per-channel non-overtaking: a later message on (src,dst) never
+  // arrives before an earlier one, even if the cost model says otherwise.
+  const std::uint64_t channel =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
+  if (!inserted) {
+    arrival = std::max(arrival, it->second);
+    it->second = arrival;
+  }
+
+  // Send request: the buffer is considered handed off after the sender-side
+  // busy time (eager protocol).
+  auto send_request = std::make_shared<RequestState>();
+  engine_->schedule_after(network_->send_busy_time(), [send_request, this] {
+    complete_request(*send_request, *engine_);
+  });
+
+  Endpoint* destination = endpoints_[static_cast<std::size_t>(dst)].get();
+  engine_->schedule_at(arrival, [destination, msg = std::move(message)]() mutable {
+    destination->deliver(std::move(msg));
+  });
+  return send_request;
+}
+
+}  // namespace redcr::simmpi

@@ -1,0 +1,128 @@
+// World: the simulated MPI runtime. Owns one Endpoint (mailbox + matching
+// engine) per physical rank and routes messages between them through the
+// network cost model.
+//
+// Matching semantics follow MPI: receives match the earliest compatible
+// unexpected message; arriving messages match the earliest compatible posted
+// receive; per-(source, destination) delivery is non-overtaking even when
+// the network would reorder differently-sized messages.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/types.hpp"
+
+namespace redcr::simmpi {
+
+class World;
+
+/// Per-rank communication endpoint: the physical-layer Comm implementation.
+class Endpoint final : public Comm {
+ public:
+  [[nodiscard]] Rank rank() const noexcept override { return rank_; }
+  [[nodiscard]] int size() const noexcept override;
+  [[nodiscard]] sim::Engine& engine() const noexcept override;
+
+  Request isend(Rank dst, int tag, Payload payload) override;
+  Request irecv(Rank src, int tag) override;
+
+  /// Completes every posted receive whose concrete source is `source` with
+  /// the `aborted` flag (live failure semantics: the peer died and will
+  /// never send). Wildcard posts are left pending — another sender can
+  /// still match them. Returns the number of receives aborted.
+  std::size_t abort_posted_from(Rank source);
+
+  /// Messages sent to each destination rank so far (bookmark protocol).
+  [[nodiscard]] const std::vector<std::uint64_t>& sent_counts() const noexcept {
+    return sent_counts_;
+  }
+  /// Messages received (delivered to this mailbox) from each source rank.
+  [[nodiscard]] const std::vector<std::uint64_t>& received_counts()
+      const noexcept {
+    return received_counts_;
+  }
+  [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_received() const noexcept {
+    return total_received_;
+  }
+
+ private:
+  friend class World;
+
+  struct PostedRecv {
+    Rank src = kAnySource;  // may be wildcard
+    int tag = kAnyTag;      // may be wildcard
+    Request request;
+  };
+
+  Endpoint(World& world, Rank rank, int world_size)
+      : world_(&world),
+        rank_(rank),
+        sent_counts_(static_cast<std::size_t>(world_size), 0),
+        received_counts_(static_cast<std::size_t>(world_size), 0) {}
+
+  /// Called by World when a message arrives at this mailbox.
+  void deliver(Message message);
+
+  static bool matches(const PostedRecv& posted, const Message& msg) noexcept {
+    return (posted.src == kAnySource || posted.src == msg.envelope.source) &&
+           (posted.tag == kAnyTag || posted.tag == msg.envelope.tag);
+  }
+
+  World* world_;
+  Rank rank_;
+  std::deque<PostedRecv> posted_;     // receives awaiting a message
+  std::deque<Message> unexpected_;    // messages awaiting a receive
+  std::vector<std::uint64_t> sent_counts_;
+  std::vector<std::uint64_t> received_counts_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_received_ = 0;
+};
+
+/// Aggregate runtime statistics, exposed for tests and experiment reports.
+struct WorldStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t matched_from_unexpected = 0;
+  std::uint64_t matched_posted = 0;
+};
+
+class World {
+ public:
+  /// Creates `size` endpoints. `rank_to_node` maps ranks onto network nodes;
+  /// empty means the identity mapping (one process per node, the paper's
+  /// assumption 2).
+  World(sim::Engine& engine, net::Network& network, int size,
+        std::vector<net::NodeId> rank_to_node = {});
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(endpoints_.size());
+  }
+  [[nodiscard]] Endpoint& endpoint(Rank rank);
+  [[nodiscard]] sim::Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] net::Network& network() const noexcept { return *network_; }
+  [[nodiscard]] const WorldStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Endpoint;
+
+  /// Injects a message: pays sender-side cost, enforces channel FIFO, and
+  /// schedules mailbox delivery. Returns the send request.
+  Request inject(Rank src, Rank dst, int tag, Payload payload);
+
+  sim::Engine* engine_;
+  net::Network* network_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<net::NodeId> rank_to_node_;
+  /// Per (src,dst) channel: last scheduled arrival time, for non-overtaking.
+  std::unordered_map<std::uint64_t, sim::Time> channel_last_arrival_;
+  std::uint64_t next_seq_ = 1;
+  WorldStats stats_;
+};
+
+}  // namespace redcr::simmpi

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace redcr::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::vector<std::string>(fields));
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& fields,
+                                  int digits) {
+  std::vector<std::string> formatted;
+  formatted.reserve(fields.size());
+  for (double f : fields) formatted.push_back(fmt(f, digits));
+  write_row(formatted);
+}
+
+}  // namespace redcr::util

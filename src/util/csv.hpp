@@ -1,0 +1,33 @@
+// Minimal CSV writer. Bench harnesses optionally dump the series behind each
+// figure so the plots can be regenerated with any external tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace redcr::util {
+
+/// Writes rows of (already formatted) fields with proper quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience for numeric series.
+  void write_numeric_row(const std::vector<double>& fields, int digits = 6);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace redcr::util

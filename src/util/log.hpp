@@ -1,0 +1,53 @@
+// Leveled logging. Off-by-default DEBUG keeps the simulator hot path clean;
+// the level is a process-global because log configuration is inherently
+// process-wide (mirrors every MPI runtime's *_DEBUG env convention).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace redcr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` is at or above the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style builder: destructor emits the accumulated line.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace redcr::util
+
+// Level check happens before any operand is evaluated, so disabled levels
+// cost one branch.
+#define REDCR_LOG(level)                                  \
+  if (::redcr::util::log_level() > (level)) {             \
+  } else                                                  \
+    ::redcr::util::detail::LogStream { level }
+
+#define REDCR_LOG_DEBUG REDCR_LOG(::redcr::util::LogLevel::kDebug)
+#define REDCR_LOG_INFO REDCR_LOG(::redcr::util::LogLevel::kInfo)
+#define REDCR_LOG_WARN REDCR_LOG(::redcr::util::LogLevel::kWarn)
+#define REDCR_LOG_ERROR REDCR_LOG(::redcr::util::LogLevel::kError)

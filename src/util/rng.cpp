@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace redcr::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm{seed};
+  for (auto& word : s_) word = sm.next();
+  // xoshiro forbids the all-zero state; SplitMix64 cannot emit four
+  // consecutive zeros, but keep the guarantee explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256ss Xoshiro256ss::split(std::uint64_t salt) const noexcept {
+  // Mix the parent state with the salt through SplitMix64 so children with
+  // different salts are decorrelated from the parent and from each other.
+  SplitMix64 sm{s_[0] ^ rotl(s_[3], 23) ^ (salt * 0x9e3779b97f4a7c15ULL)};
+  return Xoshiro256ss{sm.next()};
+}
+
+double Xoshiro256ss::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256ss::bounded(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256ss::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log1p(-uniform01());
+}
+
+std::uint64_t Xoshiro256ss::poisson(double mean) noexcept {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-mean regime (only used for aggregate failure counts).
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Xoshiro256ss::normal(double mu, double sigma) noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return mu + sigma * u * factor;
+}
+
+}  // namespace redcr::util

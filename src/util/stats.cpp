@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace redcr::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> sample, double p) {
+  assert(!sample.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  RunningStats rs;
+  for (double x : sample) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = percentile(sample, 50.0);
+  s.p05 = percentile(sample, 5.0);
+  s.p95 = percentile(sample, 95.0);
+  s.ci95_half_width =
+      s.count > 1 ? 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count))
+                  : 0.0;
+  return s;
+}
+
+namespace {
+
+/// Asymptotic Kolmogorov distribution complement Q(x) = 2 Σ (-1)^{k-1} e^{-2k²x²}.
+double kolmogorov_q(double x) {
+  if (x <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_test_exponential(std::span<const double> sample, double mean) {
+  KsResult r;
+  if (sample.empty() || mean <= 0.0) return r;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = 1.0 - std::exp(-sorted[i] / mean);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(hi - cdf)});
+  }
+  r.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+std::vector<std::pair<double, double>> qq_points(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (a.empty() || b.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = points == 1
+                         ? 50.0
+                         : 100.0 * static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    out.emplace_back(percentile(a, q), percentile(b, q));
+  }
+  return out;
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  LineFit f;
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return f;
+  RunningStats sx, sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+  }
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - sx.mean()) * (y[i] - sy.mean());
+    sxx += (x[i] - sx.mean()) * (x[i] - sx.mean());
+    syy += (y[i] - sy.mean()) * (y[i] - sy.mean());
+  }
+  if (sxx == 0.0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = sy.mean() - f.slope * sx.mean();
+  f.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return f;
+}
+
+}  // namespace redcr::util

@@ -1,0 +1,84 @@
+// Small statistics toolkit used by the experiment harnesses:
+//   - RunningStats: Welford single-pass mean/variance.
+//   - Summary over a sample: mean, stddev, min/max, percentiles, 95% CI.
+//   - Kolmogorov–Smirnov one-sample test against Exp(mean) — validates the
+//     failure injector's inter-arrival distribution.
+//   - Q-Q pairing of two samples — the paper uses a Q-Q plot to argue the
+//     model/measurement fit (Section 6, Fig. 12).
+//   - Ordinary least squares line fit (slope/intercept/R^2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace redcr::util {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolated percentile of a sample, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+struct KsResult {
+  double statistic = 0.0;    ///< sup |F_n(x) - F(x)|
+  double p_value = 0.0;      ///< asymptotic p-value (Kolmogorov series)
+  bool reject_at_05 = true;  ///< statistic exceeds the 5% critical value
+};
+
+/// KS test of `sample` against an exponential distribution with mean `mean`.
+[[nodiscard]] KsResult ks_test_exponential(std::span<const double> sample,
+                                           double mean);
+
+/// Q-Q pairing: returns `points` (quantile(a, q), quantile(b, q)) pairs for
+/// evenly spaced q. A close fit keeps the pairs near the y = x diagonal.
+[[nodiscard]] std::vector<std::pair<double, double>> qq_points(
+    std::span<const double> a, std::span<const double> b,
+    std::size_t points = 32);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+[[nodiscard]] LineFit fit_line(std::span<const double> x,
+                               std::span<const double> y);
+
+}  // namespace redcr::util

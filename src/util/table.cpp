@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace redcr::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  assert(!headers_.empty());
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  emphasis_.emplace_back(headers_.size(), false);
+}
+
+void Table::emphasize(std::size_t row, std::size_t col) {
+  assert(row < rows_.size() && col < headers_.size());
+  emphasis_[row][col] = true;
+}
+
+void Table::set_align(std::size_t col, Align align) {
+  assert(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+std::string Table::str() const {
+  auto rendered_cell = [&](std::size_t row, std::size_t col) {
+    const std::string& cell = rows_[row][col];
+    return emphasis_[row][col] ? "*" + cell + "*" : cell;
+  };
+
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (std::size_t r = 0; r < rows_.size(); ++r)
+      widths[c] = std::max(widths[c], rendered_cell(r, c).size());
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    const std::string fill(w - s.size(), ' ');
+    return a == Align::kLeft ? s + fill : fill + s;
+  };
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << pad(headers_[c], widths[c], aligns_[c]) << " |";
+  os << '\n';
+  rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << ' ' << pad(rendered_cell(r, c), widths[c], aligns_[c]) << " |";
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_count(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace redcr::util

@@ -1,0 +1,57 @@
+// ASCII table printer used by the bench harnesses to print paper-shaped
+// tables (e.g. Table 4's MTBF x redundancy-degree grid).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace redcr::util {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-schema text table. Usage:
+///   Table t({"MTBF", "1x", "2x"});
+///   t.add_row({"6 hrs", "275", "146"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Marks a cell to be rendered with emphasis (surrounded by '*'), used to
+  /// highlight per-row minima like the paper's Table 4.
+  void emphasize(std::size_t row, std::size_t col);
+
+  void set_align(std::size_t col, Align align);
+
+  /// Optional caption printed above the rule line.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Renders the full table.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<bool>> emphasis_;
+  std::vector<Align> aligns_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats a count with thousands separators: 771251 -> "771,251".
+[[nodiscard]] std::string fmt_count(long long value);
+
+}  // namespace redcr::util

@@ -1,0 +1,33 @@
+// Time-unit helpers.
+//
+// The whole library keeps time in seconds as `double` (simulated time spans
+// minutes to years; double gives ~microsecond resolution at year scale which
+// is far below any modelled quantity). These helpers make call sites read
+// like the paper: `hours(128)`, `years(5)`.
+#pragma once
+
+namespace redcr::util {
+
+/// Seconds expressed as a plain double; the canonical time type.
+using Seconds = double;
+
+constexpr Seconds seconds(double s) noexcept { return s; }
+constexpr Seconds minutes(double m) noexcept { return m * 60.0; }
+constexpr Seconds hours(double h) noexcept { return h * 3600.0; }
+constexpr Seconds days(double d) noexcept { return d * 86400.0; }
+/// Julian year (365.25 days), the convention used by reliability literature.
+constexpr Seconds years(double y) noexcept { return y * 86400.0 * 365.25; }
+
+constexpr double to_minutes(Seconds s) noexcept { return s / 60.0; }
+constexpr double to_hours(Seconds s) noexcept { return s / 3600.0; }
+constexpr double to_days(Seconds s) noexcept { return s / 86400.0; }
+constexpr double to_years(Seconds s) noexcept { return s / (86400.0 * 365.25); }
+
+/// Bytes expressed as double (sizes enter only cost models, never indexing).
+using Bytes = double;
+
+constexpr Bytes kib(double k) noexcept { return k * 1024.0; }
+constexpr Bytes mib(double m) noexcept { return m * 1024.0 * 1024.0; }
+constexpr Bytes gib(double g) noexcept { return g * 1024.0 * 1024.0 * 1024.0; }
+
+}  // namespace redcr::util

@@ -1,0 +1,272 @@
+// Tests for the p2p-composed collective library, across world sizes
+// including non-powers-of-two (parameterized).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/task.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::simmpi {
+namespace {
+
+struct Harness {
+  sim::Engine engine;
+  net::Network network;
+  World world;
+
+  explicit Harness(int size)
+      : network(engine, static_cast<std::size_t>(size), {}),
+        world(engine, network, size) {}
+};
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31));
+
+sim::Task do_allreduce(Harness& h, Rank me, std::vector<double>& results) {
+  Payload contribution = scalar_payload(static_cast<double>(me + 1));
+  Payload reduced = co_await allreduce(h.world.endpoint(me),
+                                       std::move(contribution));
+  results[static_cast<std::size_t>(me)] = reduced.values()[0];
+}
+
+TEST_P(CollectiveSizes, AllreduceSumsAcrossAllRanks) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+  for (Rank r = 0; r < n; ++r) h.engine.spawn(do_allreduce(h, r, results));
+  h.engine.run();
+  const double expected = n * (n + 1) / 2.0;
+  for (Rank r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], expected)
+        << "rank " << r << " of " << n;
+}
+
+sim::Task do_barrier(Harness& h, Rank me, double work, std::vector<double>& t) {
+  co_await sim::delay(h.engine, work);
+  co_await barrier(h.world.endpoint(me));
+  t[static_cast<std::size_t>(me)] = h.engine.now();
+}
+
+TEST_P(CollectiveSizes, BarrierWaitsForSlowestRank) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<double> exit_times(static_cast<std::size_t>(n), -1.0);
+  for (Rank r = 0; r < n; ++r) {
+    // Rank r works r seconds; nobody may leave before the slowest arrives.
+    h.engine.spawn(do_barrier(h, r, static_cast<double>(r), exit_times));
+  }
+  h.engine.run();
+  for (Rank r = 0; r < n; ++r)
+    EXPECT_GE(exit_times[static_cast<std::size_t>(r)], static_cast<double>(n - 1));
+}
+
+sim::Task do_broadcast(Harness& h, Rank me, Rank root,
+                       std::vector<double>& results) {
+  Payload mine = me == root ? scalar_payload(1234.5) : Payload{};
+  Payload got = co_await broadcast(h.world.endpoint(me), root, std::move(mine));
+  results[static_cast<std::size_t>(me)] = got.values()[0];
+}
+
+TEST_P(CollectiveSizes, BroadcastDeliversRootPayloadEverywhere) {
+  const int n = GetParam();
+  for (Rank root = 0; root < n; root += std::max(1, n / 3)) {
+    Harness h(n);
+    std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+    for (Rank r = 0; r < n; ++r)
+      h.engine.spawn(do_broadcast(h, r, root, results));
+    h.engine.run();
+    for (Rank r = 0; r < n; ++r)
+      EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], 1234.5)
+          << "rank " << r << " root " << root;
+  }
+}
+
+sim::Task do_allgather(Harness& h, Rank me, std::vector<int>& failures) {
+  Payload mine = scalar_payload(static_cast<double>(me * 10));
+  std::vector<Payload> all =
+      co_await allgather(h.world.endpoint(me), std::move(mine));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].values()[0] != static_cast<double>(i) * 10.0)
+      ++failures[static_cast<std::size_t>(me)];
+  }
+}
+
+TEST_P(CollectiveSizes, AllgatherCollectsEveryContributionInRankOrder) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<int> failures(static_cast<std::size_t>(n), 0);
+  for (Rank r = 0; r < n; ++r) h.engine.spawn(do_allgather(h, r, failures));
+  h.engine.run();
+  for (Rank r = 0; r < n; ++r)
+    EXPECT_EQ(failures[static_cast<std::size_t>(r)], 0) << "rank " << r;
+}
+
+sim::Task do_vector_allreduce(Harness& h, Rank me, int n,
+                              std::vector<int>& failures) {
+  std::vector<double> contribution{static_cast<double>(me), 1.0,
+                                   static_cast<double>(me) * 0.5};
+  Payload reduced = co_await allreduce(h.world.endpoint(me),
+                                       Payload::of(std::move(contribution)));
+  const auto v = reduced.values();
+  const double sum_ranks = n * (n - 1) / 2.0;
+  if (std::abs(v[0] - sum_ranks) > 1e-12) ++failures[0];
+  if (std::abs(v[1] - n) > 1e-12) ++failures[0];
+  if (std::abs(v[2] - sum_ranks * 0.5) > 1e-12) ++failures[0];
+}
+
+TEST(Collectives, VectorAllreduceSumsElementwise) {
+  constexpr int n = 6;
+  Harness h(n);
+  std::vector<int> failures(1, 0);
+  for (Rank r = 0; r < n; ++r)
+    h.engine.spawn(do_vector_allreduce(h, r, n, failures));
+  h.engine.run();
+  EXPECT_EQ(failures[0], 0);
+}
+
+sim::Task do_reduce(Harness& h, Rank me, Rank root,
+                    std::vector<double>& results) {
+  Payload contribution = scalar_payload(static_cast<double>(me + 1));
+  Payload out = co_await reduce(h.world.endpoint(me), root,
+                                std::move(contribution));
+  results[static_cast<std::size_t>(me)] = out.values()[0];
+}
+
+TEST_P(CollectiveSizes, ReduceDeliversSumAtRoot) {
+  const int n = GetParam();
+  for (Rank root = 0; root < n; root += std::max(1, n / 2)) {
+    Harness h(n);
+    std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+    for (Rank r = 0; r < n; ++r) h.engine.spawn(do_reduce(h, r, root, results));
+    h.engine.run();
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(root)],
+                     n * (n + 1) / 2.0)
+        << "n " << n << " root " << root;
+  }
+}
+
+sim::Task do_gather(Harness& h, Rank me, Rank root, std::vector<int>& errors) {
+  std::vector<Payload> all = co_await gather(
+      h.world.endpoint(me), root, scalar_payload(static_cast<double>(me * 3)));
+  if (me == root) {
+    for (std::size_t i = 0; i < all.size(); ++i)
+      if (all[i].values()[0] != static_cast<double>(i) * 3.0) ++errors[0];
+    if (all.size() != static_cast<std::size_t>(h.world.size())) ++errors[0];
+  } else if (!all.empty()) {
+    ++errors[0];
+  }
+}
+
+TEST_P(CollectiveSizes, GatherCollectsAllAtRoot) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<int> errors(1, 0);
+  const Rank root = n / 2;
+  for (Rank r = 0; r < n; ++r) h.engine.spawn(do_gather(h, r, root, errors));
+  h.engine.run();
+  EXPECT_EQ(errors[0], 0);
+}
+
+sim::Task do_scatter(Harness& h, Rank me, Rank root,
+                     std::vector<double>& results) {
+  std::vector<Payload> slices;
+  if (me == root) {
+    for (int i = 0; i < h.world.size(); ++i)
+      slices.push_back(scalar_payload(100.0 + i));
+  }
+  Payload mine = co_await scatter(h.world.endpoint(me), root,
+                                  std::move(slices));
+  results[static_cast<std::size_t>(me)] = mine.values()[0];
+}
+
+TEST_P(CollectiveSizes, ScatterDeliversPerRankSlices) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+  for (Rank r = 0; r < n; ++r) h.engine.spawn(do_scatter(h, r, 0, results));
+  h.engine.run();
+  for (Rank r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], 100.0 + r);
+}
+
+sim::Task do_alltoall(Harness& h, Rank me, std::vector<int>& errors) {
+  const int n = h.world.size();
+  std::vector<Payload> sends;
+  for (int peer = 0; peer < n; ++peer)
+    sends.push_back(scalar_payload(me * 1000.0 + peer));
+  std::vector<Payload> got =
+      co_await alltoall(h.world.endpoint(me), std::move(sends));
+  for (int src = 0; src < n; ++src) {
+    if (got[static_cast<std::size_t>(src)].values()[0] !=
+        src * 1000.0 + me)
+      ++errors[0];
+  }
+}
+
+TEST_P(CollectiveSizes, AlltoallDeliversPersonalizedSlabs) {
+  const int n = GetParam();
+  Harness h(n);
+  std::vector<int> errors(1, 0);
+  for (Rank r = 0; r < n; ++r) h.engine.spawn(do_alltoall(h, r, errors));
+  h.engine.run();
+  EXPECT_EQ(errors[0], 0) << "n=" << n;
+}
+
+TEST(Collectives, AlltoallValidatesInput) {
+  Harness h(3);
+  bool threw = false;
+  struct Run {
+    static sim::Task run(Harness& h, bool& threw) {
+      try {
+        co_await alltoall(h.world.endpoint(0), {});  // wrong slab count
+      } catch (const std::invalid_argument&) {
+        threw = true;
+      }
+    }
+  };
+  h.engine.spawn(Run::run(h, threw));
+  h.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Collectives, PayloadSumRules) {
+  const Payload a = Payload::of({1.0, 2.0});
+  const Payload b = Payload::of({10.0, 20.0});
+  const Payload s = payload_sum(a, b);
+  EXPECT_DOUBLE_EQ(s.values()[0], 11.0);
+  EXPECT_DOUBLE_EQ(s.values()[1], 22.0);
+
+  const Payload sized = payload_sum(Payload::sized(100), Payload::sized(300));
+  EXPECT_FALSE(sized.has_data());
+  EXPECT_DOUBLE_EQ(sized.size_bytes(), 300.0);
+
+  EXPECT_THROW(payload_sum(Payload::of({1.0}), Payload::of({1.0, 2.0})),
+               std::invalid_argument);
+}
+
+TEST(Collectives, BroadcastRejectsBadRoot) {
+  Harness h(2);
+  bool threw = false;
+  struct Run {
+    static sim::Task run(Harness& h, bool& threw) {
+      try {
+        co_await broadcast(h.world.endpoint(0), 9, Payload::sized(1));
+      } catch (const std::out_of_range&) {
+        threw = true;
+      }
+    }
+  };
+  h.engine.spawn(Run::run(h, threw));
+  h.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace redcr::simmpi

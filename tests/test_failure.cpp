@@ -1,0 +1,248 @@
+// Tests for the failure injector and sphere monitor, including the
+// distributional properties the model assumes (exponential inter-arrivals).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "failure/injector.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace redcr::failure {
+namespace {
+
+using red::ReplicaMap;
+using util::hours;
+
+TEST(SphereMonitor, SingleReplicaDeathKillsSphereAtDegreeOne) {
+  const ReplicaMap map(4, 1.0);
+  SphereMonitor monitor(map);
+  EXPECT_FALSE(monitor.first_dead_sphere().has_value());
+  EXPECT_TRUE(monitor.mark_dead(2));
+  EXPECT_TRUE(monitor.sphere_dead(2));
+  EXPECT_EQ(monitor.first_dead_sphere(), 2);
+}
+
+TEST(SphereMonitor, DualRedundancySurvivesFirstReplica) {
+  const ReplicaMap map(4, 2.0);
+  SphereMonitor monitor(map);
+  const auto replicas = map.replicas(1);
+  EXPECT_FALSE(monitor.mark_dead(replicas[0]));
+  EXPECT_FALSE(monitor.sphere_dead(1));
+  EXPECT_TRUE(monitor.mark_dead(replicas[1]));
+  EXPECT_TRUE(monitor.sphere_dead(1));
+  EXPECT_EQ(monitor.dead_processes(), 2u);
+}
+
+TEST(SphereMonitor, MarkDeadIsIdempotent) {
+  const ReplicaMap map(2, 2.0);
+  SphereMonitor monitor(map);
+  EXPECT_FALSE(monitor.mark_dead(0));
+  EXPECT_FALSE(monitor.mark_dead(0));
+  EXPECT_EQ(monitor.dead_processes(), 1u);
+}
+
+TEST(Injector, DrawsAreDeterministicPerSeedAndEpisode) {
+  const ReplicaMap map(16, 2.0);
+  FailureParams params;
+  params.node_mtbf = hours(6);
+  params.seed = 7;
+  const FailureInjector injector(map, params);
+  EXPECT_EQ(injector.draw_failure_times(0), injector.draw_failure_times(0));
+  EXPECT_NE(injector.draw_failure_times(0), injector.draw_failure_times(1));
+  FailureParams other = params;
+  other.seed = 8;
+  const FailureInjector injector2(map, other);
+  EXPECT_NE(injector.draw_failure_times(0), injector2.draw_failure_times(0));
+}
+
+TEST(Injector, InterArrivalsAreExponential) {
+  // KS test of the drawn first-failure times against Exp(θ). First arrivals
+  // of a Poisson process are exponential, so this validates both the RNG
+  // and the injector plumbing.
+  const ReplicaMap map(4000, 1.0);
+  FailureParams params;
+  params.node_mtbf = hours(6);
+  params.seed = 123;
+  const FailureInjector injector(map, params);
+  const auto times = injector.draw_failure_times(0);
+  const auto ks = util::ks_test_exponential(times, params.node_mtbf);
+  EXPECT_FALSE(ks.reject_at_05)
+      << "KS statistic " << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(Injector, FirstSphereDeathMatchesMinOfMax) {
+  const ReplicaMap map(8, 2.0);
+  FailureParams params;
+  params.node_mtbf = hours(1);
+  const FailureInjector injector(map, params);
+  const auto times = injector.draw_failure_times(3);
+  const auto death = FailureInjector::first_sphere_death(map, times);
+  ASSERT_TRUE(death.has_value());
+  // Cross-check against a direct computation.
+  double expected = std::numeric_limits<double>::infinity();
+  for (red::Rank v = 0; v < 8; ++v) {
+    double sphere_death = 0.0;
+    for (const red::Rank p : map.replicas(v))
+      sphere_death = std::max(sphere_death,
+                              times[static_cast<std::size_t>(p)]);
+    expected = std::min(expected, sphere_death);
+  }
+  EXPECT_DOUBLE_EQ(death->time, expected);
+}
+
+TEST(Injector, RedundancyDelaysSphereDeathOnAverage) {
+  // Core premise of the paper: higher degree -> later first sphere death.
+  FailureParams params;
+  params.node_mtbf = hours(6);
+  util::RunningStats single, dual, triple;
+  for (std::uint64_t episode = 0; episode < 200; ++episode) {
+    for (const double r : {1.0, 2.0, 3.0}) {
+      const ReplicaMap map(64, r);
+      const FailureInjector injector(map, params);
+      const auto death = FailureInjector::first_sphere_death(
+          map, injector.draw_failure_times(episode));
+      ASSERT_TRUE(death.has_value());
+      (r == 1.0   ? single
+       : r == 2.0 ? dual
+                  : triple)
+          .add(death->time);
+    }
+  }
+  EXPECT_GT(dual.mean(), 5.0 * single.mean());
+  EXPECT_GT(triple.mean(), 2.0 * dual.mean());
+}
+
+TEST(Injector, SimulatedRunMatchesClosedForm) {
+  // The DES background process must kill the job at exactly the
+  // closed-form first-sphere-death time (no protected phases configured).
+  const ReplicaMap map(32, 1.5);
+  FailureParams params;
+  params.node_mtbf = hours(2);
+  params.seed = 99;
+  const FailureInjector injector(map, params);
+  const auto expected =
+      FailureInjector::first_sphere_death(map, injector.draw_failure_times(5));
+  ASSERT_TRUE(expected.has_value());
+
+  sim::Engine engine;
+  SphereMonitor monitor(map);
+  std::optional<JobFailure> observed;
+  FailureInjector sim_injector(map, params);
+  engine.spawn(sim_injector.run(engine, monitor, 5, {},
+                                [&](JobFailure jf) {
+                                  observed = jf;
+                                  engine.request_stop();
+                                }));
+  engine.run();
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_DOUBLE_EQ(observed->time, expected->time);
+  EXPECT_EQ(observed->sphere, expected->sphere);
+}
+
+TEST(Injector, ProtectedPhaseDefersFailures) {
+  const ReplicaMap map(4, 1.0);
+  FailureParams params;
+  params.node_mtbf = hours(0.001);  // fail almost immediately
+  params.seed = 1;
+  params.inject_during_checkpoint = false;
+  FailureInjector injector(map, params);
+
+  sim::Engine engine;
+  SphereMonitor monitor(map);
+  // Protect the first 100 seconds; any failure drawn inside must land after.
+  bool state_protected = true;
+  engine.schedule_at(100.0, [&] { state_protected = false; });
+  std::optional<JobFailure> observed;
+  engine.spawn(injector.run(engine, monitor, 0,
+                            [&] { return state_protected; },
+                            [&](JobFailure jf) {
+                              observed = jf;
+                              engine.request_stop();
+                            }));
+  engine.run();
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_GE(observed->time, 100.0);
+}
+
+TEST(Injector, InjectDuringCheckpointIgnoresGuard) {
+  const ReplicaMap map(4, 1.0);
+  FailureParams params;
+  params.node_mtbf = hours(0.001);
+  params.seed = 1;
+  params.inject_during_checkpoint = true;
+  FailureInjector injector(map, params);
+
+  sim::Engine engine;
+  SphereMonitor monitor(map);
+  std::optional<JobFailure> observed;
+  engine.spawn(injector.run(engine, monitor, 0, [] { return true; },
+                            [&](JobFailure jf) {
+                              observed = jf;
+                              engine.request_stop();
+                            }));
+  engine.run();
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_LT(observed->time, 100.0);
+}
+
+TEST(Injector, WeibullShapeOnePreservesExponentialDraws) {
+  // k = 1 must reproduce the exponential draws bit-for-bit (inverse CDFs
+  // coincide and the stream positions match), keeping old seeds valid.
+  const ReplicaMap map(64, 1.0);
+  FailureParams expo;
+  expo.node_mtbf = hours(6);
+  expo.seed = 5;
+  FailureParams weib = expo;
+  weib.weibull_shape = 1.0;
+  EXPECT_EQ(FailureInjector(map, expo).draw_failure_times(2),
+            FailureInjector(map, weib).draw_failure_times(2));
+}
+
+TEST(Injector, WeibullMeanIsPreservedAcrossShapes) {
+  const ReplicaMap map(20000, 1.0);
+  for (const double shape : {0.7, 1.0, 1.5, 3.0}) {
+    FailureParams params;
+    params.node_mtbf = hours(6);
+    params.seed = 9;
+    params.weibull_shape = shape;
+    const FailureInjector injector(map, params);
+    util::RunningStats stats;
+    for (const double t : injector.draw_failure_times(0)) stats.add(t);
+    EXPECT_NEAR(stats.mean(), params.node_mtbf, 0.03 * params.node_mtbf)
+        << "shape " << shape;
+  }
+}
+
+TEST(Injector, WearOutShapeConcentratesFailures) {
+  // Higher shape -> lower variance (failures cluster around the mean),
+  // which makes early job failures rarer: the min of the draws grows.
+  const ReplicaMap map(5000, 1.0);
+  auto min_draw = [&](double shape) {
+    FailureParams params;
+    params.node_mtbf = hours(6);
+    params.seed = 9;
+    params.weibull_shape = shape;
+    const auto times = FailureInjector(map, params).draw_failure_times(0);
+    return *std::min_element(times.begin(), times.end());
+  };
+  EXPECT_GT(min_draw(3.0), 10.0 * min_draw(1.0));
+}
+
+TEST(Injector, RejectsBadWeibullShape) {
+  const ReplicaMap map(2, 1.0);
+  FailureParams params;
+  params.weibull_shape = 0.0;
+  EXPECT_THROW(FailureInjector(map, params), std::invalid_argument);
+}
+
+TEST(Injector, RejectsNonPositiveMtbf) {
+  const ReplicaMap map(2, 1.0);
+  FailureParams params;
+  params.node_mtbf = 0.0;
+  EXPECT_THROW(FailureInjector(map, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace redcr::failure

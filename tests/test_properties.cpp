@@ -1,0 +1,238 @@
+// Cross-cutting property tests: invariants that must hold over whole
+// parameter grids rather than at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "apps/synthetic.hpp"
+#include "failure/injector.hpp"
+#include "model/combined.hpp"
+#include "runtime/executor.hpp"
+#include "util/units.hpp"
+
+namespace redcr {
+namespace {
+
+using util::hours;
+using util::minutes;
+using util::years;
+
+// --- Model grid properties -----------------------------------------------------
+
+class ModelGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Combine(::testing::Values(1.0, 1.25, 1.5, 2.0, 2.75, 3.0),
+                       ::testing::Values(6.0, 18.0, 30.0),   // MTBF hours
+                       ::testing::Values(0.0, 0.2, 0.5)));   // alpha
+
+model::CombinedConfig grid_config(double mtbf_hours, double alpha) {
+  model::CombinedConfig cfg;
+  cfg.app.base_time = minutes(46);
+  cfg.app.comm_fraction = alpha;
+  cfg.app.num_procs = 128;
+  cfg.machine.node_mtbf = hours(mtbf_hours);
+  cfg.machine.checkpoint_cost = 120.0;
+  cfg.machine.restart_cost = 500.0;
+  return cfg;
+}
+
+TEST_P(ModelGrid, PredictionInvariants) {
+  const auto [r, mtbf, alpha] = GetParam();
+  const model::CombinedConfig cfg = grid_config(mtbf, alpha);
+  const model::Prediction p = model::predict(cfg, r);
+
+  // t ≤ t_Red ≤ r·t.
+  EXPECT_GE(p.redundant_time, cfg.app.base_time - 1e-9);
+  EXPECT_LE(p.redundant_time, r * cfg.app.base_time + 1e-9);
+  // Reliability is a probability; rate and MTBF are inverses.
+  EXPECT_GE(p.reliability, 0.0);
+  EXPECT_LE(p.reliability, 1.0);
+  if (std::isfinite(p.system_mtbf) && p.failure_rate > 0.0) {
+    EXPECT_NEAR(p.failure_rate * p.system_mtbf, 1.0, 1e-9);
+  }
+  // Total time cannot undercut dilated work plus checkpoint overhead.
+  if (std::isfinite(p.total_time)) {
+    EXPECT_GE(p.total_time, p.redundant_time);
+    EXPECT_GE(p.total_time,
+              p.redundant_time * (1.0 + cfg.machine.checkpoint_cost /
+                                            p.interval) -
+                  1e-6);
+  }
+  // Lost work bounded by one work segment.
+  EXPECT_GE(p.lost_work, 0.0);
+  EXPECT_LE(p.lost_work, p.interval + 1e-9);
+  // t_RR bounded by the full phase R + t_lw.
+  EXPECT_LE(p.restart_rework,
+            cfg.machine.restart_cost + p.lost_work + 1e-9);
+}
+
+TEST_P(ModelGrid, MoreReliableMachineIsNeverSlower) {
+  const auto [r, mtbf, alpha] = GetParam();
+  const model::CombinedConfig worse = grid_config(mtbf, alpha);
+  const model::CombinedConfig better = grid_config(mtbf * 2.0, alpha);
+  const double t_worse = model::predict(worse, r).total_time;
+  const double t_better = model::predict(better, r).total_time;
+  if (std::isfinite(t_worse)) {
+    EXPECT_LE(t_better, t_worse * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(ModelGrid, SimplifiedNeverExceedsItsOwnParts) {
+  const auto [r, mtbf, alpha] = GetParam();
+  const model::CombinedConfig cfg = grid_config(mtbf, alpha);
+  const model::Prediction p = model::predict_simplified(cfg, r);
+  // The simplified model is a plain sum of three non-negative terms.
+  EXPECT_GE(p.total_time, p.redundant_time);
+  EXPECT_TRUE(std::isfinite(p.total_time));
+}
+
+TEST(ModelContinuity, TotalTimeHasNoJumpsAcrossIntegerDegrees) {
+  // Partial redundancy must meet the integer-degree values continuously:
+  // T(r) as r -> k from below equals T(k) (the partition collapses).
+  const model::CombinedConfig cfg = grid_config(18.0, 0.2);
+  for (const double k : {2.0, 3.0}) {
+    const double at_k = model::predict(cfg, k).total_time;
+    const double just_below = model::predict(cfg, k - 1e-7).total_time;
+    EXPECT_NEAR(just_below, at_k, at_k * 1e-3) << k;
+  }
+}
+
+TEST(ModelPartition, HighDegreeRanksAreEvenlySpread) {
+  // Bresenham property: gaps between consecutive high-degree virtual ranks
+  // differ by at most one slot.
+  for (const double r : {1.25, 1.5, 1.75, 2.5}) {
+    const red::ReplicaMap map(97, r);
+    std::vector<int> highs;
+    unsigned max_degree = 0;
+    for (int v = 0; v < 97; ++v) max_degree = std::max(max_degree, map.degree(v));
+    for (int v = 0; v < 97; ++v)
+      if (map.degree(v) == max_degree) highs.push_back(v);
+    ASSERT_GE(highs.size(), 2u);
+    int min_gap = 1000, max_gap = 0;
+    for (std::size_t i = 1; i < highs.size(); ++i) {
+      const int gap = highs[i] - highs[i - 1];
+      min_gap = std::min(min_gap, gap);
+      max_gap = std::max(max_gap, gap);
+    }
+    EXPECT_LE(max_gap - min_gap, 1) << "r=" << r;
+  }
+}
+
+// --- Executor grid properties ----------------------------------------------------
+
+class ExecutorGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExecutorGrid,
+    ::testing::Combine(::testing::Values(1.0, 1.25, 1.75, 2.0, 2.5, 3.0),
+                       ::testing::Values(0.3, 1.0)));  // MTBF hours
+
+runtime::JobConfig executor_grid_config(double r, double mtbf_hours) {
+  runtime::JobConfig cfg;
+  cfg.num_virtual = 6;
+  cfg.redundancy = r;
+  cfg.network.bandwidth = 1e9;
+  cfg.storage.bandwidth = 1e10;
+  cfg.image_bytes = 5e8;
+  cfg.checkpoint_interval = 40.0;
+  cfg.restart_cost = 15.0;
+  cfg.fail.node_mtbf = hours(mtbf_hours);
+  cfg.fail.seed = 77;
+  return cfg;
+}
+
+TEST_P(ExecutorGrid, ConservationAndProgress) {
+  const auto [r, mtbf] = GetParam();
+  apps::SyntheticSpec spec;
+  spec.iterations = 24;
+  spec.compute_per_iteration = 6.0;
+  spec.halo_bytes = 1e6;
+  runtime::JobConfig cfg = executor_grid_config(r, mtbf);
+  runtime::JobExecutor executor(cfg, [spec](int, int) {
+    return std::make_unique<apps::SyntheticWorkload>(spec);
+  });
+  const runtime::JobReport report = executor.run();
+  ASSERT_TRUE(report.completed) << "r=" << r << " mtbf=" << mtbf;
+  // Exact conservation of wallclock across the four buckets.
+  EXPECT_NEAR(report.wallclock,
+              report.useful_work + report.checkpoint_time +
+                  report.rework_time + report.restart_time,
+              1e-6);
+  // Restart accounting is exact.
+  EXPECT_DOUBLE_EQ(report.restart_time,
+                   report.job_failures * cfg.restart_cost);
+  // The trace covers every episode and its wallclock offsets are ordered.
+  ASSERT_EQ(report.trace.size(), static_cast<std::size_t>(report.episodes));
+  for (std::size_t i = 1; i < report.trace.size(); ++i)
+    EXPECT_GT(report.trace[i].start_wallclock,
+              report.trace[i - 1].start_wallclock);
+  // Physical process count honours Eq. 8.
+  EXPECT_EQ(report.num_physical,
+            model::partition_processes(cfg.num_virtual, r).total_procs);
+}
+
+TEST_P(ExecutorGrid, UsefulWorkApproximatesFailureFreeTime) {
+  // Useful work (retained work excl. checkpoints) must roughly equal the
+  // failure-free run time: every iteration's final execution is counted
+  // exactly once.
+  const auto [r, mtbf] = GetParam();
+  apps::SyntheticSpec spec;
+  spec.iterations = 24;
+  spec.compute_per_iteration = 6.0;
+  spec.halo_bytes = 1e6;
+  auto factory = [spec](int, int) {
+    return std::make_unique<apps::SyntheticWorkload>(spec);
+  };
+  runtime::JobConfig cfg = executor_grid_config(r, mtbf);
+  const runtime::JobReport failure_free =
+      runtime::JobExecutor::run_failure_free(cfg, factory);
+  runtime::JobExecutor executor(cfg, factory);
+  const runtime::JobReport report = executor.run();
+  ASSERT_TRUE(report.completed);
+  // Within 25%: boundaries (hook reductions, partial segments) blur the
+  // exact equality, but the totals must agree to first order.
+  EXPECT_NEAR(report.useful_work, failure_free.wallclock,
+              0.25 * failure_free.wallclock)
+      << "r=" << r << " mtbf=" << mtbf;
+}
+
+// --- DES injector vs closed form over degrees -----------------------------------
+
+class InjectorDegrees : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, InjectorDegrees,
+                         ::testing::Values(1.0, 1.25, 1.5, 2.0, 2.5, 3.0));
+
+TEST_P(InjectorDegrees, SimulatedDeathMatchesClosedFormEverywhere) {
+  const double r = GetParam();
+  const red::ReplicaMap map(24, r);
+  failure::FailureParams params;
+  params.node_mtbf = hours(1);
+  params.seed = 31337;
+  failure::FailureInjector injector(map, params);
+  for (std::uint64_t episode = 0; episode < 8; ++episode) {
+    const auto expected = failure::FailureInjector::first_sphere_death(
+        map, injector.draw_failure_times(episode));
+    ASSERT_TRUE(expected.has_value());
+    sim::Engine engine;
+    failure::SphereMonitor monitor(map);
+    std::optional<failure::JobFailure> observed;
+    engine.spawn(injector.run(engine, monitor, episode, {},
+                              [&](failure::JobFailure jf) {
+                                observed = jf;
+                                engine.request_stop();
+                              }));
+    engine.run();
+    ASSERT_TRUE(observed.has_value()) << "r=" << r << " ep=" << episode;
+    EXPECT_DOUBLE_EQ(observed->time, expected->time);
+    EXPECT_EQ(observed->sphere, expected->sphere);
+  }
+}
+
+}  // namespace
+}  // namespace redcr

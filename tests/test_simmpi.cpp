@@ -1,0 +1,253 @@
+// Tests for the simulated MPI layer: point-to-point matching semantics,
+// wildcard receives, ordering, and world plumbing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/task.hpp"
+#include "simmpi/world.hpp"
+
+namespace redcr::simmpi {
+namespace {
+
+struct Harness {
+  sim::Engine engine;
+  net::Network network;
+  World world;
+
+  explicit Harness(int size, net::NetworkParams params = {})
+      : network(engine, static_cast<std::size_t>(size), params),
+        world(engine, network, size) {}
+};
+
+sim::Task send_one(Harness& h, Rank from, Rank to, int tag, double value) {
+  co_await h.world.endpoint(from).send(to, tag, scalar_payload(value));
+}
+
+sim::Task recv_one(Harness& h, Rank at, Rank from, int tag,
+                   std::vector<Message>& out) {
+  Message m = co_await h.world.endpoint(at).recv(from, tag);
+  out.push_back(m);
+}
+
+TEST(SimMpi, BasicSendRecvDeliversPayload) {
+  Harness h(2);
+  std::vector<Message> got;
+  h.engine.spawn(recv_one(h, 1, 0, 7, got));
+  h.engine.spawn(send_one(h, 0, 1, 7, 42.5));
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].envelope.source, 0);
+  EXPECT_EQ(got[0].envelope.dest, 1);
+  EXPECT_EQ(got[0].envelope.tag, 7);
+  EXPECT_DOUBLE_EQ(got[0].payload.values()[0], 42.5);
+}
+
+TEST(SimMpi, SendBeforeRecvGoesThroughUnexpectedQueue) {
+  Harness h(2);
+  std::vector<Message> got;
+  h.engine.spawn(send_one(h, 0, 1, 7, 1.0));
+  h.engine.run();  // deliver into the unexpected queue
+  EXPECT_EQ(h.world.stats().matched_posted, 0u);
+  h.engine.clear_stop();
+  h.engine.spawn(recv_one(h, 1, 0, 7, got));
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(h.world.stats().matched_from_unexpected, 1u);
+}
+
+TEST(SimMpi, TagSelectsAmongMessages) {
+  Harness h(2);
+  std::vector<Message> got;
+  h.engine.spawn(send_one(h, 0, 1, 1, 10.0));
+  h.engine.spawn(send_one(h, 0, 1, 2, 20.0));
+  h.engine.spawn(recv_one(h, 1, 0, 2, got));
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].payload.values()[0], 20.0);
+}
+
+sim::Task ordered_sender(Harness& h, int count) {
+  for (int i = 0; i < count; ++i)
+    co_await h.world.endpoint(0).send(1, 5, scalar_payload(i));
+}
+
+sim::Task ordered_receiver(Harness& h, int count, std::vector<double>& seen) {
+  for (int i = 0; i < count; ++i) {
+    Message m = co_await h.world.endpoint(1).recv(0, 5);
+    seen.push_back(m.payload.values()[0]);
+  }
+}
+
+TEST(SimMpi, PerChannelFifoOrdering) {
+  Harness h(2);
+  std::vector<double> seen;
+  h.engine.spawn(ordered_sender(h, 32));
+  h.engine.spawn(ordered_receiver(h, 32, seen));
+  h.engine.run();
+  ASSERT_EQ(seen.size(), 32u);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_DOUBLE_EQ(seen[static_cast<size_t>(i)], i) << "overtaking at " << i;
+}
+
+TEST(SimMpi, NonOvertakingEvenWhenSizesDiffer) {
+  // A big message injected first must not be overtaken by a small one on
+  // the same channel, even though the α-β model alone would deliver the
+  // small one earlier.
+  Harness h(2);
+  auto& ep0 = h.world.endpoint(0);
+  ep0.isend(1, 3, Payload::sized(100.0 * 1024 * 1024));  // ~31 ms transmission
+  ep0.isend(1, 3, Payload::sized(8.0));
+  std::vector<double> sizes;
+  struct Recv {
+    static sim::Task run(Harness& h, std::vector<double>& sizes) {
+      for (int i = 0; i < 2; ++i) {
+        Message m = co_await h.world.endpoint(1).recv(0, 3);
+        sizes.push_back(m.payload.size_bytes());
+      }
+    }
+  };
+  h.engine.spawn(Recv::run(h, sizes));
+  h.engine.run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_GT(sizes[0], sizes[1]) << "big first-injected message must arrive first";
+}
+
+sim::Task wildcard_receiver(Harness& h, int count, std::vector<Rank>& sources) {
+  for (int i = 0; i < count; ++i) {
+    Message m = co_await h.world.endpoint(2).recv(kAnySource, 9);
+    sources.push_back(m.envelope.source);
+  }
+}
+
+TEST(SimMpi, AnySourceMatchesEitherSender) {
+  Harness h(3);
+  std::vector<Rank> sources;
+  h.engine.spawn(send_one(h, 0, 2, 9, 1.0));
+  h.engine.spawn(send_one(h, 1, 2, 9, 2.0));
+  h.engine.spawn(wildcard_receiver(h, 2, sources));
+  h.engine.run();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_NE(sources[0], sources[1]);
+}
+
+TEST(SimMpi, AnyTagMatchesAnyMessage) {
+  Harness h(2);
+  std::vector<Message> got;
+  h.engine.spawn(send_one(h, 0, 1, 77, 5.0));
+  struct Recv {
+    static sim::Task run(Harness& h, std::vector<Message>& got) {
+      Message m = co_await h.world.endpoint(1).recv(0, kAnyTag);
+      got.push_back(m);
+    }
+  };
+  h.engine.spawn(Recv::run(h, got));
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].envelope.tag, 77);
+}
+
+TEST(SimMpi, SelfSendWorks) {
+  Harness h(2);
+  std::vector<Message> got;
+  h.engine.spawn(send_one(h, 0, 0, 4, 3.0));
+  h.engine.spawn(recv_one(h, 0, 0, 4, got));
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].payload.values()[0], 3.0);
+}
+
+TEST(SimMpi, InvalidRanksThrow) {
+  Harness h(2);
+  EXPECT_THROW(h.world.endpoint(0).isend(5, 1, Payload::sized(0)),
+               std::out_of_range);
+  EXPECT_THROW(h.world.endpoint(0).irecv(5, 1), std::out_of_range);
+  EXPECT_THROW((void)h.world.endpoint(-1), std::out_of_range);
+  EXPECT_THROW(h.world.endpoint(0).isend(1, -3, Payload::sized(0)),
+               std::invalid_argument);
+}
+
+TEST(SimMpi, BookmarkCountersTrackAppTrafficOnly) {
+  Harness h(2);
+  h.engine.spawn(send_one(h, 0, 1, 7, 1.0));
+  sim::Task quiesce_band_send = send_one(h, 0, 1, kQuiesceTagBase + 1, 2.0);
+  h.engine.spawn(std::move(quiesce_band_send));
+  std::vector<Message> got;
+  h.engine.spawn(recv_one(h, 1, 0, 7, got));
+  h.engine.spawn(recv_one(h, 1, 0, kQuiesceTagBase + 1, got));
+  h.engine.run();
+  EXPECT_EQ(h.world.endpoint(0).total_sent(), 1u);
+  EXPECT_EQ(h.world.endpoint(1).total_received(), 1u);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(SimMpi, MessageTimingFollowsAlphaBetaModel) {
+  net::NetworkParams params;
+  params.latency = 1e-3;
+  params.bandwidth = 1e6;  // 1 MB/s
+  params.send_overhead = 0.0;
+  Harness h(2, params);
+  std::vector<Message> got;
+  h.engine.spawn(recv_one(h, 1, 0, 1, got));
+  h.world.endpoint(0).isend(1, 1, Payload::sized(1e6));  // 1 s transmission
+  h.engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(h.engine.now(), 1.0 + 1e-3, 1e-9);
+}
+
+TEST(SimMpi, NicContentionSerializesInjection) {
+  net::NetworkParams params;
+  params.latency = 0.0;
+  params.bandwidth = 1e6;
+  params.send_overhead = 0.0;
+  Harness h(3, params);
+  // Two 1 MB messages from rank 0: the second must wait for the first NIC
+  // slot, finishing at ~2 s even though the destinations differ.
+  h.world.endpoint(0).isend(1, 1, Payload::sized(1e6));
+  h.world.endpoint(0).isend(2, 1, Payload::sized(1e6));
+  std::vector<Message> got;
+  h.engine.spawn(recv_one(h, 1, 0, 1, got));
+  h.engine.spawn(recv_one(h, 2, 0, 1, got));
+  h.engine.run();
+  EXPECT_NEAR(h.engine.now(), 2.0, 1e-9);
+  EXPECT_GT(h.network.stats().contention_wait, 0.9);
+}
+
+TEST(SimMpi, ContentionDisabledRunsInParallel) {
+  net::NetworkParams params;
+  params.latency = 0.0;
+  params.bandwidth = 1e6;
+  params.send_overhead = 0.0;
+  params.model_contention = false;
+  Harness h(3, params);
+  h.world.endpoint(0).isend(1, 1, Payload::sized(1e6));
+  h.world.endpoint(0).isend(2, 1, Payload::sized(1e6));
+  std::vector<Message> got;
+  h.engine.spawn(recv_one(h, 1, 0, 1, got));
+  h.engine.spawn(recv_one(h, 2, 0, 1, got));
+  h.engine.run();
+  EXPECT_NEAR(h.engine.now(), 1.0, 1e-9);
+}
+
+TEST(Payload, HashDiscriminatesContent) {
+  const Payload a = Payload::of({1.0, 2.0, 3.0});
+  const Payload b = Payload::of({1.0, 2.0, 3.0});
+  const Payload c = Payload::of({1.0, 2.0, 4.0});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Payload, SizedPayloadHasNoData) {
+  const Payload p = Payload::sized(1024.0);
+  EXPECT_FALSE(p.has_data());
+  EXPECT_DOUBLE_EQ(p.size_bytes(), 1024.0);
+  EXPECT_EQ(p.hash(), Payload::sized(1024.0).hash());
+  EXPECT_NE(p.hash(), Payload::sized(2048.0).hash());
+}
+
+}  // namespace
+}  // namespace redcr::simmpi

@@ -1,0 +1,200 @@
+// Randomized stress tests: drive the matching engine and the redundancy
+// layer with irregular generated traffic and check the global conservation
+// properties no hand-written scenario would cover.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "red/red_comm.hpp"
+#include "runtime/trace.hpp"
+#include "sim/task.hpp"
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace redcr {
+namespace {
+
+using simmpi::Message;
+using simmpi::Payload;
+using simmpi::Rank;
+
+// --- simmpi fuzz ---------------------------------------------------------------
+
+struct Plan {
+  // send_matrix[i][j] = payload values rank i sends to rank j, in order.
+  std::vector<std::vector<std::vector<double>>> sends;
+
+  static Plan random(int n, int messages, std::uint64_t seed) {
+    Plan plan;
+    plan.sends.assign(static_cast<std::size_t>(n),
+                      std::vector<std::vector<double>>(
+                          static_cast<std::size_t>(n)));
+    util::Xoshiro256ss rng(seed);
+    for (int m = 0; m < messages; ++m) {
+      const auto from = static_cast<std::size_t>(rng.bounded(n));
+      const auto to = static_cast<std::size_t>(rng.bounded(n));
+      plan.sends[from][to].push_back(
+          static_cast<double>(m) + rng.uniform01());
+    }
+    return plan;
+  }
+};
+
+sim::Task fuzz_rank(simmpi::World& world, Rank me, const Plan& plan,
+                    std::vector<std::vector<std::vector<double>>>& received) {
+  auto& ep = world.endpoint(me);
+  const int n = world.size();
+  // Post all receives first (we know the counts), then issue all sends in
+  // an interleaved order, then await everything.
+  std::vector<std::pair<Rank, simmpi::Request>> recvs;
+  for (Rank from = 0; from < n; ++from) {
+    const auto& stream =
+        plan.sends[static_cast<std::size_t>(from)][static_cast<std::size_t>(me)];
+    for (std::size_t k = 0; k < stream.size(); ++k)
+      recvs.emplace_back(from, ep.irecv(from, 11));
+  }
+  for (Rank to = 0; to < n; ++to) {
+    const auto& stream =
+        plan.sends[static_cast<std::size_t>(me)][static_cast<std::size_t>(to)];
+    for (const double value : stream)
+      ep.isend(to, 11, simmpi::scalar_payload(value));
+  }
+  for (auto& [from, request] : recvs) {
+    Message m = co_await wait(std::move(request));
+    received[static_cast<std::size_t>(me)]
+            [static_cast<std::size_t>(m.envelope.source)]
+                .push_back(m.payload.values()[0]);
+  }
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(FuzzSeeds, RandomTrafficIsDeliveredExactlyOnceInOrder) {
+  constexpr int kRanks = 9;
+  constexpr int kMessages = 400;
+  const Plan plan = Plan::random(kRanks, kMessages, GetParam());
+
+  sim::Engine engine;
+  net::Network network(engine, kRanks, {});
+  simmpi::World world(engine, network, kRanks);
+  std::vector<std::vector<std::vector<double>>> received(
+      kRanks, std::vector<std::vector<double>>(kRanks));
+  for (Rank r = 0; r < kRanks; ++r)
+    engine.spawn(fuzz_rank(world, r, plan, received));
+  engine.run();
+
+  // Every stream arrives complete, in order, exactly once.
+  for (int i = 0; i < kRanks; ++i) {
+    for (int j = 0; j < kRanks; ++j) {
+      const auto& sent =
+          plan.sends[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      const auto& got =
+          received[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      ASSERT_EQ(got.size(), sent.size()) << i << "->" << j;
+      for (std::size_t k = 0; k < sent.size(); ++k)
+        EXPECT_DOUBLE_EQ(got[k], sent[k]) << i << "->" << j << " #" << k;
+    }
+  }
+  EXPECT_EQ(world.stats().messages_sent, static_cast<std::uint64_t>(kMessages));
+}
+
+// --- redundancy fuzz --------------------------------------------------------------
+
+sim::Task red_fuzz_rank(red::RedComm& comm, const Plan& plan,
+                        std::map<int, std::vector<double>>& received) {
+  const int n = comm.size();
+  const Rank me = comm.rank();
+  std::vector<std::pair<Rank, simmpi::Request>> recvs;
+  for (Rank from = 0; from < n; ++from) {
+    const auto& stream =
+        plan.sends[static_cast<std::size_t>(from)][static_cast<std::size_t>(me)];
+    for (std::size_t k = 0; k < stream.size(); ++k)
+      recvs.emplace_back(from, comm.irecv(from, 13));
+  }
+  for (Rank to = 0; to < n; ++to) {
+    const auto& stream =
+        plan.sends[static_cast<std::size_t>(me)][static_cast<std::size_t>(to)];
+    for (const double value : stream)
+      comm.isend(to, 13, simmpi::scalar_payload(value));
+  }
+  for (auto& [from, request] : recvs) {
+    Message m = co_await wait(std::move(request));
+    received[m.envelope.source].push_back(m.payload.values()[0]);
+  }
+}
+
+TEST_P(FuzzSeeds, RedundantRandomTrafficAgreesAcrossReplicas) {
+  constexpr int kVirtual = 5;
+  constexpr int kMessages = 120;
+  const Plan plan = Plan::random(kVirtual, kMessages, GetParam() + 100);
+
+  sim::Engine engine;
+  const red::ReplicaMap map(kVirtual, 2.0);
+  net::Network network(engine, map.num_physical(), {});
+  simmpi::World world(engine, network, static_cast<int>(map.num_physical()));
+  red::RedConfig config;
+  std::vector<std::unique_ptr<red::RedComm>> comms;
+  std::vector<std::map<int, std::vector<double>>> received(map.num_physical());
+  for (std::size_t p = 0; p < map.num_physical(); ++p) {
+    comms.push_back(std::make_unique<red::RedComm>(
+        world, map, static_cast<Rank>(p), config));
+    engine.spawn(red_fuzz_rank(*comms[p], plan, received[p]));
+  }
+  engine.run();
+
+  // Every replica of every virtual rank observed exactly the same streams.
+  for (Rank v = 0; v < kVirtual; ++v) {
+    const auto replicas = map.replicas(v);
+    const auto& reference = received[static_cast<std::size_t>(replicas[0])];
+    for (const Rank p : replicas.subspan(1))
+      EXPECT_EQ(received[static_cast<std::size_t>(p)], reference)
+          << "virtual " << v;
+    // And the primary's streams match what was sent.
+    for (Rank from = 0; from < kVirtual; ++from) {
+      const auto& sent = plan.sends[static_cast<std::size_t>(from)]
+                                   [static_cast<std::size_t>(v)];
+      const auto it = reference.find(from);
+      const std::size_t got = it == reference.end() ? 0 : it->second.size();
+      ASSERT_EQ(got, sent.size()) << from << "->" << v;
+      if (it != reference.end()) {
+        for (std::size_t k = 0; k < sent.size(); ++k)
+          EXPECT_DOUBLE_EQ(it->second[k], sent[k]);
+      }
+    }
+  }
+}
+
+// --- trace rendering ---------------------------------------------------------------
+
+TEST(Trace, RendersEveryEpisodeOnOneLine) {
+  std::vector<runtime::EpisodeTrace> trace(3);
+  trace[0].index = 0;
+  trace[0].elapsed = 120.5;
+  trace[0].end = runtime::EpisodeTrace::End::kSphereDeath;
+  trace[0].dead_sphere = 7;
+  trace[1].index = 1;
+  trace[1].start_wallclock = 150.5;
+  trace[1].end = runtime::EpisodeTrace::End::kAbandoned;
+  trace[2].index = 2;
+  trace[2].start_wallclock = 300.0;
+  trace[2].end = runtime::EpisodeTrace::End::kCompleted;
+  trace[2].start_iteration = 42;
+
+  const std::string out = runtime::render_trace(trace);
+  EXPECT_NE(out.find("sphere 7 died"), std::string::npos);
+  EXPECT_NE(out.find("abandoned"), std::string::npos);
+  EXPECT_NE(out.find("completed"), std::string::npos);
+  EXPECT_NE(out.find("it 42->done"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Trace, EmptyTraceRendersEmpty) {
+  EXPECT_TRUE(runtime::render_trace({}).empty());
+}
+
+}  // namespace
+}  // namespace redcr

@@ -1,0 +1,236 @@
+// Tests for the utility layer: RNG determinism and distributional
+// correctness, statistics, table rendering, CSV escaping, unit helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace redcr::util {
+namespace {
+
+// --- Units -------------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(minutes(1), 60.0);
+  EXPECT_DOUBLE_EQ(hours(1), 3600.0);
+  EXPECT_DOUBLE_EQ(days(2), 172800.0);
+  EXPECT_DOUBLE_EQ(years(1), 365.25 * 86400.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(128)), 128.0);
+  EXPECT_DOUBLE_EQ(to_years(years(5)), 5.0);
+  EXPECT_DOUBLE_EQ(mib(1), 1048576.0);
+  EXPECT_DOUBLE_EQ(gib(2), 2.0 * 1024 * 1048576.0);
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256ss a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool any_diff = false;
+  Xoshiro256ss a2(42);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2.next() != c.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfConsumption) {
+  // A child stream's output must not depend on how much the parent is used
+  // afterwards, and siblings must differ.
+  Xoshiro256ss parent(7);
+  Xoshiro256ss child_a = parent.split(1);
+  for (int i = 0; i < 57; ++i) parent.next();
+  Xoshiro256ss parent2(7);
+  Xoshiro256ss child_a2 = parent2.split(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child_a.next(), child_a2.next());
+  Xoshiro256ss child_b = parent2.split(2);
+  EXPECT_NE(child_a2.next(), child_b.next());
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Xoshiro256ss rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BoundedIsUnbiased) {
+  Xoshiro256ss rng(2);
+  constexpr std::uint64_t kBound = 7;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 140000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v)
+    EXPECT_NEAR(counts[v], kDraws / static_cast<double>(kBound),
+                5.0 * std::sqrt(kDraws / static_cast<double>(kBound)));
+}
+
+TEST(Rng, ExponentialMeanAndKs) {
+  Xoshiro256ss rng(3);
+  const double mean = 250.0;
+  std::vector<double> sample;
+  sample.reserve(20000);
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.exponential(mean));
+  const Summary s = summarize(sample);
+  EXPECT_NEAR(s.mean, mean, 5.0);
+  const KsResult ks = ks_test_exponential(sample, mean);
+  EXPECT_FALSE(ks.reject_at_05) << "KS stat " << ks.statistic;
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Xoshiro256ss rng(4);
+  for (const double mean : {0.5, 4.0, 200.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+      stats.add(static_cast<double>(rng.poisson(mean)));
+    EXPECT_NEAR(stats.mean(), mean, 0.05 * mean + 0.05) << mean;
+    EXPECT_NEAR(stats.variance(), mean, 0.1 * mean + 0.1) << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256ss rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+// --- Stats -------------------------------------------------------------------
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{5.0}, 77), 5.0);
+}
+
+TEST(Stats, SummaryOfEmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, KsRejectsWrongDistribution) {
+  // Uniform data must not pass as exponential.
+  Xoshiro256ss rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.uniform(0.0, 2.0));
+  const KsResult ks = ks_test_exponential(sample, 1.0);
+  EXPECT_TRUE(ks.reject_at_05);
+}
+
+TEST(Stats, QqPointsOfIdenticalSamplesLieOnDiagonal) {
+  std::vector<double> a;
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 1000; ++i) a.push_back(rng.normal());
+  const auto qq = qq_points(a, a, 16);
+  ASSERT_EQ(qq.size(), 16u);
+  for (const auto& [x, y] : qq) EXPECT_DOUBLE_EQ(x, y);
+}
+
+TEST(Stats, LineFitRecoversSlopeIntercept) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LineFitDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_line({}, {}).slope, 0.0);
+  const std::vector<double> x{1.0, 1.0, 1.0}, y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_line(x, y).slope, 0.0);  // vertical: no fit
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  t.emphasize(1, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("*22*"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  // All lines equally wide.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(771251), "771,251");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(Csv, WritesAndEscapes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "redcr_csv_test.csv").string();
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_numeric_row({1.5, 2.0}, 1);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,2.0");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace redcr::util

@@ -1,0 +1,274 @@
+// redcr_cli — command-line front end to the library.
+//
+//   redcr_cli model    [machine/job flags] [--r R | --optimize]
+//   redcr_cli sweep    [machine/job flags] [--step S]
+//   redcr_cli simulate [cluster flags] --workload W --redundancy R ...
+//
+// `model` evaluates the paper's combined model at one degree (or finds the
+// optimum); `sweep` prints the full degree sweep with crossovers; `simulate`
+// runs an actual job on the discrete-event cluster and prints the report
+// and per-episode timeline.
+//
+// Run with --help (or no arguments) for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apps/cg.hpp"
+#include "apps/master_worker.hpp"
+#include "apps/spectral.hpp"
+#include "apps/stencil.hpp"
+#include "apps/synthetic.hpp"
+#include "model/combined.hpp"
+#include "model/extensions.hpp"
+#include "runtime/executor.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace redcr;
+using util::fmt;
+using util::fmt_count;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string text(const std::string& key,
+                                 const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+model::CombinedConfig model_config(const Flags& flags) {
+  model::CombinedConfig cfg;
+  cfg.app.num_procs =
+      static_cast<std::size_t>(flags.number("procs", 50000));
+  cfg.app.base_time = util::hours(flags.number("hours", 128));
+  cfg.app.comm_fraction = flags.number("alpha", 0.2);
+  cfg.machine.node_mtbf = util::years(flags.number("mtbf-years", 5));
+  cfg.machine.checkpoint_cost = flags.number("ckpt-sec", 600);
+  cfg.machine.restart_cost = flags.number("restart-sec", 1800);
+  return cfg;
+}
+
+void print_prediction(const model::Prediction& p) {
+  std::printf("degree r             : %.3fx\n", p.r);
+  std::printf("physical processes   : %s\n",
+              fmt_count(static_cast<long long>(p.total_procs)).c_str());
+  std::printf("t_Red                : %.2f h\n",
+              util::to_hours(p.redundant_time));
+  std::printf("system MTBF          : %.2f h\n", util::to_hours(p.system_mtbf));
+  std::printf("checkpoint interval  : %.1f min (Daly)\n",
+              util::to_minutes(p.interval));
+  std::printf("expected checkpoints : %.0f\n", p.expected_checkpoints);
+  std::printf("expected failures    : %.2f\n", p.expected_failures);
+  std::printf("TOTAL WALLCLOCK      : %.2f h\n", util::to_hours(p.total_time));
+}
+
+int cmd_model(const Flags& flags) {
+  const model::CombinedConfig cfg = model_config(flags);
+  if (flags.flag("optimize")) {
+    const model::Optimum best = model::optimize_redundancy(cfg);
+    std::printf("optimal configuration:\n");
+    print_prediction(best.prediction);
+    const model::IntervalOptimum interval =
+        model::optimal_interval_search(cfg, best.r);
+    std::printf("direct-optimal delta : %.1f min (Daly penalty %.2f%%)\n",
+                util::to_minutes(interval.best_interval),
+                100 * interval.daly_penalty);
+    return 0;
+  }
+  print_prediction(model::predict(cfg, flags.number("r", 2.0)));
+  return 0;
+}
+
+int cmd_sweep(const Flags& flags) {
+  const model::CombinedConfig cfg = model_config(flags);
+  const double step = flags.number("step", 0.25);
+  util::Table t({"r", "T_total [h]", "nodes", "Theta_sys [h]", "delta [min]",
+                 "E[failures]"});
+  t.set_title("Redundancy sweep");
+  double best_r = 1.0, best_t = 1e300;
+  std::size_t row = 0, best_row = 0;
+  for (double r = 1.0; r <= 3.0 + 1e-9; r += step, ++row) {
+    const model::Prediction p = model::predict(cfg, r);
+    t.add_row({fmt(r, 2), fmt(util::to_hours(p.total_time), 1),
+               fmt_count(static_cast<long long>(p.total_procs)),
+               fmt(util::to_hours(p.system_mtbf), 1),
+               fmt(util::to_minutes(p.interval), 1),
+               fmt(p.expected_failures, 1)});
+    if (p.total_time < best_t) {
+      best_t = p.total_time;
+      best_r = r;
+      best_row = row;
+    }
+  }
+  t.emphasize(best_row, 1);
+  std::printf("%s", t.str().c_str());
+  std::printf("best degree: %.2fx\n\n", best_r);
+
+  model::CombinedConfig probe = cfg;
+  const auto x12 = model::crossover_procs(probe, 1.0, 2.0, 100, 5000000);
+  if (x12)
+    std::printf("2x beats 1x from N = %s processes (at these machine "
+                "parameters)\n",
+                fmt_count(static_cast<long long>(*x12)).c_str());
+  return 0;
+}
+
+runtime::WorkloadFactory make_workload(const std::string& name,
+                                       const Flags& flags) {
+  if (name == "cg") {
+    apps::CgSpec spec;
+    spec.rows_per_rank =
+        static_cast<std::size_t>(flags.number("rows", 64));
+    spec.max_iterations = static_cast<long>(flags.number("iterations", 150));
+    spec.compute_per_iteration = flags.number("compute-sec", 5.0);
+    return [spec](int rank, int n) {
+      return std::make_unique<apps::CgSolver>(spec, rank, n);
+    };
+  }
+  if (name == "stencil") {
+    apps::StencilSpec spec;
+    spec.iterations = static_cast<long>(flags.number("iterations", 64));
+    spec.compute_per_iteration = flags.number("compute-sec", 5.0);
+    const int side = static_cast<int>(flags.number("grid-side", 2));
+    spec.grid = {side, side, side};
+    return [spec](int, int) { return std::make_unique<apps::Stencil3d>(spec); };
+  }
+  if (name == "spectral") {
+    apps::SpectralSpec spec;
+    spec.iterations = static_cast<long>(flags.number("iterations", 32));
+    spec.compute_per_iteration = flags.number("compute-sec", 5.0);
+    return [spec](int, int) {
+      return std::make_unique<apps::SpectralWorkload>(spec);
+    };
+  }
+  if (name == "masterworker") {
+    apps::MasterWorkerSpec spec;
+    spec.rounds = static_cast<long>(flags.number("iterations", 32));
+    spec.base_task_cost = flags.number("compute-sec", 1.0);
+    return [spec](int rank, int n) {
+      return std::make_unique<apps::MasterWorker>(spec, rank, n);
+    };
+  }
+  // default: the CG-shaped synthetic workload
+  apps::SyntheticSpec spec;
+  spec.iterations = static_cast<long>(flags.number("iterations", 92));
+  spec.compute_per_iteration = flags.number("compute-sec", 24.0);
+  spec.halo_bytes = flags.number("halo-bytes", 300e6);
+  return [spec](int, int) {
+    return std::make_unique<apps::SyntheticWorkload>(spec);
+  };
+}
+
+int cmd_simulate(const Flags& flags) {
+  runtime::JobConfig cfg;
+  cfg.num_virtual = static_cast<std::size_t>(flags.number("virtual", 32));
+  cfg.redundancy = flags.number("redundancy", 2.0);
+  cfg.network.bandwidth = flags.number("bandwidth", 100e6);
+  cfg.storage.bandwidth = flags.number("storage-bandwidth", 2e9);
+  cfg.image_bytes = flags.number("image-bytes", 1e9);
+  cfg.restart_cost = flags.number("restart-sec", 500);
+  cfg.fail.node_mtbf = util::hours(flags.number("mtbf-hours", 6));
+  cfg.fail.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+  cfg.fail.weibull_shape = flags.number("weibull-shape", 1.0);
+  cfg.replication = flags.text("protocol", "push") == "pull"
+                        ? runtime::Replication::kPull
+                        : runtime::Replication::kPush;
+  if (flags.flag("msg-plus-hash")) cfg.red.mode = red::Mode::kMsgPlusHash;
+  if (flags.flag("live")) {
+    cfg.live_failure_semantics = true;
+    cfg.checkpoint_enabled = false;
+  }
+  if (flags.flag("no-checkpoint")) cfg.checkpoint_enabled = false;
+  if (cfg.checkpoint_enabled)
+    cfg.checkpoint_interval = flags.number("interval-sec", 300);
+  if (flags.flag("no-failures")) cfg.inject_failures = false;
+  cfg.ckpt_forked = flags.flag("forked-checkpoint");
+  cfg.ckpt_incremental_fraction = flags.number("incremental-fraction", 1.0);
+
+  runtime::JobExecutor executor(
+      cfg, make_workload(flags.text("workload", "synthetic"), flags));
+  const runtime::JobReport report = executor.run();
+
+  std::printf("outcome          : %s\n",
+              report.completed ? "completed" : "GAVE UP (max episodes)");
+  std::printf("wallclock        : %.1f min\n", util::to_minutes(report.wallclock));
+  std::printf("  useful work    : %.1f min\n", util::to_minutes(report.useful_work));
+  std::printf("  checkpoints    : %.1f min (%d taken)\n",
+              util::to_minutes(report.checkpoint_time), report.checkpoints);
+  std::printf("  rework         : %.1f min\n", util::to_minutes(report.rework_time));
+  std::printf("  restarts       : %.1f min (%d job failures)\n",
+              util::to_minutes(report.restart_time), report.job_failures);
+  std::printf("replica deaths   : %d\n", report.physical_failures);
+  std::printf("physical procs   : %zu\n", report.num_physical);
+  std::printf("messages         : %s\n",
+              fmt_count(static_cast<long long>(report.messages)).c_str());
+  if (report.red_mismatches_detected > 0)
+    std::printf("SDC detected     : %llu (corrected %llu)\n",
+                static_cast<unsigned long long>(report.red_mismatches_detected),
+                static_cast<unsigned long long>(report.red_mismatches_corrected));
+  std::printf("\ntimeline:\n%s", runtime::render_trace(report.trace).c_str());
+  return report.completed ? 0 : 1;
+}
+
+void usage() {
+  std::printf(
+      "redcr_cli — combined partial redundancy + checkpointing toolkit\n\n"
+      "  redcr_cli model    --procs N --hours T --mtbf-years Y --alpha A\n"
+      "                     --ckpt-sec C --restart-sec R (--r R | --optimize)\n"
+      "  redcr_cli sweep    [same machine flags] [--step 0.25]\n"
+      "  redcr_cli simulate --virtual N --redundancy R --mtbf-hours H\n"
+      "                     [--workload synthetic|cg|stencil|spectral|masterworker]\n"
+      "                     [--protocol push|pull] [--msg-plus-hash] [--live]\n"
+      "                     [--no-checkpoint] [--no-failures] [--seed S]\n"
+      "                     [--forked-checkpoint] [--incremental-fraction F]\n"
+      "                     [--weibull-shape K] [--interval-sec D]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "model") return cmd_model(flags);
+  if (command == "sweep") return cmd_sweep(flags);
+  if (command == "simulate") return cmd_simulate(flags);
+  usage();
+  return command == "--help" || command == "help" ? 0 : 2;
+}
