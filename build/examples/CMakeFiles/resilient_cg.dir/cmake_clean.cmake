@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_cg.dir/resilient_cg.cpp.o"
+  "CMakeFiles/resilient_cg.dir/resilient_cg.cpp.o.d"
+  "resilient_cg"
+  "resilient_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

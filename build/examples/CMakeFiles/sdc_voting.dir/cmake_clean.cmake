@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_voting.dir/sdc_voting.cpp.o"
+  "CMakeFiles/sdc_voting.dir/sdc_voting.cpp.o.d"
+  "sdc_voting"
+  "sdc_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/redcr_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/redcr_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/master_worker.cpp" "src/apps/CMakeFiles/redcr_apps.dir/master_worker.cpp.o" "gcc" "src/apps/CMakeFiles/redcr_apps.dir/master_worker.cpp.o.d"
+  "/root/repo/src/apps/spectral.cpp" "src/apps/CMakeFiles/redcr_apps.dir/spectral.cpp.o" "gcc" "src/apps/CMakeFiles/redcr_apps.dir/spectral.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/redcr_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/redcr_apps.dir/stencil.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/redcr_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/redcr_apps.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/redcr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/redcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redcr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_apps.dir/cg.cpp.o"
+  "CMakeFiles/redcr_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/redcr_apps.dir/master_worker.cpp.o"
+  "CMakeFiles/redcr_apps.dir/master_worker.cpp.o.d"
+  "CMakeFiles/redcr_apps.dir/spectral.cpp.o"
+  "CMakeFiles/redcr_apps.dir/spectral.cpp.o.d"
+  "CMakeFiles/redcr_apps.dir/stencil.cpp.o"
+  "CMakeFiles/redcr_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/redcr_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/redcr_apps.dir/synthetic.cpp.o.d"
+  "libredcr_apps.a"
+  "libredcr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/coordinator.cpp" "src/ckpt/CMakeFiles/redcr_ckpt.dir/coordinator.cpp.o" "gcc" "src/ckpt/CMakeFiles/redcr_ckpt.dir/coordinator.cpp.o.d"
+  "/root/repo/src/ckpt/quiesce.cpp" "src/ckpt/CMakeFiles/redcr_ckpt.dir/quiesce.cpp.o" "gcc" "src/ckpt/CMakeFiles/redcr_ckpt.dir/quiesce.cpp.o.d"
+  "/root/repo/src/ckpt/storage.cpp" "src/ckpt/CMakeFiles/redcr_ckpt.dir/storage.cpp.o" "gcc" "src/ckpt/CMakeFiles/redcr_ckpt.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/redcr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/redcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redcr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

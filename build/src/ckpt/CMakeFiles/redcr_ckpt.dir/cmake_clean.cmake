@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_ckpt.dir/coordinator.cpp.o"
+  "CMakeFiles/redcr_ckpt.dir/coordinator.cpp.o.d"
+  "CMakeFiles/redcr_ckpt.dir/quiesce.cpp.o"
+  "CMakeFiles/redcr_ckpt.dir/quiesce.cpp.o.d"
+  "CMakeFiles/redcr_ckpt.dir/storage.cpp.o"
+  "CMakeFiles/redcr_ckpt.dir/storage.cpp.o.d"
+  "libredcr_ckpt.a"
+  "libredcr_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

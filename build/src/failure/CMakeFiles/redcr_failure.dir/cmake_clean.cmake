@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_failure.dir/injector.cpp.o"
+  "CMakeFiles/redcr_failure.dir/injector.cpp.o.d"
+  "libredcr_failure.a"
+  "libredcr_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

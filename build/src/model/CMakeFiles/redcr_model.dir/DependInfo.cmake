@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/breakdown.cpp" "src/model/CMakeFiles/redcr_model.dir/breakdown.cpp.o" "gcc" "src/model/CMakeFiles/redcr_model.dir/breakdown.cpp.o.d"
+  "/root/repo/src/model/checkpoint.cpp" "src/model/CMakeFiles/redcr_model.dir/checkpoint.cpp.o" "gcc" "src/model/CMakeFiles/redcr_model.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/model/combined.cpp" "src/model/CMakeFiles/redcr_model.dir/combined.cpp.o" "gcc" "src/model/CMakeFiles/redcr_model.dir/combined.cpp.o.d"
+  "/root/repo/src/model/extensions.cpp" "src/model/CMakeFiles/redcr_model.dir/extensions.cpp.o" "gcc" "src/model/CMakeFiles/redcr_model.dir/extensions.cpp.o.d"
+  "/root/repo/src/model/redundancy.cpp" "src/model/CMakeFiles/redcr_model.dir/redundancy.cpp.o" "gcc" "src/model/CMakeFiles/redcr_model.dir/redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/redcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_model.dir/breakdown.cpp.o"
+  "CMakeFiles/redcr_model.dir/breakdown.cpp.o.d"
+  "CMakeFiles/redcr_model.dir/checkpoint.cpp.o"
+  "CMakeFiles/redcr_model.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/redcr_model.dir/combined.cpp.o"
+  "CMakeFiles/redcr_model.dir/combined.cpp.o.d"
+  "CMakeFiles/redcr_model.dir/extensions.cpp.o"
+  "CMakeFiles/redcr_model.dir/extensions.cpp.o.d"
+  "CMakeFiles/redcr_model.dir/redundancy.cpp.o"
+  "CMakeFiles/redcr_model.dir/redundancy.cpp.o.d"
+  "libredcr_model.a"
+  "libredcr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

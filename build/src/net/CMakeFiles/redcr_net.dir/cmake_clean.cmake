@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_net.dir/network.cpp.o"
+  "CMakeFiles/redcr_net.dir/network.cpp.o.d"
+  "libredcr_net.a"
+  "libredcr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/red/pull_comm.cpp" "src/red/CMakeFiles/redcr_red.dir/pull_comm.cpp.o" "gcc" "src/red/CMakeFiles/redcr_red.dir/pull_comm.cpp.o.d"
+  "/root/repo/src/red/red_comm.cpp" "src/red/CMakeFiles/redcr_red.dir/red_comm.cpp.o" "gcc" "src/red/CMakeFiles/redcr_red.dir/red_comm.cpp.o.d"
+  "/root/repo/src/red/replica_map.cpp" "src/red/CMakeFiles/redcr_red.dir/replica_map.cpp.o" "gcc" "src/red/CMakeFiles/redcr_red.dir/replica_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/redcr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/redcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/redcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redcr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redcr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_red.dir/pull_comm.cpp.o"
+  "CMakeFiles/redcr_red.dir/pull_comm.cpp.o.d"
+  "CMakeFiles/redcr_red.dir/red_comm.cpp.o"
+  "CMakeFiles/redcr_red.dir/red_comm.cpp.o.d"
+  "CMakeFiles/redcr_red.dir/replica_map.cpp.o"
+  "CMakeFiles/redcr_red.dir/replica_map.cpp.o.d"
+  "libredcr_red.a"
+  "libredcr_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

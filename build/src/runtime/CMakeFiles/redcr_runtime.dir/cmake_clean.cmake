@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_runtime.dir/executor.cpp.o"
+  "CMakeFiles/redcr_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/redcr_runtime.dir/trace.cpp.o"
+  "CMakeFiles/redcr_runtime.dir/trace.cpp.o.d"
+  "libredcr_runtime.a"
+  "libredcr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

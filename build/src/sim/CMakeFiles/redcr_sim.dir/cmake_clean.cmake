@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_sim.dir/engine.cpp.o"
+  "CMakeFiles/redcr_sim.dir/engine.cpp.o.d"
+  "libredcr_sim.a"
+  "libredcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

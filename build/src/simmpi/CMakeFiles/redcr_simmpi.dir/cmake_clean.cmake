@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/redcr_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/redcr_simmpi.dir/world.cpp.o"
+  "CMakeFiles/redcr_simmpi.dir/world.cpp.o.d"
+  "libredcr_simmpi.a"
+  "libredcr_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

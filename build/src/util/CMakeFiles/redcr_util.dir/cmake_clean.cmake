@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_util.dir/csv.cpp.o"
+  "CMakeFiles/redcr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/redcr_util.dir/log.cpp.o"
+  "CMakeFiles/redcr_util.dir/log.cpp.o.d"
+  "CMakeFiles/redcr_util.dir/rng.cpp.o"
+  "CMakeFiles/redcr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/redcr_util.dir/stats.cpp.o"
+  "CMakeFiles/redcr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/redcr_util.dir/table.cpp.o"
+  "CMakeFiles/redcr_util.dir/table.cpp.o.d"
+  "libredcr_util.a"
+  "libredcr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_live_failures.cpp" "tests/CMakeFiles/test_live_failures.dir/test_live_failures.cpp.o" "gcc" "tests/CMakeFiles/test_live_failures.dir/test_live_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/redcr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/redcr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/red/CMakeFiles/redcr_red.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/redcr_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/redcr_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/redcr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redcr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/redcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/redcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

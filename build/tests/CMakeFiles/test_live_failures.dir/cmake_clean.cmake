@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_failures.dir/test_live_failures.cpp.o"
+  "CMakeFiles/test_live_failures.dir/test_live_failures.cpp.o.d"
+  "test_live_failures"
+  "test_live_failures.pdb"
+  "test_live_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

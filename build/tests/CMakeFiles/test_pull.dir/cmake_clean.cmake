@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pull.dir/test_pull.cpp.o"
+  "CMakeFiles/test_pull.dir/test_pull.cpp.o.d"
+  "test_pull"
+  "test_pull.pdb"
+  "test_pull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

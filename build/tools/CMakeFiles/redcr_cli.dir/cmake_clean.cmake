@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcr_cli.dir/redcr_cli.cpp.o"
+  "CMakeFiles/redcr_cli.dir/redcr_cli.cpp.o.d"
+  "redcr_cli"
+  "redcr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
