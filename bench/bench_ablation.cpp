@@ -9,129 +9,166 @@
 //   A5  All-to-all vs msg-plus-hash replication mode: time and bytes (DES).
 //   A6  NIC contention on/off: where the superlinear redundancy overhead
 //       comes from (DES).
+#include <array>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
 namespace {
 
 using namespace redcr;
 
-void ablation_model(const bench::BenchArgs& args) {
-  util::Table t({"MTBF", "r", "Daly [min]", "Young [min]", "exact-exp [min]",
-                 "conditional tRR [min]"});
+void ablation_model(const exp::BenchArgs& args, const exp::SweepRunner& runner) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {6, 18, 30}).axis("r", {1, 2, 3});
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const std::vector<std::array<double, 4>> minutes =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        model::CombinedConfig base;
+        base.app = bench::paper_app();
+        base.machine = bench::paper_machine(trial.at("mtbf"));
+
+        model::CombinedConfig young = base;
+        young.use_young_interval = true;
+        model::CombinedConfig exact = base;
+        exact.failure_model = model::NodeFailureModel::kExactExponential;
+        model::CombinedConfig conditional = base;
+        conditional.restart_model = model::RestartModel::kConditional;
+
+        const double r = trial.at("r");
+        return std::array<double, 4>{
+            util::to_minutes(model::predict(base, r).total_time),
+            util::to_minutes(model::predict(young, r).total_time),
+            util::to_minutes(model::predict(exact, r).total_time),
+            util::to_minutes(model::predict(conditional, r).total_time)};
+      });
+
+  exp::ResultSink t("ablation_model",
+                    {{"MTBF", "mtbf_h"}, {"r"}, {"Daly [min]", "daly"},
+                     {"Young [min]", "young"}, {"exact-exp [min]", "exact"},
+                     {"conditional tRR [min]", "conditional"}});
   t.set_title("A1-A3: model variants, total time [minutes]");
-  auto csv = args.csv("ablation_model");
-  if (csv)
-    csv->write_row({"mtbf_h", "r", "daly", "young", "exact", "conditional"});
-  for (const double mtbf : {6.0, 18.0, 30.0}) {
-    for (const double r : {1.0, 2.0, 3.0}) {
-      model::CombinedConfig base;
-      base.app = bench::paper_app();
-      base.machine = bench::paper_machine(mtbf);
-
-      model::CombinedConfig young = base;
-      young.use_young_interval = true;
-      model::CombinedConfig exact = base;
-      exact.failure_model = model::NodeFailureModel::kExactExponential;
-      model::CombinedConfig conditional = base;
-      conditional.restart_model = model::RestartModel::kConditional;
-
-      const double daly_min = util::to_minutes(model::predict(base, r).total_time);
-      const double young_min = util::to_minutes(model::predict(young, r).total_time);
-      const double exact_min = util::to_minutes(model::predict(exact, r).total_time);
-      const double cond_min =
-          util::to_minutes(model::predict(conditional, r).total_time);
-      t.add_row({util::fmt(mtbf, 0) + " h", util::fmt(r, 0) + "x",
-                 util::fmt(daly_min, 1), util::fmt(young_min, 1),
-                 util::fmt(exact_min, 1), util::fmt(cond_min, 1)});
-      if (csv)
-        csv->write_numeric_row({mtbf, r, daly_min, young_min, exact_min,
-                                cond_min});
-    }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const double mtbf = trials[i].at("mtbf");
+    const double r = trials[i].at("r");
+    t.add_row({{util::fmt(mtbf, 0) + " h", mtbf},
+               {util::fmt(r, 0) + "x", r},
+               {minutes[i][0], 1}, {minutes[i][1], 1},
+               {minutes[i][2], 1}, {minutes[i][3], 1}});
   }
-  std::printf("%s\n", t.str().c_str());
+  t.emit(args);
 }
 
-void ablation_failures_during_checkpoint(const bench::BenchArgs& args) {
-  util::Table t({"MTBF", "r", "deferred (paper) [min]", "anytime [min]"});
-  t.set_title("A4: failures during checkpoints — deferred vs anytime (DES)");
-  for (const double mtbf : {6.0, 18.0}) {
-    for (const double r : {1.0, 2.0}) {
-      double results[2];
-      for (const bool anytime : {false, true}) {
+void ablation_failures_during_checkpoint(const exp::BenchArgs& args,
+                                         const exp::SweepRunner& runner) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {6, 18}).axis("r", {1, 2}).axis("anytime", {0, 1});
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const std::vector<double> means =
+      runner.map(trials, [&](const exp::Trial& trial) {
         util::RunningStats stats;
         for (int seed = 0; seed < args.seeds; ++seed) {
           runtime::JobConfig cfg = bench::paper_cluster_config(
-              mtbf, r, 500 + static_cast<std::uint64_t>(seed));
-          cfg.fail.inject_during_checkpoint = anytime;
+              trial.at("mtbf"), trial.at("r"),
+              500 + static_cast<std::uint64_t>(seed));
+          cfg.fail.inject_during_checkpoint = trial.at("anytime") != 0;
           cfg.max_episodes = 2000;
           runtime::JobExecutor executor(
               cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
           stats.add(util::to_minutes(executor.run().wallclock));
         }
-        results[anytime ? 1 : 0] = stats.mean();
-      }
-      t.add_row({util::fmt(mtbf, 0) + " h", util::fmt(r, 0) + "x",
-                 util::fmt(results[0], 0), util::fmt(results[1], 0)});
-    }
+        return stats.mean();
+      });
+
+  exp::ResultSink t("ablation_a4",
+                    {{"MTBF", "mtbf_h"}, {"r"},
+                     {"deferred (paper) [min]", "deferred"},
+                     {"anytime [min]", "anytime"}});
+  t.set_title("A4: failures during checkpoints — deferred vs anytime (DES)");
+  // Pair up the (deferred, anytime) cells per (mtbf, r); grid order keeps
+  // anytime as the fastest axis, so pairs are adjacent when unfiltered.
+  for (std::size_t i = 0; i < trials.size();) {
+    const double mtbf = trials[i].at("mtbf");
+    const double r = trials[i].at("r");
+    double cell[2] = {-1.0, -1.0};
+    for (; i < trials.size() && trials[i].at("mtbf") == mtbf &&
+           trials[i].at("r") == r;
+         ++i)
+      cell[trials[i].at("anytime") != 0 ? 1 : 0] = means[i];
+    std::vector<exp::Cell> row{{util::fmt(mtbf, 0) + " h", mtbf},
+                               {util::fmt(r, 0) + "x", r}};
+    for (const double v : cell)
+      row.push_back(v >= 0 ? exp::Cell{v, 0} : exp::Cell{"-"});
+    t.add_row(std::move(row));
   }
-  std::printf("%s\n", t.str().c_str());
+  t.emit(args);
 }
 
-void ablation_modes(const bench::BenchArgs& args) {
-  util::Table t({"r", "mode", "t_red [min]", "messages", "contention wait [s]"});
-  t.set_title("A5-A6: replication mode and NIC contention (failure-free DES)");
+void ablation_modes(const exp::BenchArgs& args, const exp::SweepRunner& runner) {
+  struct Variant {
+    double r;
+    const char* name;
+    red::Mode mode;
+    bool contention;
+  };
+  std::vector<Variant> variants;
   for (const double r : {2.0, 3.0}) {
-    struct Variant {
-      const char* name;
-      red::Mode mode;
-      bool contention;
-    };
-    const Variant variants[] = {
-        {"all-to-all", red::Mode::kAllToAll, true},
-        {"msg-plus-hash", red::Mode::kMsgPlusHash, true},
-        {"all-to-all, no NIC contention", red::Mode::kAllToAll, false},
-    };
-    for (const Variant& v : variants) {
-      runtime::JobConfig cfg = bench::paper_cluster_config(30.0, r, 1);
-      cfg.red.mode = v.mode;
-      cfg.network.model_contention = v.contention;
-      const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
-          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
-      t.add_row({util::fmt(r, 0) + "x", v.name,
-                 util::fmt(util::to_minutes(report.wallclock), 1),
-                 util::fmt_count(static_cast<long long>(report.messages)),
-                 util::fmt(report.network_contention_wait, 0)});
-    }
+    variants.push_back({r, "all-to-all", red::Mode::kAllToAll, true});
+    variants.push_back({r, "msg-plus-hash", red::Mode::kMsgPlusHash, true});
+    variants.push_back(
+        {r, "all-to-all, no NIC contention", red::Mode::kAllToAll, false});
   }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
+  const std::vector<runtime::JobReport> reports =
+      runner.map(variants, [&](const Variant& v) {
+        runtime::JobConfig cfg = bench::paper_cluster_config(30.0, v.r, 1);
+        cfg.red.mode = v.mode;
+        cfg.network.model_contention = v.contention;
+        return runtime::JobExecutor::run_failure_free(
+            cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      });
+
+  exp::ResultSink t("ablation_modes",
+                    {{"r"}, {"mode"}, {"t_red [min]", "t_red_min"},
+                     {"messages"}, {"contention wait [s]", "contention_s"}});
+  t.set_title("A5-A6: replication mode and NIC contention (failure-free DES)");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const runtime::JobReport& report = reports[i];
+    t.add_row({{util::fmt(variants[i].r, 0) + "x", variants[i].r},
+               {variants[i].name},
+               {util::to_minutes(report.wallclock), 1},
+               exp::Cell::count(static_cast<long long>(report.messages)),
+               {report.network_contention_wait, 0}});
+  }
+  t.emit(args);
+  args.say(
       "Reading: msg-plus-hash cuts transferred bytes (same message count);\n"
       "disabling NIC contention removes the superlinear overhead of Fig. 10\n"
       "and collapses t_red to the linear Eq.-1 value.\n\n");
 }
 
-void ablation_checkpoint_optimizations(const bench::BenchArgs& args) {
+void ablation_checkpoint_optimizations(const exp::BenchArgs& args,
+                                       const exp::SweepRunner& runner) {
   // Incremental and forked checkpointing (background §2 techniques) on the
   // DES. Incremental shrinks the images outright; forked removes the
   // *blocking* span but delays snapshot durability (images drain in the
   // background), so it trades overhead for rework exposure — the classic
   // checkpoint overhead-vs-latency distinction.
-  util::Table t({"variant", "T [min]", "checkpoints", "ckpt time [min]"});
-  t.set_title("A8: checkpoint optimizations (DES, 18 h MTBF, 1x)");
   struct Variant {
     const char* name;
     double incremental;
     bool forked;
   };
-  const Variant variants[] = {
+  const std::vector<Variant> variants = {
       {"full blocking images (paper)", 1.0, false},
       {"incremental (25% dirty)", 0.25, false},
       {"forked (background writes)", 1.0, true},
   };
-  for (const Variant& v : variants) {
+  struct Row {
+    double wall, ckpts, ckpt_time;
+  };
+  const std::vector<Row> rows = runner.map(variants, [&](const Variant& v) {
     util::RunningStats wall, ckpt_time, ckpts;
     for (int seed = 0; seed < args.seeds; ++seed) {
       runtime::JobConfig cfg = bench::paper_cluster_config(
@@ -148,53 +185,72 @@ void ablation_checkpoint_optimizations(const bench::BenchArgs& args) {
       ckpt_time.add(util::to_minutes(report.checkpoint_time));
       ckpts.add(report.checkpoints);
     }
-    t.add_row({v.name, util::fmt(wall.mean(), 0), util::fmt(ckpts.mean(), 0),
-               util::fmt(ckpt_time.mean(), 1)});
-  }
-  std::printf("%s\n", t.str().c_str());
+    return Row{wall.mean(), ckpts.mean(), ckpt_time.mean()};
+  });
+
+  exp::ResultSink t("ablation_ckpt_opt",
+                    {{"variant"}, {"T [min]", "t_min"}, {"checkpoints"},
+                     {"ckpt time [min]", "ckpt_min"}});
+  t.set_title("A8: checkpoint optimizations (DES, 18 h MTBF, 1x)");
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    t.add_row({{variants[i].name}, {rows[i].wall, 0}, {rows[i].ckpts, 0},
+               {rows[i].ckpt_time, 1}});
+  t.emit(args);
 }
 
-void ablation_weibull(const bench::BenchArgs& args) {
+void ablation_weibull(const exp::BenchArgs& args,
+                      const exp::SweepRunner& runner) {
   // Failure-distribution ablation: exponential (paper assumption 3) vs
   // Weibull infant-mortality and wear-out at the same mean.
-  util::Table t({"shape k", "regime", "T [min]", "job failures"});
-  t.set_title("A9: failure distribution (DES, 12 h mean MTBF, 2x)");
-  const std::pair<double, const char*> shapes[] = {
+  const std::vector<std::pair<double, const char*>> shapes = {
       {0.7, "infant mortality"}, {1.0, "exponential (paper)"},
       {2.0, "wear-out"}};
-  for (const auto& [shape, label] : shapes) {
-    util::RunningStats wall, failures;
-    for (int seed = 0; seed < args.seeds; ++seed) {
-      runtime::JobConfig cfg = bench::paper_cluster_config(
-          12.0, 2.0, 1700 + static_cast<std::uint64_t>(seed));
-      cfg.fail.weibull_shape = shape;
-      cfg.max_episodes = 2000;
-      runtime::JobExecutor executor(
-          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
-      const runtime::JobReport report = executor.run();
-      wall.add(util::to_minutes(report.wallclock));
-      failures.add(report.job_failures);
-    }
-    t.add_row({util::fmt(shape, 1), label, util::fmt(wall.mean(), 0),
-               util::fmt(failures.mean(), 1)});
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
+  struct Row {
+    double wall, failures;
+  };
+  const std::vector<Row> rows =
+      runner.map(shapes, [&](const std::pair<double, const char*>& shape) {
+        util::RunningStats wall, failures;
+        for (int seed = 0; seed < args.seeds; ++seed) {
+          runtime::JobConfig cfg = bench::paper_cluster_config(
+              12.0, 2.0, 1700 + static_cast<std::uint64_t>(seed));
+          cfg.fail.weibull_shape = shape.first;
+          cfg.max_episodes = 2000;
+          runtime::JobExecutor executor(
+              cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+          const runtime::JobReport report = executor.run();
+          wall.add(util::to_minutes(report.wallclock));
+          failures.add(report.job_failures);
+        }
+        return Row{wall.mean(), failures.mean()};
+      });
+
+  exp::ResultSink t("ablation_weibull",
+                    {{"shape k", "shape"}, {"regime"}, {"T [min]", "t_min"},
+                     {"job failures", "job_failures"}});
+  t.set_title("A9: failure distribution (DES, 12 h mean MTBF, 2x)");
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    t.add_row({{shapes[i].first, 1}, {shapes[i].second}, {rows[i].wall, 0},
+               {rows[i].failures, 1}});
+  t.emit(args);
+  args.say(
       "Reading: at equal mean MTBF, wear-out (k>1) failure times cluster,\n"
       "so early sphere deaths get rarer and the job finishes faster; infant\n"
       "mortality (k<1) does the opposite — the exponential assumption is\n"
       "the middle ground.\n\n");
 }
 
-void ablation_live_semantics(const bench::BenchArgs& args) {
+void ablation_live_semantics(const exp::BenchArgs& args,
+                             const exp::SweepRunner& runner) {
   // The paper's injector is bookkeeping-only (dead replicas keep computing
   // and communicating); real replication libraries degrade live. Compare
   // both at 2x without checkpointing (live mode cannot join the collective
   // quiesce — see runtime::JobConfig::live_failure_semantics).
-  util::Table t({"semantics", "T [min]", "messages", "replica deaths",
-                 "job failures"});
-  t.set_title("A10: failure semantics — bookkeeping (paper) vs live (rMPI)");
-  for (const bool live : {false, true}) {
+  struct Row {
+    double wall, msgs, deaths, jobs;
+  };
+  const std::vector<bool> semantics = {false, true};
+  const std::vector<Row> rows = runner.map(semantics, [&](bool live) {
     util::RunningStats wall, msgs, deaths, jobs;
     for (int seed = 0; seed < args.seeds; ++seed) {
       runtime::JobConfig cfg = bench::paper_cluster_config(
@@ -210,74 +266,103 @@ void ablation_live_semantics(const bench::BenchArgs& args) {
       deaths.add(report.physical_failures);
       jobs.add(report.job_failures);
     }
-    t.add_row({live ? "live degradation" : "bookkeeping (paper)",
-               util::fmt(wall.mean(), 0),
-               util::fmt_count(static_cast<long long>(msgs.mean())),
-               util::fmt(deaths.mean(), 1), util::fmt(jobs.mean(), 1)});
-  }
-  std::printf("%s\n", t.str().c_str());
+    return Row{wall.mean(), msgs.mean(), deaths.mean(), jobs.mean()};
+  });
+
+  exp::ResultSink t("ablation_semantics",
+                    {{"semantics"}, {"T [min]", "t_min"}, {"messages"},
+                     {"replica deaths", "replica_deaths"},
+                     {"job failures", "job_failures"}});
+  t.set_title("A10: failure semantics — bookkeeping (paper) vs live (rMPI)");
+  for (std::size_t i = 0; i < semantics.size(); ++i)
+    t.add_row({{semantics[i] ? "live degradation" : "bookkeeping (paper)"},
+               {rows[i].wall, 0},
+               exp::Cell::count(static_cast<long long>(rows[i].msgs)),
+               {rows[i].deaths, 1}, {rows[i].jobs, 1}});
+  t.emit(args);
 }
 
-void ablation_protocols(const bench::BenchArgs& args) {
+void ablation_protocols(const exp::BenchArgs& args,
+                        const exp::SweepRunner& runner) {
   // Push (RedMPI, the paper's library) vs pull (VolpexMPI) replication:
   // bytes vs latency. Push moves r² payload copies per virtual message and
   // supports voting; pull moves r copies behind a request round trip.
-  util::Table t({"r", "protocol", "t_red [min]", "messages"});
+  struct Variant {
+    double r;
+    bool pull;
+  };
+  std::vector<Variant> variants;
+  for (const double r : {2.0, 3.0})
+    for (const bool pull : {false, true}) variants.push_back({r, pull});
+  const std::vector<runtime::JobReport> reports =
+      runner.map(variants, [&](const Variant& v) {
+        runtime::JobConfig cfg = bench::paper_cluster_config(30.0, v.r, 1);
+        cfg.replication =
+            v.pull ? runtime::Replication::kPull : runtime::Replication::kPush;
+        return runtime::JobExecutor::run_failure_free(
+            cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+      });
+
+  exp::ResultSink t("ablation_protocols",
+                    {{"r"}, {"protocol"}, {"t_red [min]", "t_red_min"},
+                     {"messages"}});
   t.set_title(
       "A11: replication protocol — push (RedMPI) vs pull (VolpexMPI), "
       "failure-free");
-  for (const double r : {2.0, 3.0}) {
-    for (const bool pull : {false, true}) {
-      runtime::JobConfig cfg = bench::paper_cluster_config(30.0, r, 1);
-      cfg.replication =
-          pull ? runtime::Replication::kPull : runtime::Replication::kPush;
-      const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
-          cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
-      t.add_row({util::fmt(r, 0) + "x",
-                 pull ? "pull (VolpexMPI-style)" : "push (RedMPI-style)",
-                 util::fmt(util::to_minutes(report.wallclock), 1),
-                 util::fmt_count(static_cast<long long>(report.messages))});
-    }
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    t.add_row(
+        {{util::fmt(variants[i].r, 0) + "x", variants[i].r},
+         {variants[i].pull ? "pull (VolpexMPI-style)" : "push (RedMPI-style)"},
+         {util::to_minutes(reports[i].wallclock), 1},
+         exp::Cell::count(static_cast<long long>(reports[i].messages))});
+  t.emit(args);
+  args.say(
       "Reading: pull halves (r=2) or thirds (r=3) the payload bytes on the\n"
       "wire, trading a request round trip per message; with the CG-shaped\n"
       "bandwidth-bound workload pull approaches the 1x failure-free time.\n"
       "Push's r-squared copies are the price of SDC voting (A5).\n\n");
 }
 
-void ablation_quiesce(const bench::BenchArgs& args) {
-  util::Table t({"protocol", "t [min]", "checkpoints", "messages"});
+void ablation_quiesce(const exp::BenchArgs& args,
+                      const exp::SweepRunner& runner) {
+  const std::vector<bool> protocols = {true, false};
+  const std::vector<runtime::JobReport> reports =
+      runner.map(protocols, [&](bool counting) {
+        runtime::JobConfig cfg = bench::paper_cluster_config(18.0, 2.0, 7);
+        cfg.use_counting_quiesce = counting;
+        cfg.max_episodes = 2000;
+        runtime::JobExecutor executor(
+            cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+        return executor.run();
+      });
+
+  exp::ResultSink t("ablation_quiesce",
+                    {{"protocol"}, {"t [min]", "t_min"}, {"checkpoints"},
+                     {"messages"}});
   t.set_title("A7: quiesce protocol — counting vs literal bookmark exchange");
-  for (const bool counting : {true, false}) {
-    runtime::JobConfig cfg = bench::paper_cluster_config(18.0, 2.0, 7);
-    cfg.use_counting_quiesce = counting;
-    cfg.max_episodes = 2000;
-    runtime::JobExecutor executor(
-        cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
-    const runtime::JobReport report = executor.run();
-    t.add_row({counting ? "counting (Mattern-style)" : "bookmark all-to-all",
-               util::fmt(util::to_minutes(report.wallclock), 1),
-               util::fmt(report.checkpoints, 0),
-               util::fmt_count(static_cast<long long>(report.messages))});
-  }
-  std::printf("%s\n", t.str().c_str());
+  for (std::size_t i = 0; i < protocols.size(); ++i)
+    t.add_row(
+        {{protocols[i] ? "counting (Mattern-style)" : "bookmark all-to-all"},
+         {util::to_minutes(reports[i].wallclock), 1},
+         {static_cast<double>(reports[i].checkpoints), 0},
+         exp::Cell::count(static_cast<long long>(reports[i].messages))});
+  t.emit(args);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header("bench_ablation — design-choice ablations",
-                      "DESIGN.md ablation index (A1-A11)");
-  ablation_model(args);
-  ablation_failures_during_checkpoint(args);
-  ablation_modes(args);
-  ablation_quiesce(args);
-  ablation_checkpoint_optimizations(args);
-  ablation_weibull(args);
-  ablation_live_semantics(args);
-  ablation_protocols(args);
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(args, "bench_ablation — design-choice ablations",
+                    "DESIGN.md ablation index (A1-A11)");
+  const exp::SweepRunner runner(args.runner());
+  ablation_model(args, runner);
+  ablation_failures_during_checkpoint(args, runner);
+  ablation_modes(args, runner);
+  ablation_quiesce(args, runner);
+  ablation_checkpoint_optimizations(args, runner);
+  ablation_weibull(args, runner);
+  ablation_live_semantics(args, runner);
+  ablation_protocols(args, runner);
   return 0;
 }

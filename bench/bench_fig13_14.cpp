@@ -12,98 +12,107 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
-int main(int argc, char** argv) {
-  using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_fig13_14 — weak-scaling wallclock and crossover points",
-      "Figures 13 and 14 (128 h job, theta = 5 y/node)");
+namespace {
 
+using namespace redcr;
+
+model::CombinedConfig figure_config() {
   model::CombinedConfig cfg;
   cfg.app.base_time = util::hours(128);
   cfg.app.comm_fraction = 0.2;
   cfg.machine.node_mtbf = util::years(5);
   cfg.machine.checkpoint_cost = 600.0;
   cfg.machine.restart_cost = 1800.0;
+  return cfg;
+}
 
+/// One weak-scaling figure: N axis × degree axis on the runner.
+void run_figure(const exp::BenchArgs& args, const char* csv_name,
+                const char* title, const std::vector<double>& procs,
+                bool star_minima) {
   const std::vector<double> degrees = {1.0, 1.5, 2.0, 2.5, 3.0};
+  exp::ParamGrid grid;
+  grid.axis("procs", procs).axis("r", degrees);
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const exp::SweepRunner runner(args.runner());
+  const std::vector<double> hours =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        model::CombinedConfig cfg = figure_config();
+        cfg.app.num_procs = static_cast<std::size_t>(trial.at("procs"));
+        return util::to_hours(model::predict(cfg, trial.at("r")).total_time);
+      });
 
-  // ---- Fig. 13 series: up to 30k processes ----
-  {
-    util::Table t({"N", "1x [h]", "1.5x [h]", "2x [h]", "2.5x [h]", "3x [h]"});
-    t.set_title("Figure 13: modeled wallclock [hours] up to 30k processes");
-    auto csv = args.csv("fig13");
-    if (csv) csv->write_row({"N", "r1", "r1.5", "r2", "r2.5", "r3"});
-    for (const std::size_t n :
-         {1000u, 2000u, 4000u, 6000u, 8000u, 10000u, 15000u, 20000u, 25000u,
-          30000u}) {
-      cfg.app.num_procs = n;
-      std::vector<std::string> row{util::fmt_count(static_cast<long long>(n))};
-      std::vector<double> numeric{static_cast<double>(n)};
-      double best = 1e300;
-      std::size_t best_col = 0;
-      for (std::size_t i = 0; i < degrees.size(); ++i) {
-        const double hours_total =
-            util::to_hours(model::predict(cfg, degrees[i]).total_time);
-        row.push_back(util::fmt(hours_total, 1));
-        numeric.push_back(hours_total);
-        if (hours_total < best) {
-          best = hours_total;
-          best_col = i + 1;
-        }
+  exp::ResultSink t(csv_name, {{"N", "N"},
+                               {"1x [h]", "r1"},
+                               {"1.5x [h]", "r1.5"},
+                               {"2x [h]", "r2"},
+                               {"2.5x [h]", "r2.5"},
+                               {"3x [h]", "r3"}});
+  t.set_title(title);
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    std::vector<exp::Cell> row{
+        {util::fmt_count(static_cast<long long>(procs[p])), procs[p]}};
+    double best = 1e300;
+    std::size_t best_col = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (trials[i].at("procs") != procs[p]) continue;
+      any = true;
+      row.push_back({std::isfinite(hours[i]) ? util::fmt(hours[i], 1) : "inf",
+                     hours[i]});
+      if (hours[i] < best) {
+        best = hours[i];
+        best_col = row.size() - 1;
       }
-      t.add_row(std::move(row));
-      t.emphasize(t.rows() - 1, best_col);
-      if (csv) csv->write_numeric_row(numeric);
     }
-    std::printf("%s\n", t.str().c_str());
+    if (!any) continue;
+    while (row.size() < 6) row.push_back({"-"});
+    t.add_row(std::move(row));
+    if (star_minima) t.emphasize_last(best_col);
   }
+  t.emit(args);
+}
 
-  // ---- Fig. 14 series: up to 200k processes ----
-  {
-    util::Table t({"N", "1x [h]", "1.5x [h]", "2x [h]", "2.5x [h]", "3x [h]"});
-    t.set_title("Figure 14: modeled wallclock [hours] up to 200k processes");
-    auto csv = args.csv("fig14");
-    if (csv) csv->write_row({"N", "r1", "r1.5", "r2", "r2.5", "r3"});
-    for (const std::size_t n : {40000u, 60000u, 80000u, 100000u, 130000u,
-                                160000u, 200000u}) {
-      cfg.app.num_procs = n;
-      std::vector<std::string> row{util::fmt_count(static_cast<long long>(n))};
-      std::vector<double> numeric{static_cast<double>(n)};
-      for (const double r : degrees) {
-        const double hours_total =
-            util::to_hours(model::predict(cfg, r).total_time);
-        row.push_back(std::isfinite(hours_total) ? util::fmt(hours_total, 1)
-                                                 : "inf");
-        numeric.push_back(hours_total);
-      }
-      t.add_row(std::move(row));
-      if (csv) csv->write_numeric_row(numeric);
-    }
-    std::printf("%s\n", t.str().c_str());
-  }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_fig13_14 — weak-scaling wallclock and crossover points",
+      "Figures 13 and 14 (128 h job, theta = 5 y/node)");
+
+  run_figure(args, "fig13",
+             "Figure 13: modeled wallclock [hours] up to 30k processes",
+             {1000, 2000, 4000, 6000, 8000, 10000, 15000, 20000, 25000, 30000},
+             /*star_minima=*/true);
+  run_figure(args, "fig14",
+             "Figure 14: modeled wallclock [hours] up to 200k processes",
+             {40000, 60000, 80000, 100000, 130000, 160000, 200000},
+             /*star_minima=*/false);
 
   // ---- Crossover points ----
-  std::printf("Crossover points (measured vs paper):\n");
+  model::CombinedConfig cfg = figure_config();
+  args.say("Crossover points (measured vs paper):\n");
   const auto x12 = model::crossover_procs(cfg, 1.0, 2.0, 100, 3000000);
   const auto x13 = model::crossover_procs(cfg, 1.0, 3.0, 100, 3000000);
   const auto be2 = model::break_even_procs(cfg, 2.0, 2.0, 1000, 10000000);
   const auto x23 = model::crossover_procs(cfg, 2.0, 3.0, 10000, 10000000);
-  auto print_point = [](const char* what, const std::optional<double>& n,
-                        const char* paper) {
+  auto print_point = [&](const char* what, const std::optional<double>& n,
+                         const char* paper) {
     if (n)
-      std::printf("  %-46s N = %9s   (paper: %s)\n", what,
-                  util::fmt_count(static_cast<long long>(*n)).c_str(), paper);
+      args.say("  %-46s N = %9s   (paper: %s)\n", what,
+               util::fmt_count(static_cast<long long>(*n)).c_str(), paper);
     else
-      std::printf("  %-46s not found in bracket (paper: %s)\n", what, paper);
+      args.say("  %-46s not found in bracket (paper: %s)\n", what, paper);
   };
   print_point("T(2x) < T(1x) from", x12, "4,351");
   print_point("T(3x) < T(1x) from", x13, "12,551");
   print_point("two 2x jobs within one 1x job: T(1x)=2T(2x) at", be2, "78,536");
   print_point("T(3x) < T(2x) from", x23, "771,251");
 
-  std::printf(
+  args.say(
       "\nOrdering checks: 1x/2x < 1x/3x crossover: %s; break-even < 2x/3x "
       "crossover: %s\n",
       (x12 && x13 && *x12 < *x13) ? "OK" : "FAIL",

@@ -2,17 +2,19 @@
 // reliability R_sys (Eq. 9) for the paper's sample configurations — node
 // MTBF θ ∈ {2.5 y, 5 y} and communication ratio α ∈ {0.2, 0.4}, evaluated
 // over the redundancy-dilated runtime of a long job.
+#include <array>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 #include "model/redundancy.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header("bench_fig2 — redundancy vs system reliability",
-                      "Figure 2 (R_sys over degree r for sample configs)");
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(args, "bench_fig2 — redundancy vs system reliability",
+                    "Figure 2 (R_sys over degree r for sample configs)");
 
   struct Curve {
     const char* label;
@@ -26,41 +28,45 @@ int main(int argc, char** argv) {
       {"theta=2.5y alpha=0.4", 2.5, 0.4},
   };
 
+  const double step = args.quick ? 0.25 : 0.125;
+  exp::ParamGrid grid;
+  grid.axis("r", exp::ParamGrid::range(1.0, 3.0, step));
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const exp::SweepRunner runner(args.runner());
+  const auto reliabilities =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        std::array<double, 4> rel{};
+        for (std::size_t c = 0; c < curves.size(); ++c) {
+          model::AppParams app;
+          app.base_time = util::hours(128);
+          app.num_procs = 10000;
+          app.comm_fraction = curves[c].alpha;
+          const double t_red = model::redundant_time(app, trial.at("r"));
+          rel[c] = model::system_reliability(
+              app.num_procs, trial.at("r"), t_red,
+              util::years(curves[c].mtbf_years),
+              model::NodeFailureModel::kLinearized);
+        }
+        return rel;
+      });
+
+  std::vector<exp::Column> columns{{"r"}};
+  for (const Curve& c : curves) columns.push_back({c.label});
+  exp::ResultSink t("fig2", columns);
+  t.set_title("System reliability R_sys (128 h job, N = 10,000)");
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    std::vector<exp::Cell> row{{util::fmt(trials[i].at("r"), 3),
+                                trials[i].at("r")}};
+    for (const double rel : reliabilities[i])
+      row.push_back({util::fmt(rel, 4), rel});
+    t.add_row(std::move(row));
+  }
+  t.emit(args);
+
+  // The paper's qualitative reads on this figure, checked numerically:
   model::AppParams app;
   app.base_time = util::hours(128);
   app.num_procs = 10000;
-
-  std::vector<std::string> headers{"r"};
-  for (const Curve& c : curves) headers.push_back(c.label);
-  util::Table t(std::move(headers));
-  t.set_title("System reliability R_sys (128 h job, N = 10,000)");
-
-  auto csv = args.csv("fig2");
-  if (csv) {
-    std::vector<std::string> row{"r"};
-    for (const Curve& c : curves) row.push_back(c.label);
-    csv->write_row(row);
-  }
-
-  const double step = args.quick ? 0.25 : 0.125;
-  for (double r = 1.0; r <= 3.0 + 1e-9; r += step) {
-    std::vector<std::string> row{util::fmt(r, 3)};
-    std::vector<double> numeric{r};
-    for (const Curve& c : curves) {
-      app.comm_fraction = c.alpha;
-      const double t_red = model::redundant_time(app, r);
-      const double rel = model::system_reliability(
-          app.num_procs, r, t_red, util::years(c.mtbf_years),
-          model::NodeFailureModel::kLinearized);
-      row.push_back(util::fmt(rel, 4));
-      numeric.push_back(rel);
-    }
-    t.add_row(std::move(row));
-    if (csv) csv->write_numeric_row(numeric);
-  }
-  std::printf("%s\n", t.str().c_str());
-
-  // The paper's qualitative reads on this figure, checked numerically:
   app.comm_fraction = 0.2;
   const auto rel = [&](double r, double theta_years) {
     return model::system_reliability(app.num_procs, r,
@@ -68,10 +74,10 @@ int main(int argc, char** argv) {
                                      util::years(theta_years),
                                      model::NodeFailureModel::kLinearized);
   };
-  std::printf("Checks against the paper's reading of Fig. 2:\n");
-  std::printf("  - theta=2.5y needs ~3x for high reliability: R(2x)=%.3f R(3x)=%.3f\n",
-              rel(2.0, 2.5), rel(3.0, 2.5));
-  std::printf("  - theta=5y approaches 1 already below 3x:    R(2x)=%.3f R(2.5x)=%.3f\n",
-              rel(2.0, 5.0), rel(2.5, 5.0));
+  args.say("Checks against the paper's reading of Fig. 2:\n");
+  args.say("  - theta=2.5y needs ~3x for high reliability: R(2x)=%.3f R(3x)=%.3f\n",
+           rel(2.0, 2.5), rel(3.0, 2.5));
+  args.say("  - theta=5y approaches 1 already below 3x:    R(2x)=%.3f R(2.5x)=%.3f\n",
+           rel(2.0, 5.0), rel(2.5, 5.0));
   return 0;
 }

@@ -10,79 +10,99 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_fig4_5_6 — modeled time vs redundancy degree, 3 configs",
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_fig4_5_6 — modeled time vs redundancy degree, 3 configs",
       "Figures 4, 5, 6 (128 h job; configs differ in c, θ, α)");
 
   struct Config {
     const char* name;
+    const char* csv_suffix;
     double checkpoint_cost;  // c, seconds
     double node_mtbf_years;  // θ
     double alpha;
   };
   const std::vector<Config> configs = {
-      {"Configuration 1 (Fig. 4): c=600s, theta=1y, alpha=0.2", 600.0, 1.0, 0.2},
-      {"Configuration 2 (Fig. 5): c=200s, theta=1y, alpha=0.3", 200.0, 1.0, 0.3},
-      {"Configuration 3 (Fig. 6): c=60s,  theta=1y, alpha=0.2", 60.0, 1.0, 0.2},
+      {"Configuration 1 (Fig. 4): c=600s, theta=1y, alpha=0.2", "cfg1",
+       600.0, 1.0, 0.2},
+      {"Configuration 2 (Fig. 5): c=200s, theta=1y, alpha=0.3", "cfg2",
+       200.0, 1.0, 0.3},
+      {"Configuration 3 (Fig. 6): c=60s,  theta=1y, alpha=0.2", "cfg3",
+       60.0, 1.0, 0.2},
   };
 
-  for (const Config& config : configs) {
-    model::CombinedConfig cfg;
-    cfg.app.base_time = util::hours(128);
-    cfg.app.comm_fraction = config.alpha;
-    cfg.app.num_procs = 10000;
-    cfg.machine.node_mtbf = util::years(config.node_mtbf_years);
-    cfg.machine.checkpoint_cost = config.checkpoint_cost;
-    cfg.machine.restart_cost = 600.0;
+  const double step = args.quick ? 0.25 : 0.125;
+  exp::ParamGrid grid;
+  grid.axis("config", {1, 2, 3})
+      .axis("r", exp::ParamGrid::range(1.0, 3.0, step));
+  const std::size_t degrees_per_config = grid.axes()[1].values.size();
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const exp::SweepRunner runner(args.runner());
+  const std::vector<model::Prediction> predictions =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        const Config& config =
+            configs[static_cast<std::size_t>(trial.at("config")) - 1];
+        model::CombinedConfig cfg;
+        cfg.app.base_time = util::hours(128);
+        cfg.app.comm_fraction = config.alpha;
+        cfg.app.num_procs = 10000;
+        cfg.machine.node_mtbf = util::years(config.node_mtbf_years);
+        cfg.machine.checkpoint_cost = config.checkpoint_cost;
+        cfg.machine.restart_cost = 600.0;
+        return model::predict(cfg, trial.at("r"));
+      });
 
-    util::Table t({"r", "T_total [h]", "Chkpts", "lambda [1/h]", "delta [min]",
-                   "Theta_sys [min]"});
-    t.set_title(config.name);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    exp::ResultSink t(std::string("fig4_5_6_") + configs[c].csv_suffix,
+                      {{"r"},
+                       {"T_total [h]", "total_hours"},
+                       {"Chkpts", "checkpoints"},
+                       {"lambda [1/h]", "lambda_per_hour"},
+                       {"delta [min]", "delta_minutes"},
+                       {"Theta_sys [min]", "theta_sys_minutes"}});
+    t.set_title(configs[c].name);
 
-    auto csv = args.csv(std::string("fig4_5_6_") +
-                        (config.checkpoint_cost == 600.0   ? "cfg1"
-                         : config.checkpoint_cost == 200.0 ? "cfg2"
-                                                           : "cfg3"));
-    if (csv)
-      csv->write_row({"r", "total_hours", "checkpoints", "lambda_per_hour",
-                      "delta_minutes"});
-
-    const model::Prediction base = model::predict(cfg, 1.0);
-    double t_min = base.total_time, t_max = base.total_time, r_min = 1.0;
+    double t_min = 1e300, t_max = -1e300, r_min = 1.0, t_base = -1.0;
     std::size_t min_row = 0;
-
-    const double step = args.quick ? 0.25 : 0.125;
-    std::size_t row_index = 0;
-    for (double r = 1.0; r <= 3.0 + 1e-9; r += step, ++row_index) {
-      const model::Prediction p = model::predict(cfg, r);
-      t.add_row({util::fmt(r, 3), util::fmt(util::to_hours(p.total_time), 1),
-                 util::fmt(p.expected_checkpoints, 0),
-                 util::fmt(p.failure_rate * 3600.0, 3),
-                 util::fmt(util::to_minutes(p.interval), 1),
-                 util::fmt(util::to_minutes(p.system_mtbf), 1)});
-      if (csv)
-        csv->write_numeric_row({r, util::to_hours(p.total_time),
-                                p.expected_checkpoints,
-                                p.failure_rate * 3600.0,
-                                util::to_minutes(p.interval)});
+    bool any = false;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (static_cast<std::size_t>(trials[i].at("config")) != c + 1) continue;
+      const model::Prediction& p = predictions[i];
+      const double r = trials[i].at("r");
+      t.add_row({{util::fmt(r, 3), r},
+                 {util::fmt(util::to_hours(p.total_time), 1),
+                  util::to_hours(p.total_time)},
+                 {util::fmt(p.expected_checkpoints, 0),
+                  p.expected_checkpoints},
+                 {util::fmt(p.failure_rate * 3600.0, 3),
+                  p.failure_rate * 3600.0},
+                 {util::fmt(util::to_minutes(p.interval), 1),
+                  util::to_minutes(p.interval)},
+                 {util::fmt(util::to_minutes(p.system_mtbf), 1),
+                  util::to_minutes(p.system_mtbf)}});
+      any = true;
+      if (trials[i].index() % degrees_per_config == 0)
+        t_base = util::to_hours(p.total_time);
       if (p.total_time < t_min) {
         t_min = p.total_time;
         r_min = r;
-        min_row = row_index;
+        min_row = t.rows() - 1;
       }
       if (p.total_time > t_max) t_max = p.total_time;
     }
-    t.emphasize(min_row, 1);
-    std::printf("%s", t.str().c_str());
-    std::printf(
+    if (!any) continue;
+    // Re-mark the minimum (emphasize_last only reaches the latest row, so
+    // re-add emphasis through the row bookkeeping helper).
+    t.emphasize_row(min_row, 1);
+    t.emit(args);
+    args.say(
         "Annotations: T_min=%.1f h at r=%.2f | T_max=%.1f h | T_r=1=%.1f h\n",
-        util::to_hours(t_min), r_min, util::to_hours(t_max),
-        util::to_hours(base.total_time));
-    std::printf(
+        util::to_hours(t_min), r_min, util::to_hours(t_max), t_base);
+    args.say(
         "Paper check: best degree is 2 in all three configurations -> %s\n\n",
         std::abs(r_min - 2.0) < 0.26 ? "REPRODUCED" : "DIFFERS");
   }
@@ -101,9 +121,8 @@ int main(int argc, char** argv) {
   b.machine.checkpoint_cost = 60.0;
   const double da = model::predict(a, 1.0).interval;
   const double db = model::predict(b, 1.0).interval;
-  std::printf(
+  args.say(
       "delta_opt(Fig.4)/delta_opt(Fig.6) = %.2f (paper: ~sqrt(10) = 3.16)\n",
       da / db);
-  (void)args;
   return 0;
 }

@@ -17,13 +17,14 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 #include "model/extensions.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_interval — optimal checkpoint interval and model extensions",
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_interval — optimal checkpoint interval and model extensions",
       "Section 4.2/4.3 (Eq. 15 vs direct optimization of Eq. 14)");
 
   model::CombinedConfig cfg;
@@ -34,52 +35,88 @@ int main(int argc, char** argv) {
   cfg.machine.checkpoint_cost = 600.0;
   cfg.machine.restart_cost = 1800.0;
 
+  const exp::SweepRunner runner(args.runner());
+
   // ---- (a) the U-curve ----
   {
-    util::Table t({"delta [min]", "T(1x) [h]", "T(1.5x) [h]", "T(2x) [h]"});
+    exp::ParamGrid grid;
+    grid.axis("delta_min", {2, 5, 10, 20, 40, 80, 160, 320, 640})
+        .axis("r", {1.0, 1.5, 2.0});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    const std::vector<double> hours =
+        runner.map(trials, [&](const exp::Trial& trial) {
+          model::CombinedConfig probe = cfg;
+          probe.fixed_interval = trial.at("delta_min") * 60.0;
+          return util::to_hours(
+              model::predict(probe, trial.at("r")).total_time);
+        });
+
+    exp::ResultSink t("interval_sweep", {{"delta [min]", "delta_min"},
+                                         {"T(1x) [h]", "t_r1_h"},
+                                         {"T(1.5x) [h]", "t_r15_h"},
+                                         {"T(2x) [h]", "t_r2_h"}});
     t.set_title("T_total over the checkpoint interval (U-curve, Eq. 14)");
-    auto csv = args.csv("interval_sweep");
-    if (csv) csv->write_row({"delta_min", "t_r1_h", "t_r15_h", "t_r2_h"});
-    for (const double delta_min :
-         {2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0}) {
-      model::CombinedConfig probe = cfg;
-      probe.fixed_interval = delta_min * 60.0;
-      std::vector<std::string> row{util::fmt(delta_min, 0)};
-      std::vector<double> numeric{delta_min};
-      for (const double r : {1.0, 1.5, 2.0}) {
-        const double hours_total =
-            util::to_hours(model::predict(probe, r).total_time);
-        row.push_back(std::isfinite(hours_total) ? util::fmt(hours_total, 1)
-                                                 : "inf");
-        numeric.push_back(hours_total);
-      }
+    // Trials arrive in grid order (delta major, r minor); group rows by the
+    // delta value so --filter subsets still land in the right cells.
+    for (std::size_t i = 0; i < trials.size();) {
+      const double delta = trials[i].at("delta_min");
+      std::vector<exp::Cell> row{{util::fmt(delta, 0), delta}};
+      for (; i < trials.size() && trials[i].at("delta_min") == delta; ++i)
+        row.push_back({std::isfinite(hours[i]) ? util::fmt(hours[i], 1)
+                                               : "inf",
+                       hours[i]});
+      while (row.size() < 4) row.push_back({"-"});
       t.add_row(std::move(row));
-      if (csv) csv->write_numeric_row(numeric);
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args);
   }
 
   // ---- (b)+(c) Daly / Young vs the true optimum ----
   {
-    util::Table t({"r", "optimal delta [min]", "Daly delta [min]",
-                   "Daly penalty", "Young delta [min]", "Young penalty"});
+    exp::ParamGrid grid;
+    grid.axis("r", {1.0, 1.5, 2.0, 2.5, 3.0});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    struct OptRow {
+      model::IntervalOptimum daly;
+      double young_delta_min = 0.0;
+      double young_penalty = 0.0;
+    };
+    const std::vector<OptRow> rows =
+        runner.map(trials, [&](const exp::Trial& trial) {
+          OptRow out;
+          out.daly = model::optimal_interval_search(cfg, trial.at("r"));
+          model::CombinedConfig young_cfg = cfg;
+          young_cfg.use_young_interval = true;
+          const model::Prediction young =
+              model::predict(young_cfg, trial.at("r"));
+          out.young_delta_min = util::to_minutes(young.interval);
+          out.young_penalty =
+              young.total_time / out.daly.best_total_time - 1.0;
+          return out;
+        });
+
+    exp::ResultSink t("interval_optima", {{"r"},
+                                          {"optimal delta [min]", "optimal"},
+                                          {"Daly delta [min]", "daly"},
+                                          {"Daly penalty", "daly_penalty"},
+                                          {"Young delta [min]", "young"},
+                                          {"Young penalty", "young_penalty"}});
     t.set_title("Closed-form intervals vs direct minimization of Eq. 14");
-    for (const double r : {1.0, 1.5, 2.0, 2.5, 3.0}) {
-      const model::IntervalOptimum daly = model::optimal_interval_search(cfg, r);
-      model::CombinedConfig young_cfg = cfg;
-      young_cfg.use_young_interval = true;
-      const model::Prediction young = model::predict(young_cfg, r);
-      const double young_penalty =
-          young.total_time / daly.best_total_time - 1.0;
-      t.add_row({util::fmt(r, 2) + "x",
-                 util::fmt(util::to_minutes(daly.best_interval), 1),
-                 util::fmt(util::to_minutes(daly.daly_interval), 1),
-                 util::fmt(100 * daly.daly_penalty, 2) + "%",
-                 util::fmt(util::to_minutes(young.interval), 1),
-                 util::fmt(100 * young_penalty, 2) + "%"});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const OptRow& row = rows[i];
+      t.add_row({{util::fmt(trials[i].at("r"), 2) + "x", trials[i].at("r")},
+                 {util::fmt(util::to_minutes(row.daly.best_interval), 1),
+                  util::to_minutes(row.daly.best_interval)},
+                 {util::fmt(util::to_minutes(row.daly.daly_interval), 1),
+                  util::to_minutes(row.daly.daly_interval)},
+                 {util::fmt(100 * row.daly.daly_penalty, 2) + "%",
+                  row.daly.daly_penalty},
+                 {util::fmt(row.young_delta_min, 1), row.young_delta_min},
+                 {util::fmt(100 * row.young_penalty, 2) + "%",
+                  row.young_penalty}});
     }
-    std::printf("%s\n", t.str().c_str());
-    std::printf(
+    t.emit(args);
+    args.say(
         "Reading: Daly's Eq. 15 stays within a few percent of the true\n"
         "optimum of the paper's own combined model — the paper's shortcut\n"
         "is sound; the residual gap comes from Eq. 13's restart term,\n"
@@ -88,48 +125,74 @@ int main(int argc, char** argv) {
 
   // ---- Ferreira same-nodes assumption (Section 7 contrast) ----
   {
-    util::Table t({"N", "assumption", "T(1x) [h]", "T(2x) [h]", "T(3x) [h]",
-                   "nodes at 2x"});
+    exp::ParamGrid grid;
+    grid.axis("procs", {10000, 100000, 300000});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    struct Contrast {
+      double extra[3];
+      double same[3];
+    };
+    const std::vector<Contrast> rows =
+        runner.map(trials, [&](const exp::Trial& trial) {
+          model::CombinedConfig probe = cfg;
+          probe.app.num_procs = static_cast<std::size_t>(trial.at("procs"));
+          Contrast out{};
+          const double degrees[3] = {1.0, 2.0, 3.0};
+          for (int d = 0; d < 3; ++d) {
+            out.extra[d] =
+                util::to_hours(model::predict(probe, degrees[d]).total_time);
+            out.same[d] = util::to_hours(
+                model::predict_same_nodes(probe, degrees[d]).total_time);
+          }
+          return out;
+        });
+
+    exp::ResultSink t("interval_assumptions",
+                      {{"N", "procs"}, {"assumption"}, {"T(1x) [h]", "t_r1"},
+                       {"T(2x) [h]", "t_r2"}, {"T(3x) [h]", "t_r3"},
+                       {"nodes at 2x", "nodes_2x"}});
     t.set_title(
         "Extra-nodes (this paper) vs same-nodes (Ferreira et al.) execution");
-    for (const std::size_t n : {10000u, 100000u, 300000u}) {
-      model::CombinedConfig probe = cfg;
-      probe.app.num_procs = n;
-      auto fmt_h = [](double t_h) {
-        return std::isfinite(t_h) ? util::fmt(t_h, 1) : std::string("inf");
-      };
-      t.add_row({util::fmt_count(static_cast<long long>(n)),
-                 std::string("extra nodes"),
-                 fmt_h(util::to_hours(model::predict(probe, 1.0).total_time)),
-                 fmt_h(util::to_hours(model::predict(probe, 2.0).total_time)),
-                 fmt_h(util::to_hours(model::predict(probe, 3.0).total_time)),
-                 util::fmt_count(static_cast<long long>(2 * n))});
-      t.add_row({std::string(""), std::string("same nodes"),
-                 fmt_h(util::to_hours(
-                     model::predict_same_nodes(probe, 1.0).total_time)),
-                 fmt_h(util::to_hours(
-                     model::predict_same_nodes(probe, 2.0).total_time)),
-                 fmt_h(util::to_hours(
-                     model::predict_same_nodes(probe, 3.0).total_time)),
-                 util::fmt_count(static_cast<long long>(n))});
+    auto fmt_h = [](double t_h) {
+      return exp::Cell{std::isfinite(t_h) ? util::fmt(t_h, 1) : "inf", t_h};
+    };
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const double n = trials[i].at("procs");
+      t.add_row({exp::Cell::count(static_cast<long long>(n)),
+                 {"extra nodes"}, fmt_h(rows[i].extra[0]),
+                 fmt_h(rows[i].extra[1]), fmt_h(rows[i].extra[2]),
+                 exp::Cell::count(static_cast<long long>(2 * n))});
+      t.add_row({{""}, {"same nodes"}, fmt_h(rows[i].same[0]),
+                 fmt_h(rows[i].same[1]), fmt_h(rows[i].same[2]),
+                 exp::Cell::count(static_cast<long long>(n))});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args, exp::Emit::kTextOnly);
   }
 
   // ---- Sensitivities ----
   {
-    util::Table t({"r", "d/d theta", "d/d c", "d/d R", "d/d alpha", "d/d N"});
+    exp::ParamGrid grid;
+    grid.axis("r", {1.0, 2.0, 3.0});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    const std::vector<model::Sensitivity> sensitivities = runner.map(
+        trials, [&](const exp::Trial& trial) {
+          return model::sensitivity_at(cfg, trial.at("r"));
+        });
+
+    exp::ResultSink t("interval_sensitivity",
+                      {{"r"}, {"d/d theta", "wrt_mtbf"},
+                       {"d/d c", "wrt_ckpt"}, {"d/d R", "wrt_restart"},
+                       {"d/d alpha", "wrt_alpha"}, {"d/d N", "wrt_procs"}});
     t.set_title(
         "Elasticities of T_total (d ln T / d ln parameter) at N = 50,000");
-    for (const double r : {1.0, 2.0, 3.0}) {
-      const model::Sensitivity s = model::sensitivity_at(cfg, r);
-      t.add_row({util::fmt(r, 0) + "x", util::fmt(s.wrt_node_mtbf, 3),
-                 util::fmt(s.wrt_checkpoint_cost, 3),
-                 util::fmt(s.wrt_restart_cost, 3),
-                 util::fmt(s.wrt_comm_fraction, 3),
-                 util::fmt(s.wrt_num_procs, 3)});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const model::Sensitivity& s = sensitivities[i];
+      t.add_row({{util::fmt(trials[i].at("r"), 0) + "x", trials[i].at("r")},
+                 {s.wrt_node_mtbf, 3}, {s.wrt_checkpoint_cost, 3},
+                 {s.wrt_restart_cost, 3}, {s.wrt_comm_fraction, 3},
+                 {s.wrt_num_procs, 3}});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args);
   }
   return 0;
 }

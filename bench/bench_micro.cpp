@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "exp/grid.hpp"
+#include "exp/runner.hpp"
 #include "model/combined.hpp"
 #include "net/network.hpp"
 #include "red/red_comm.hpp"
@@ -129,6 +131,45 @@ void BM_ModelOptimize(benchmark::State& state) {
     benchmark::DoNotOptimize(model::optimize_redundancy(cfg).r);
 }
 BENCHMARK(BM_ModelOptimize);
+
+void BM_GridEnumerate(benchmark::State& state) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {6, 12, 18, 24, 30})
+      .axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25))
+      .axis("seed", exp::ParamGrid::range(0, 19, 1));
+  for (auto _ : state) {
+    const std::vector<exp::Trial> trials = grid.trials();
+    benchmark::DoNotOptimize(trials.back().seed(1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.size()));
+}
+BENCHMARK(BM_GridEnumerate);
+
+void BM_SweepRunnerMap(benchmark::State& state) {
+  // Harness overhead + scaling of the worker pool itself: map the analytic
+  // model over a Figure-13-sized grid at 1 and at hardware_concurrency jobs.
+  exp::ParamGrid grid;
+  grid.axis("procs", {1000, 4000, 10000, 30000, 100000})
+      .axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
+  const std::vector<exp::Trial> trials = grid.trials();
+  exp::RunnerOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  const exp::SweepRunner runner(options);
+  for (auto _ : state) {
+    const std::vector<double> out =
+        runner.map(trials, [](const exp::Trial& trial) {
+          model::CombinedConfig cfg;
+          cfg.app.base_time = util::hours(128);
+          cfg.app.num_procs = static_cast<std::size_t>(trial.at("procs"));
+          return model::predict(cfg, trial.at("r")).total_time;
+        });
+    benchmark::DoNotOptimize(out.front());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trials.size()));
+}
+BENCHMARK(BM_SweepRunnerMap)->Arg(1)->Arg(0);  // 0 = hardware_concurrency
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256ss rng(42);

@@ -16,6 +16,7 @@
 #include "apps/spectral.hpp"
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
 namespace {
 
@@ -33,9 +34,9 @@ runtime::JobConfig pattern_config(double r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_patterns — redundancy overhead vs communication pattern",
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_patterns — redundancy overhead vs communication pattern",
       "Eq. 1 / Fig. 10 across messaging archetypes (32 virtual procs)");
 
   struct Archetype {
@@ -80,40 +81,62 @@ int main(int argc, char** argv) {
   };
 
   const std::vector<double> degrees = {1.0, 1.25, 1.5, 2.0, 2.5, 3.0};
-  std::vector<std::string> headers{"pattern", "t(1x) [s]"};
+  exp::ParamGrid grid;
+  grid.axis("pattern", {0, 1, 2}).axis("r", degrees);
+  // The dilation columns need each pattern's r=1 baseline, so the baseline
+  // cells must run even when --filter selects a redundant subset.
+  const std::vector<exp::Trial> trials =
+      args.filter.empty() ? grid.trials() : grid.trials(args.filter + ",r=1");
+  const exp::SweepRunner runner(args.runner());
+  const std::vector<double> wallclocks =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        const Archetype& a =
+            archetypes[static_cast<std::size_t>(trial.at("pattern"))];
+        const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
+            pattern_config(trial.at("r")), a.factory);
+        std::fprintf(stderr, "  %s r=%.2f t=%.1f s\n", a.name, trial.at("r"),
+                     report.wallclock);
+        return report.wallclock;
+      });
+
+  std::vector<exp::Column> columns{{"pattern"}, {"t(1x) [s]", "t_base_s"}};
   for (std::size_t d = 1; d < degrees.size(); ++d)
-    headers.push_back("x" + util::fmt(degrees[d], 2));
-  util::Table t(headers);
+    columns.push_back({"x" + util::fmt(degrees[d], 2),
+                       "dilation_" + util::fmt(degrees[d], 2)});
+  exp::ResultSink t("patterns", columns);
   t.set_title(
       "Failure-free dilation t_Red(r)/t(1x) per pattern (linear Eq.1 at "
       "alpha=0.2: 1.04 / 1.08 / 1.17 / 1.25 / 1.33)");
 
-  auto csv = args.csv("patterns");
-  if (csv) csv->write_row({"pattern_index", "r", "dilation"});
-
   for (std::size_t a = 0; a < archetypes.size(); ++a) {
-    std::vector<std::string> row{archetypes[a].name, ""};
+    std::vector<exp::Cell> row{{archetypes[a].name}};
     double base = 0.0;
+    bool complete = true;
     for (std::size_t d = 0; d < degrees.size(); ++d) {
-      runtime::JobConfig cfg = pattern_config(degrees[d]);
-      const runtime::JobReport report =
-          runtime::JobExecutor::run_failure_free(cfg, archetypes[a].factory);
-      if (d == 0) {
-        base = report.wallclock;
-        row[1] = util::fmt(base, 1);
-      } else {
-        row.push_back(util::fmt(report.wallclock / base, 3));
-        if (csv)
-          csv->write_numeric_row(
-              {static_cast<double>(a), degrees[d], report.wallclock / base});
+      const std::size_t linear = a * degrees.size() + d;
+      // Find the trial for this (pattern, degree) — grid order is preserved
+      // under filtering, so search by index.
+      double wallclock = -1.0;
+      for (std::size_t i = 0; i < trials.size(); ++i)
+        if (trials[i].index() == linear) wallclock = wallclocks[i];
+      if (wallclock < 0.0) {
+        if (d == 0) complete = false;
+        row.push_back({"-"});
+        continue;
       }
-      std::fprintf(stderr, "  %s r=%.2f t=%.1f s\n", archetypes[a].name,
-                   degrees[d], report.wallclock);
+      if (d == 0) {
+        base = wallclock;
+        row.push_back({util::fmt(base, 1), base});
+      } else if (complete) {
+        row.push_back({util::fmt(wallclock / base, 3), wallclock / base});
+      } else {
+        row.push_back({"-"});
+      }
     }
-    t.add_row(std::move(row));
+    if (complete) t.add_row(std::move(row));
   }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
+  t.emit(args);
+  args.say(
       "Reading: the same nominal alpha yields different redundancy\n"
       "penalties per pattern. Overlap-friendly patterns (halo, transpose)\n"
       "track Eq. 1's linear dilation closely: all copies of all messages\n"

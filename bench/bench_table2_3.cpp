@@ -8,14 +8,15 @@
 // breakdown side by side with the paper's values and compare the *trend*:
 // useful work collapses with node count and with job length / worse MTBF.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 #include "model/breakdown.hpp"
 
 namespace {
 
 using namespace redcr;
-using bench::BenchArgs;
 using util::fmt;
 using util::fmt_count;
 
@@ -23,115 +24,145 @@ struct PaperRow {
   double work, checkpt, recomp, restart;
 };
 
-void print_table1() {
-  util::Table t({"System", "# CPUs", "MTBF/I"});
+void print_table1(const exp::BenchArgs& args) {
+  exp::ResultSink t("table1", {{"System"}, {"# CPUs"}, {"MTBF/I"}});
   t.set_title("Table 1 (context, quoted): Reliability of HPC Clusters");
-  t.add_row({"ASCI Q", "8,192", "6.5 hrs"});
-  t.add_row({"ASCI White", "8,192", "5/40 hrs ('01/'03)"});
-  t.add_row({"PSC Lemieux", "3,016", "9.7 hrs"});
-  t.add_row({"Google", "15,000", "20 reboots/day"});
-  t.add_row({"ASC BG/L", "212,992", "6.9 hrs (LLNL est.)"});
-  std::printf("%s\n", t.str().c_str());
+  t.add_row({{"ASCI Q"}, {"8,192"}, {"6.5 hrs"}});
+  t.add_row({{"ASCI White"}, {"8,192"}, {"5/40 hrs ('01/'03)"}});
+  t.add_row({{"PSC Lemieux"}, {"3,016"}, {"9.7 hrs"}});
+  t.add_row({{"Google"}, {"15,000"}, {"20 reboots/day"}});
+  t.add_row({{"ASC BG/L"}, {"212,992"}, {"6.9 hrs (LLNL est.)"}});
+  t.emit(args, exp::Emit::kTextOnly);
+}
+
+exp::Cell pct(double fraction) {
+  return {fmt(100 * fraction, 0) + "%", fraction};
+}
+
+std::string paper_cell(const PaperRow& p) {
+  return fmt(p.work, 0) + "/" + fmt(p.checkpt, 0) + "/" + fmt(p.recomp, 0) +
+         "/" + fmt(p.restart, 0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = BenchArgs::parse(argc, argv);
-  bench::print_header("bench_table2_3 — C/R overhead breakdown",
-                      "Tables 2 and 3 (168 h / varied jobs, 5 y node MTBF)");
-  print_table1();
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(args, "bench_table2_3 — C/R overhead breakdown",
+                    "Tables 2 and 3 (168 h / varied jobs, 5 y node MTBF)");
+  print_table1(args);
 
   // Model parameters chosen to represent the Sandia study's machine: 5-year
   // node MTBF, 5-minute checkpoints, 10-minute restarts, compute-only app.
-  model::CombinedConfig cfg;
-  cfg.app.comm_fraction = 0.0;
-  cfg.machine.checkpoint_cost = 300.0;
-  cfg.machine.restart_cost = 600.0;
+  model::CombinedConfig base;
+  base.app.comm_fraction = 0.0;
+  base.machine.checkpoint_cost = 300.0;
+  base.machine.restart_cost = 600.0;
+
+  const exp::SweepRunner runner(args.runner());
 
   {
     // ---- Table 2: 168-hour job, 5-year MTBF, varying node count ----
-    cfg.app.base_time = util::hours(168);
-    cfg.machine.node_mtbf = util::years(5);
     const PaperRow paper[] = {{96, 1, 3, 0}, {92, 7, 1, 0}, {75, 15, 6, 4},
                               {35, 20, 10, 35}};
-    const std::size_t nodes[] = {100, 1000, 10000, 100000};
-    util::Table t({"# Nodes", "work", "checkpt", "recomp.", "restart",
-                   "paper(work/ckpt/rec/rst)"});
+    exp::ParamGrid grid;
+    grid.axis("nodes", {100, 1000, 10000, 100000});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    const std::vector<model::TimeBreakdown> breakdowns =
+        runner.map(trials, [&](const exp::Trial& trial) {
+          model::CombinedConfig cfg = base;
+          cfg.app.base_time = util::hours(168);
+          cfg.machine.node_mtbf = util::years(5);
+          cfg.app.num_procs = static_cast<std::size_t>(trial.at("nodes"));
+          return model::compute_breakdown(cfg, 1.0);
+        });
+
+    exp::ResultSink t("table2",
+                      {{"# Nodes", "nodes"},
+                       {"work"},
+                       {"checkpt"},
+                       {"recomp.", "recomp"},
+                       {"restart"},
+                       {"paper(work/ckpt/rec/rst)", "", /*data=*/false}});
     t.set_title("Table 2: 168-hour Job, 5 year MTBF (model vs paper)");
-    auto csv = args.csv("table2");
-    if (csv) csv->write_row({"nodes", "work", "checkpt", "recomp", "restart"});
-    for (std::size_t i = 0; i < 4; ++i) {
-      cfg.app.num_procs = nodes[i];
-      const model::TimeBreakdown b = model::compute_breakdown(cfg, 1.0);
-      t.add_row({fmt_count(static_cast<long long>(nodes[i])),
-                 fmt(100 * b.work, 0) + "%", fmt(100 * b.checkpoint, 0) + "%",
-                 fmt(100 * b.recompute, 0) + "%",
-                 fmt(100 * b.restart, 0) + "%",
-                 fmt(paper[i].work, 0) + "/" + fmt(paper[i].checkpt, 0) + "/" +
-                     fmt(paper[i].recomp, 0) + "/" + fmt(paper[i].restart, 0)});
-      if (csv)
-        csv->write_numeric_row({static_cast<double>(nodes[i]), b.work,
-                                b.checkpoint, b.recompute, b.restart});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const model::TimeBreakdown& b = breakdowns[i];
+      const double nodes = trials[i].at("nodes");
+      t.add_row({{fmt_count(static_cast<long long>(nodes)), nodes},
+                 pct(b.work), pct(b.checkpoint), pct(b.recompute),
+                 pct(b.restart), {paper_cell(paper[trials[i].index()])}});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args);
   }
 
   {
     // ---- Table 3: 100k-node job, varied length and MTBF ----
-    cfg.app.num_procs = 100000;
     struct Config3 {
       double job_hours;
       double mtbf_years;
       PaperRow paper;
     };
-    const Config3 rows[] = {
+    const std::vector<Config3> rows = {
         {168, 5, {35, 20, 10, 35}},
         {700, 5, {38, 18, 9, 43}},
         {5000, 1, {5, 5, 5, 85}},
     };
-    util::Table t({"job work", "MTBF", "work", "checkpt", "recomp.", "restart",
-                   "paper(work/ckpt/rec/rst)"});
+    const std::vector<model::TimeBreakdown> breakdowns =
+        runner.map(rows, [&](const Config3& row) {
+          model::CombinedConfig cfg = base;
+          cfg.app.num_procs = 100000;
+          cfg.app.base_time = util::hours(row.job_hours);
+          cfg.machine.node_mtbf = util::years(row.mtbf_years);
+          return model::compute_breakdown(cfg, 1.0);
+        });
+
+    exp::ResultSink t("table3",
+                      {{"job work", "job_hours"},
+                       {"MTBF", "mtbf_years"},
+                       {"work"},
+                       {"checkpt"},
+                       {"recomp.", "recomp"},
+                       {"restart"},
+                       {"paper(work/ckpt/rec/rst)", "", /*data=*/false}});
     t.set_title("Table 3: 100k Node Job, varied MTBF (model vs paper)");
-    auto csv = args.csv("table3");
-    if (csv)
-      csv->write_row(
-          {"job_hours", "mtbf_years", "work", "checkpt", "recomp", "restart"});
-    for (const Config3& row : rows) {
-      cfg.app.base_time = util::hours(row.job_hours);
-      cfg.machine.node_mtbf = util::years(row.mtbf_years);
-      const model::TimeBreakdown b = model::compute_breakdown(cfg, 1.0);
-      t.add_row({fmt(row.job_hours, 0) + " hrs", fmt(row.mtbf_years, 0) + " yrs",
-                 fmt(100 * b.work, 0) + "%", fmt(100 * b.checkpoint, 0) + "%",
-                 fmt(100 * b.recompute, 0) + "%",
-                 fmt(100 * b.restart, 0) + "%",
-                 fmt(row.paper.work, 0) + "/" + fmt(row.paper.checkpt, 0) +
-                     "/" + fmt(row.paper.recomp, 0) + "/" +
-                     fmt(row.paper.restart, 0)});
-      if (csv)
-        csv->write_numeric_row({row.job_hours, row.mtbf_years, b.work,
-                                b.checkpoint, b.recompute, b.restart});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const model::TimeBreakdown& b = breakdowns[i];
+      t.add_row({{fmt(rows[i].job_hours, 0) + " hrs", rows[i].job_hours},
+                 {fmt(rows[i].mtbf_years, 0) + " yrs", rows[i].mtbf_years},
+                 pct(b.work), pct(b.checkpoint), pct(b.recompute),
+                 pct(b.restart), {paper_cell(rows[i].paper)}});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args);
   }
 
   {
     // ---- The redundancy punchline behind Table 3's discussion: doubling
     // the nodes (r = 2) restores useful work at 100k nodes. ----
-    cfg.app.base_time = util::hours(168);
-    cfg.app.num_procs = 100000;
-    cfg.machine.node_mtbf = util::years(5);
-    util::Table t({"r", "work", "checkpt", "recomp.", "restart", "T_total"});
+    exp::ParamGrid grid;
+    grid.axis("r", {1.0, 1.5, 2.0, 3.0});
+    const std::vector<exp::Trial> trials = grid.trials(args.filter);
+    const std::vector<model::TimeBreakdown> breakdowns =
+        runner.map(trials, [&](const exp::Trial& trial) {
+          model::CombinedConfig cfg = base;
+          cfg.app.base_time = util::hours(168);
+          cfg.app.num_procs = 100000;
+          cfg.machine.node_mtbf = util::years(5);
+          return model::compute_breakdown(cfg, trial.at("r"));
+        });
+
+    exp::ResultSink t("table3_redundancy",
+                      {{"r"}, {"work"}, {"checkpt"}, {"recomp.", "recomp"},
+                       {"restart"}, {"T_total", "total_hours"}});
     t.set_title("Redundancy restores useful work (100k nodes, 168 h, 5 y)");
-    for (const double r : {1.0, 1.5, 2.0, 3.0}) {
-      const model::TimeBreakdown b = model::compute_breakdown(cfg, r);
-      t.add_row({fmt(r, 1) + "x", fmt(100 * b.work, 0) + "%",
-                 fmt(100 * b.checkpoint, 0) + "%",
-                 fmt(100 * b.recompute, 0) + "%",
-                 fmt(100 * b.restart, 0) + "%",
-                 fmt(util::to_hours(b.total_time), 0) + " h"});
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const model::TimeBreakdown& b = breakdowns[i];
+      t.add_row({{fmt(trials[i].at("r"), 1) + "x", trials[i].at("r")},
+                 pct(b.work), pct(b.checkpoint), pct(b.recompute),
+                 pct(b.restart),
+                 {fmt(util::to_hours(b.total_time), 0) + " h",
+                  util::to_hours(b.total_time)}});
     }
-    std::printf("%s\n", t.str().c_str());
+    t.emit(args, exp::Emit::kTextOnly);
   }
   return 0;
 }

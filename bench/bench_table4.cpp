@@ -9,21 +9,26 @@
 //   (2) at 24/30 h MTBF the minimum is at 2x, and more redundancy hurts;
 //   (3) partial degrees can win at intermediate MTBF;
 //   (4) 1.25x is worse than 1x, 2.25x worse than 2x (superlinear overhead).
+//
+// The MTBF × degree campaign is declared as an exp::ParamGrid and executed
+// on the exp::SweepRunner worker pool; every cell is an independent DES, so
+// --jobs N only changes wall-clock, never the output.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_table4 — combined C/R + redundancy on the simulated cluster",
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_table4 — combined C/R + redundancy on the simulated cluster",
       "Table 4 / Figures 8-9 (execution time [min], 128 procs, CG 46 min)");
 
   const std::vector<double> mtbfs = {6, 12, 18, 24, 30};
-  const std::vector<double> degrees = {1.0, 1.25, 1.5, 1.75, 2.0,
-                                       2.25, 2.5, 2.75, 3.0};
+  const std::vector<double> degrees = exp::ParamGrid::range(1.0, 3.0, 0.25);
   // Paper's Table 4, for side-by-side comparison.
   const double paper[5][9] = {
       {275, 279, 212, 189, 146, 158, 139, 132, 123},
@@ -33,54 +38,79 @@ int main(int argc, char** argv) {
       {136, 128, 110, 101, 66, 73, 80, 82, 84},
   };
 
-  std::vector<std::string> headers{"MTBF"};
-  for (const double r : degrees) headers.push_back(util::fmt(r, 2) + "x");
-  util::Table t(headers);
-  t.set_title("Measured execution time [minutes] (per-row minimum starred)");
-  util::Table tp(headers);
-  tp.set_title("Paper's Table 4 [minutes] (per-row minimum starred)");
+  exp::ParamGrid grid;
+  grid.axis("mtbf", mtbfs).axis("r", degrees);
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const exp::SweepRunner runner(args.runner());
+  const std::vector<bench::CellResult> cells =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        const bench::CellResult cell = bench::run_experiment_cell(
+            trial.at("mtbf"), trial.at("r"), args.seeds, args.quick);
+        std::fprintf(stderr, "  cell mtbf=%gh r=%.2f -> %.0f min (%d seeds)\n",
+                     trial.at("mtbf"), trial.at("r"), cell.minutes_mean,
+                     args.seeds);
+        return cell;
+      });
 
-  auto csv = args.csv("table4");
-  if (csv) {
-    std::vector<std::string> row{"mtbf_hours"};
-    for (const double r : degrees) row.push_back(util::fmt(r, 2));
-    csv->write_row(row);
+  // Index the (possibly filtered) results back into the full grid: cells
+  // not run stay NaN and render as "-".
+  std::vector<std::vector<double>> measured(
+      mtbfs.size(), std::vector<double>(degrees.size(), -1.0));
+  std::vector<std::vector<const bench::CellResult*>> by_cell(
+      mtbfs.size(),
+      std::vector<const bench::CellResult*>(degrees.size(), nullptr));
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const std::size_t m = trials[i].index() / degrees.size();
+    const std::size_t d = trials[i].index() % degrees.size();
+    measured[m][d] = cells[i].minutes_mean;
+    by_cell[m][d] = &cells[i];
   }
 
-  std::vector<std::vector<double>> measured(mtbfs.size());
+  std::vector<exp::Column> columns{{"MTBF", "mtbf_hours"}};
+  for (const double r : degrees) columns.push_back({util::fmt(r, 2) + "x",
+                                                    util::fmt(r, 2)});
+  exp::ResultSink t("table4", columns);
+  t.set_title("Measured execution time [minutes] (per-row minimum starred)");
+  exp::ResultSink tp("table4_paper", columns);
+  tp.set_title("Paper's Table 4 [minutes] (per-row minimum starred)");
+
   for (std::size_t m = 0; m < mtbfs.size(); ++m) {
-    std::vector<std::string> row{util::fmt(mtbfs[m], 0) + " hrs"};
-    std::vector<std::string> paper_row{util::fmt(mtbfs[m], 0) + " hrs"};
-    std::vector<double> numeric{mtbfs[m]};
+    std::vector<exp::Cell> row{{util::fmt(mtbfs[m], 0) + " hrs", mtbfs[m]}};
+    std::vector<exp::Cell> paper_row{{util::fmt(mtbfs[m], 0) + " hrs",
+                                      mtbfs[m]}};
     double best = 1e300, paper_best = 1e300;
     std::size_t best_col = 1, paper_best_col = 1;
+    bool any = false;
     for (std::size_t d = 0; d < degrees.size(); ++d) {
-      const bench::CellResult cell = bench::run_experiment_cell(
-          mtbfs[m], degrees[d], args.seeds, args.quick);
-      measured[m].push_back(cell.minutes_mean);
-      row.push_back(util::fmt(cell.minutes_mean, 0) +
-                    (cell.all_completed ? "" : "!"));
-      numeric.push_back(cell.minutes_mean);
-      if (cell.minutes_mean < best) {
-        best = cell.minutes_mean;
-        best_col = d + 1;
+      if (const bench::CellResult* cell = by_cell[m][d]) {
+        any = true;
+        row.push_back({util::fmt(cell->minutes_mean, 0) +
+                           (cell->all_completed ? "" : "!"),
+                       cell->minutes_mean});
+        if (cell->minutes_mean < best) {
+          best = cell->minutes_mean;
+          best_col = d + 1;
+        }
+      } else {
+        row.push_back({"-"});
       }
-      paper_row.push_back(util::fmt(paper[m][d], 0));
+      paper_row.push_back({util::fmt(paper[m][d], 0), paper[m][d]});
       if (paper[m][d] < paper_best) {
         paper_best = paper[m][d];
         paper_best_col = d + 1;
       }
-      std::fprintf(stderr, "  cell mtbf=%gh r=%.2f -> %.0f min (%d seeds)\n",
-                   mtbfs[m], degrees[d], cell.minutes_mean, args.seeds);
     }
+    if (!any) continue;  // entire MTBF row filtered out
     t.add_row(std::move(row));
-    t.emphasize(t.rows() - 1, best_col);
+    t.emphasize_last(best_col);
     tp.add_row(std::move(paper_row));
-    tp.emphasize(tp.rows() - 1, paper_best_col);
-    if (csv) csv->write_numeric_row(numeric);
+    tp.emphasize_last(paper_best_col);
   }
-  std::printf("%s\n", t.str().c_str());
-  std::printf("%s\n", tp.str().c_str());
+  t.emit(args);
+  tp.emit(args, exp::Emit::kTextOnly);
+
+  // The qualitative checks need the full grid; skip them under --filter.
+  if (!args.filter.empty()) return 0;
 
   // ---- Figure 8 rendering: one line per MTBF over the degree axis is the
   // table above; print the paper's four qualitative checks instead. ----
@@ -95,26 +125,25 @@ int main(int argc, char** argv) {
       if (measured[m][d] < measured[m][best]) best = d;
     return degrees[best];
   };
-  std::printf("Qualitative checks vs the paper's observations:\n");
-  std::printf("  (1) 6 h MTBF minimum at high degree: argmin r = %.2fx -> %s\n",
-              argmin_r(0), argmin_r(0) >= 2.5 ? "REPRODUCED" : "DIFFERS");
-  std::printf("  (2) 30 h MTBF minimum at 2x: argmin r = %.2fx -> %s\n",
-              argmin_r(4), argmin_r(4) == 2.0 ? "REPRODUCED" : "DIFFERS");
-  std::printf("      and 3x worse than 2x at 30 h: %.0f vs %.0f -> %s\n",
-              col(4, 3.0), col(4, 2.0),
-              col(4, 3.0) > col(4, 2.0) ? "REPRODUCED" : "DIFFERS");
-  std::printf("  (4) 1.25x worse than 1x at low failure rates: %.0f vs %.0f -> %s\n",
-              col(4, 1.25), col(4, 1.0),
-              col(4, 1.25) > col(4, 1.0) ? "REPRODUCED" : "DIFFERS");
-  std::printf("      2.25x worse than 2x: %.0f vs %.0f -> %s\n",
-              col(4, 2.25), col(4, 2.0),
-              col(4, 2.25) > col(4, 2.0) ? "REPRODUCED" : "DIFFERS");
+  args.say("Qualitative checks vs the paper's observations:\n");
+  args.say("  (1) 6 h MTBF minimum at high degree: argmin r = %.2fx -> %s\n",
+           argmin_r(0), argmin_r(0) >= 2.5 ? "REPRODUCED" : "DIFFERS");
+  args.say("  (2) 30 h MTBF minimum at 2x: argmin r = %.2fx -> %s\n",
+           argmin_r(4), argmin_r(4) == 2.0 ? "REPRODUCED" : "DIFFERS");
+  args.say("      and 3x worse than 2x at 30 h: %.0f vs %.0f -> %s\n",
+           col(4, 3.0), col(4, 2.0),
+           col(4, 3.0) > col(4, 2.0) ? "REPRODUCED" : "DIFFERS");
+  args.say("  (4) 1.25x worse than 1x at low failure rates: %.0f vs %.0f -> %s\n",
+           col(4, 1.25), col(4, 1.0),
+           col(4, 1.25) > col(4, 1.0) ? "REPRODUCED" : "DIFFERS");
+  args.say("      2.25x worse than 2x: %.0f vs %.0f -> %s\n", col(4, 2.25),
+           col(4, 2.0), col(4, 2.25) > col(4, 2.0) ? "REPRODUCED" : "DIFFERS");
 
   // ---- Figure 9 (surface view): row/column minima summary. ----
-  std::printf("\nSurface minima (Fig. 9): per-MTBF optimum degree:\n");
+  args.say("\nSurface minima (Fig. 9): per-MTBF optimum degree:\n");
   for (std::size_t m = 0; m < mtbfs.size(); ++m)
-    std::printf("  MTBF %2.0f h -> best r = %.2fx (%.0f min)\n", mtbfs[m],
-                argmin_r(m), *std::min_element(measured[m].begin(),
-                                               measured[m].end()));
+    args.say("  MTBF %2.0f h -> best r = %.2fx (%.0f min)\n", mtbfs[m],
+             argmin_r(m),
+             *std::min_element(measured[m].begin(), measured[m].end()));
   return 0;
 }

@@ -2,78 +2,99 @@
 // workload as the redundancy degree increases, against the linear Eq.-1
 // expectation — the paper's evidence that redundancy overhead is
 // *superlinear* in the first quarter-step after each integer degree.
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "exp/exp.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
-  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header(
-      "bench_table5 — failure-free execution time vs redundancy degree",
+  const exp::BenchArgs args = exp::BenchArgs::parse(argc, argv);
+  exp::print_header(
+      args, "bench_table5 — failure-free execution time vs redundancy degree",
       "Table 5 / Figure 10 (observed vs expected linear increase)");
 
-  const std::vector<double> degrees = {1.0, 1.25, 1.5, 1.75, 2.0,
-                                       2.25, 2.5, 2.75, 3.0};
+  const std::vector<double> degrees = exp::ParamGrid::range(1.0, 3.0, 0.25);
   const double paper_observed[] = {46, 55, 59, 61, 63, 70, 76, 78, 82};
 
-  std::vector<std::string> headers{"Degree of Redundancy"};
-  for (const double r : degrees) headers.push_back(util::fmt(r, 2) + "x");
-  util::Table t(headers);
-  t.set_title("Failure-free execution time [minutes]");
-
-  auto csv = args.csv("table5");
-  if (csv) csv->write_row({"r", "observed_min", "linear_min", "paper_min"});
-
+  exp::ParamGrid grid;
+  grid.axis("r", degrees);
+  const std::vector<exp::Trial> trials = grid.trials(args.filter);
+  const exp::SweepRunner runner(args.runner());
   const model::AppParams app = bench::paper_app();
-  std::vector<std::string> observed_row{"Observed (simulated cluster)"};
-  std::vector<std::string> linear_row{"Expected linear increase (Eq. 1)"};
-  std::vector<std::string> paper_row{"Paper observed (real cluster)"};
-  std::vector<double> observed;
-  for (std::size_t d = 0; d < degrees.size(); ++d) {
-    runtime::JobConfig cfg =
-        bench::paper_cluster_config(30.0, degrees[d], /*seed=*/1);
-    const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
-        cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
-    const double minutes = util::to_minutes(report.wallclock);
-    const double linear =
-        util::to_minutes(model::redundant_time(app, degrees[d]));
-    observed.push_back(minutes);
-    observed_row.push_back(util::fmt(minutes, 0));
-    linear_row.push_back(util::fmt(linear, 0));
-    paper_row.push_back(util::fmt(paper_observed[d], 0));
-    if (csv)
-      csv->write_numeric_row({degrees[d], minutes, linear, paper_observed[d]});
-    std::fprintf(stderr, "  r=%.2f -> %.1f min (linear %.1f)\n", degrees[d],
-                 minutes, linear);
-  }
-  t.add_row(observed_row);
-  t.add_row(linear_row);
-  t.add_row(paper_row);
-  std::printf("%s\n", t.str().c_str());
 
-  // Figure 10's claim: the first step's slope exceeds later steps'.
-  const double first_step = observed[1] - observed[0];   // 1x -> 1.25x
-  const double second_step = observed[2] - observed[1];  // 1.25x -> 1.5x
+  struct Point {
+    double minutes = 0.0;
+    double linear = 0.0;
+  };
+  const std::vector<Point> points =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        const double r = trial.at("r");
+        runtime::JobConfig cfg = bench::paper_cluster_config(30.0, r,
+                                                             /*seed=*/1);
+        const runtime::JobReport report = runtime::JobExecutor::run_failure_free(
+            cfg, bench::synthetic_factory(bench::paper_cg_spec(args.quick)));
+        Point p;
+        p.minutes = util::to_minutes(report.wallclock);
+        p.linear = util::to_minutes(model::redundant_time(app, r));
+        std::fprintf(stderr, "  r=%.2f -> %.1f min (linear %.1f)\n", r,
+                     p.minutes, p.linear);
+        return p;
+      });
+
+  // Wide table for the reader (the paper's layout)…
+  std::vector<exp::Column> columns{{"Degree of Redundancy"}};
+  for (const exp::Trial& trial : trials)
+    columns.push_back({util::fmt(trial.at("r"), 2) + "x"});
+  exp::ResultSink t("table5_wide", columns);
+  t.set_title("Failure-free execution time [minutes]");
+  std::vector<exp::Cell> observed_row{{"Observed (simulated cluster)"}};
+  std::vector<exp::Cell> linear_row{{"Expected linear increase (Eq. 1)"}};
+  std::vector<exp::Cell> paper_row{{"Paper observed (real cluster)"}};
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    observed_row.push_back({util::fmt(points[i].minutes, 0),
+                            points[i].minutes});
+    linear_row.push_back({util::fmt(points[i].linear, 0), points[i].linear});
+    paper_row.push_back({util::fmt(paper_observed[trials[i].index()], 0),
+                         paper_observed[trials[i].index()]});
+  }
+  t.add_row(std::move(observed_row));
+  t.add_row(std::move(linear_row));
+  t.add_row(std::move(paper_row));
+  t.emit(args, exp::Emit::kTextOnly);
+
+  // …and the long-format series for the tools (the historical CSV schema).
+  exp::ResultSink series(
+      "table5", {{"r"}, {"observed_min"}, {"linear_min"}, {"paper_min"}});
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    series.add_row({{trials[i].at("r"), 6},
+                    {points[i].minutes, 6},
+                    {points[i].linear, 6},
+                    {paper_observed[trials[i].index()], 6}});
+  series.emit(args, exp::Emit::kDataOnly);
+
+  // Figure 10's claim: the first step's slope exceeds later steps'. Needs
+  // the unfiltered grid.
+  if (trials.size() != degrees.size()) return 0;
+  const auto minutes = [&](std::size_t d) { return points[d].minutes; };
+  const double first_step = minutes(1) - minutes(0);   // 1x -> 1.25x
+  const double second_step = minutes(2) - minutes(1);  // 1.25x -> 1.5x
   const double linear_step = util::to_minutes(
       model::redundant_time(app, 1.25) - model::redundant_time(app, 1.0));
-  std::printf("Figure 10 checks:\n");
-  std::printf("  first-step slope %.1f min vs linear %.1f min -> %s\n",
-              first_step, linear_step,
-              first_step > linear_step + 0.5 ? "SUPERLINEAR (reproduced)"
-                                             : "linear (differs)");
-  std::printf("  first step >= second step: %.1f vs %.1f -> %s\n", first_step,
-              second_step,
-              first_step + 0.05 >= second_step ? "REPRODUCED" : "DIFFERS");
-  std::printf(
+  args.say("Figure 10 checks:\n");
+  args.say("  first-step slope %.1f min vs linear %.1f min -> %s\n",
+           first_step, linear_step,
+           first_step > linear_step + 0.5 ? "SUPERLINEAR (reproduced)"
+                                          : "linear (differs)");
+  args.say("  first step >= second step: %.1f vs %.1f -> %s\n", first_step,
+           second_step,
+           first_step + 0.05 >= second_step ? "REPRODUCED" : "DIFFERS");
+  args.say(
       "  observed >= linear at every degree -> %s\n",
       [&] {
         for (std::size_t d = 0; d < degrees.size(); ++d) {
-          if (observed[d] + 1e-6 <
-              util::to_minutes(model::redundant_time(app, degrees[d])))
-            return "DIFFERS";
+          if (points[d].minutes + 1e-6 < points[d].linear) return "DIFFERS";
         }
         return "REPRODUCED";
       }());

@@ -1,63 +1,22 @@
-// Shared configuration and CLI plumbing for the experiment harnesses.
+// Paper calibration constants shared by the experiment harnesses.
 //
-// Every bench binary reproduces one table/figure of the paper and prints it
-// as text (optionally also CSV via --csv <dir>). The parameters below are
-// the paper's experimental setup (Section 6): modified NPB-CG class D on
-// 128 processes, failure-free base time t = 46 min, α = 0.2, checkpoint
-// cost c = 120 s, restart cost R = 500 s, node MTBF 6..30 h.
+// This header holds *only* the paper's measured setup (Section 6): modified
+// NPB-CG class D on 128 processes, failure-free base time t = 46 min,
+// α = 0.2, checkpoint cost c = 120 s, restart cost R = 500 s, node MTBF
+// 6..30 h — plus the one-cell DES kernel the campaign grids are built from.
+// CLI parsing, sweep execution and result rendering live in src/exp/.
 #pragma once
 
-#include <cstdio>
-#include <cstring>
+#include <cstdint>
 #include <memory>
-#include <optional>
-#include <string>
 
 #include "apps/synthetic.hpp"
 #include "model/combined.hpp"
 #include "runtime/executor.hpp"
-#include "util/csv.hpp"
 #include "util/stats.hpp"
-#include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace redcr::bench {
-
-struct BenchArgs {
-  int seeds = 2;          ///< DES repetitions averaged per cell
-  bool quick = false;     ///< --quick: 1 seed, coarser grids
-  bool full = false;      ///< --full: 5 seeds, finest grids
-  std::optional<std::string> csv_dir;
-
-  static BenchArgs parse(int argc, char** argv) {
-    BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--quick") == 0) {
-        args.quick = true;
-        args.seeds = 1;
-      } else if (std::strcmp(argv[i], "--full") == 0) {
-        args.full = true;
-        args.seeds = 5;
-      } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
-        args.seeds = std::atoi(argv[++i]);
-      } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-        args.csv_dir = argv[++i];
-      } else {
-        std::fprintf(stderr,
-                     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n",
-                     argv[0]);
-        std::exit(2);
-      }
-    }
-    return args;
-  }
-
-  [[nodiscard]] std::unique_ptr<util::CsvWriter> csv(
-      const std::string& name) const {
-    if (!csv_dir) return nullptr;
-    return std::make_unique<util::CsvWriter>(*csv_dir + "/" + name + ".csv");
-  }
-};
 
 /// The paper's measured CG application parameters (Section 6).
 inline model::AppParams paper_app() {
@@ -130,7 +89,8 @@ inline runtime::WorkloadFactory synthetic_factory(apps::SyntheticSpec spec) {
 /// Runs one cell of the paper's experimental campaign (Table 4): the CG-
 /// shaped workload at the given node MTBF and redundancy degree, averaged
 /// over `seeds` repetitions. Returns mean total wallclock in minutes plus
-/// auxiliary statistics.
+/// auxiliary statistics. Self-contained and deterministic per (cell, seeds),
+/// so grid cells can run on any exp::SweepRunner worker.
 struct CellResult {
   double minutes_mean = 0.0;
   double minutes_stddev = 0.0;
@@ -160,14 +120,6 @@ inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
   cell.job_failures_mean = failures.mean();
   cell.checkpoints_mean = checkpoints.mean();
   return cell;
-}
-
-/// Prints the standard bench header.
-inline void print_header(const char* title, const char* paper_ref) {
-  std::printf("================================================================\n");
-  std::printf("%s\n", title);
-  std::printf("Reproduces: %s\n", paper_ref);
-  std::printf("================================================================\n\n");
 }
 
 }  // namespace redcr::bench

@@ -10,14 +10,14 @@
 //
 //   $ ./capacity_planner [--procs N] [--hours T] [--mtbf-years Y]
 //                        [--alpha A] [--ckpt-sec C] [--restart-sec R]
-//                        [--time-weight W]
+//                        [--time-weight W] [--jobs J]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "exp/exp.hpp"
 #include "model/combined.hpp"
-#include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -50,27 +50,41 @@ int main(int argc, char** argv) {
               config.app.comm_fraction, to_years(config.machine.node_mtbf),
               config.machine.checkpoint_cost, config.machine.restart_cost);
 
-  util::Table t({"r", "T_total [h]", "nodes", "node-hours", "delta [min]",
-                 "E[failures]", "Theta_sys [h]"});
+  // The degree sweep is a one-axis campaign on the experiment harness.
+  exp::ParamGrid grid;
+  grid.axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
+  exp::RunnerOptions options;
+  options.jobs = static_cast<int>(arg_or(argc, argv, "--jobs", 0));
+  const exp::SweepRunner runner(options);
+  const std::vector<exp::Trial> trials = grid.trials();
+  const std::vector<model::Prediction> preds =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        return model::predict(config, trial.at("r"));
+      });
+
+  exp::ResultSink t("capacity", {{"r"}, {"T_total [h]"}, {"nodes"},
+                                 {"node-hours"}, {"delta [min]"},
+                                 {"E[failures]"}, {"Theta_sys [h]"}});
   t.set_title("Redundancy/checkpoint trade-off");
 
   struct Row {
     double r, time_h, node_hours;
-    std::size_t nodes;
   };
   std::vector<Row> rows;
-  for (double r = 1.0; r <= 3.0 + 1e-9; r += 0.25) {
-    const model::Prediction p = model::predict(config, r);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const model::Prediction& p = preds[i];
     const double node_hours =
         to_hours(p.total_time) * static_cast<double>(p.total_procs);
-    rows.push_back({r, to_hours(p.total_time), node_hours, p.total_procs});
-    t.add_row({fmt(r, 2) + "x", fmt(to_hours(p.total_time), 1),
-               fmt_count(static_cast<long long>(p.total_procs)),
-               fmt(node_hours / 1e6, 2) + "M",
-               fmt(to_minutes(p.interval), 1), fmt(p.expected_failures, 1),
-               fmt(to_hours(p.system_mtbf), 1)});
+    rows.push_back({trials[i].at("r"), to_hours(p.total_time), node_hours});
+    t.add_row({{fmt(trials[i].at("r"), 2) + "x", trials[i].at("r")},
+               {to_hours(p.total_time), 1},
+               exp::Cell::count(static_cast<long long>(p.total_procs)),
+               {fmt(node_hours / 1e6, 2) + "M", node_hours},
+               {to_minutes(p.interval), 1},
+               {p.expected_failures, 1},
+               {to_hours(p.system_mtbf), 1}});
   }
-  std::printf("%s\n", t.str().c_str());
+  std::printf("%s\n", t.text().c_str());
 
   const Row* fastest = &rows[0];
   const Row* cheapest = &rows[0];

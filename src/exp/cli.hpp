@@ -1,0 +1,57 @@
+// Command-line front end shared by every bench binary.
+//
+// Flags:
+//   --quick          1 seed, coarser grids (fast smoke)
+//   --full           5 seeds, finest grids
+//   --seeds N        DES repetitions averaged per cell (N >= 1)
+//   --csv DIR        write the series behind each table to DIR/<name>.csv
+//   --jobs N         worker threads for the sweep (default: all cores)
+//   --json           newline-delimited JSON rows on stdout instead of tables
+//   --filter SPEC    run a subset of grid cells, e.g. "mtbf=6,r=2"
+//
+// Under --json, stdout carries only NDJSON rows; headers, reference tables
+// and commentary move to stderr so the stream stays machine-parseable.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace redcr::exp {
+
+struct RunnerOptions;
+
+struct BenchArgs {
+  int seeds = 2;          ///< DES repetitions averaged per cell
+  bool quick = false;     ///< --quick: 1 seed, coarser grids
+  bool full = false;      ///< --full: 5 seeds, finest grids
+  int jobs = 0;           ///< --jobs: worker threads; 0 = all cores
+  bool json = false;      ///< --json: NDJSON rows on stdout
+  std::string filter;     ///< --filter: grid-cell subset spec (empty = all)
+  std::optional<std::string> csv_dir;
+
+  /// Parses argv; on any error prints a one-line diagnostic plus usage to
+  /// stderr and exits with status 2 (--help exits 0).
+  static BenchArgs parse(int argc, char** argv);
+
+  /// Non-exiting variant for tests and embedding: returns std::nullopt and
+  /// fills `error` (when non-null) on invalid input.
+  static std::optional<BenchArgs> try_parse(int argc, char** argv,
+                                            std::string* error);
+
+  /// Runner options carrying the --jobs choice.
+  [[nodiscard]] RunnerOptions runner() const;
+
+  /// Destination for human-readable commentary: stdout normally, stderr
+  /// under --json (stdout then carries only NDJSON rows).
+  [[nodiscard]] std::FILE* text_out() const noexcept;
+
+  /// printf-style commentary to text_out().
+  void say(const char* format, ...) const;
+};
+
+/// Prints the standard bench header (to args.text_out()).
+void print_header(const BenchArgs& args, const char* title,
+                  const char* paper_ref);
+
+}  // namespace redcr::exp

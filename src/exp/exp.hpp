@@ -1,0 +1,8 @@
+// Umbrella header for the experiment-harness layer: declarative grids,
+// parallel sweep execution, unified result sinks and the shared bench CLI.
+#pragma once
+
+#include "exp/cli.hpp"     // IWYU pragma: export
+#include "exp/grid.hpp"    // IWYU pragma: export
+#include "exp/runner.hpp"  // IWYU pragma: export
+#include "exp/sink.hpp"    // IWYU pragma: export

@@ -1,0 +1,131 @@
+#include "exp/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace redcr::exp {
+
+namespace {
+
+constexpr double kMatchTolerance = 1e-9;
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+double Trial::at(std::string_view axis) const {
+  for (std::size_t i = 0; i < names_->size(); ++i)
+    if ((*names_)[i] == axis) return values_[i];
+  throw std::out_of_range("Trial::at: unknown axis '" + std::string(axis) +
+                          "'");
+}
+
+std::uint64_t Trial::seed(std::uint64_t salt) const noexcept {
+  util::SplitMix64 expand(salt);
+  util::SplitMix64 mix(expand.next() ^ static_cast<std::uint64_t>(index_));
+  return mix.next();
+}
+
+std::vector<FilterCond> parse_filter(const std::string& spec) {
+  std::vector<FilterCond> conds;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = trim(
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("filter condition '" + item +
+                                  "' is not of the form axis=value");
+    const std::string name = trim(item.substr(0, eq));
+    const std::string value_text = trim(item.substr(eq + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (value_text.empty() || end != value_text.c_str() + value_text.size())
+      throw std::invalid_argument("filter condition '" + item +
+                                  "' has a non-numeric value");
+    conds.push_back({name, value});
+  }
+  return conds;
+}
+
+ParamGrid& ParamGrid::axis(std::string name, std::vector<double> values) {
+  if (values.empty())
+    throw std::invalid_argument("axis '" + name + "' has no values");
+  for (const Axis& existing : axes_)
+    if (existing.name == name)
+      throw std::invalid_argument("duplicate axis '" + name + "'");
+  axes_.push_back({std::move(name), std::move(values)});
+  refresh_names();
+  return *this;
+}
+
+void ParamGrid::refresh_names() {
+  auto names = std::make_shared<std::vector<std::string>>();
+  names->reserve(axes_.size());
+  for (const Axis& a : axes_) names->push_back(a.name);
+  names_ = std::move(names);
+}
+
+std::size_t ParamGrid::size() const noexcept {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+Trial ParamGrid::trial(std::size_t index) const {
+  if (index >= size()) throw std::out_of_range("ParamGrid::trial index");
+  std::vector<double> values(axes_.size());
+  std::size_t rest = index;
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const std::size_t n = axes_[i].values.size();
+    values[i] = axes_[i].values[rest % n];
+    rest /= n;
+  }
+  return Trial(index, std::move(values), names_);
+}
+
+std::vector<Trial> ParamGrid::trials() const {
+  std::vector<Trial> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(trial(i));
+  return out;
+}
+
+std::vector<Trial> ParamGrid::trials(const std::string& filter_spec) const {
+  const std::vector<FilterCond> conds = parse_filter(filter_spec);
+  // Keep only conditions that name one of this grid's axes (others may
+  // address a sibling grid of the same bench).
+  std::vector<std::pair<std::size_t, double>> applicable;
+  for (const FilterCond& c : conds)
+    for (std::size_t i = 0; i < axes_.size(); ++i)
+      if (axes_[i].name == c.axis) applicable.emplace_back(i, c.value);
+  std::vector<Trial> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    Trial t = trial(i);
+    bool keep = true;
+    for (const auto& [axis_index, value] : applicable)
+      if (std::fabs(t.values()[axis_index] - value) > kMatchTolerance)
+        keep = false;
+    if (keep) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<double> ParamGrid::range(double lo, double hi, double step) {
+  if (step <= 0.0) throw std::invalid_argument("range step must be > 0");
+  std::vector<double> values;
+  for (double v = lo; v <= hi + step * 1e-6; v += step) values.push_back(v);
+  return values;
+}
+
+}  // namespace redcr::exp

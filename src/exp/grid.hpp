@@ -1,0 +1,103 @@
+// Declarative parameter grids for experiment campaigns.
+//
+// The paper's evaluation is a cross product of named axes — redundancy
+// degree × node MTBF × seeds (Tables 4-5, Figs. 8-14). A ParamGrid captures
+// that cross product declaratively; enumeration is row-major (the last axis
+// varies fastest), which fixes the canonical result order every renderer and
+// the parallel SweepRunner must reproduce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redcr::exp {
+
+/// One named dimension of a campaign.
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// One cell of the cross product. Value semantics; cheap to copy across
+/// worker threads. Axis names are shared with the originating grid.
+class Trial {
+ public:
+  Trial() = default;
+  Trial(std::size_t index, std::vector<double> values,
+        std::shared_ptr<const std::vector<std::string>> names)
+      : index_(index), values_(std::move(values)), names_(std::move(names)) {}
+
+  /// Linear index in grid enumeration order.
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  /// Per-axis values, in axis declaration order.
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Value of the named axis; throws std::out_of_range on unknown names.
+  [[nodiscard]] double at(std::string_view axis) const;
+
+  /// Deterministic per-trial seed derived from the grid index (SplitMix64),
+  /// independent of execution order — identical under any --jobs value.
+  [[nodiscard]] std::uint64_t seed(std::uint64_t salt = 0) const noexcept;
+
+ private:
+  std::size_t index_ = 0;
+  std::vector<double> values_;
+  std::shared_ptr<const std::vector<std::string>> names_;
+};
+
+/// One `axis=value` condition of a --filter expression.
+struct FilterCond {
+  std::string axis;
+  double value = 0.0;
+};
+
+/// Parses "mtbf=6,r=2.5" into conditions; throws std::invalid_argument with
+/// a human-readable message on malformed input. An empty spec is valid and
+/// yields no conditions (i.e. "run everything").
+[[nodiscard]] std::vector<FilterCond> parse_filter(const std::string& spec);
+
+/// A declarative cross product of named axes.
+class ParamGrid {
+ public:
+  /// Appends an axis; duplicate names and empty value lists are rejected
+  /// (std::invalid_argument).
+  ParamGrid& axis(std::string name, std::vector<double> values);
+
+  [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }
+
+  /// Product of the axis sizes (1 for the empty grid: one trial, no values).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// The `index`-th cell in row-major order (last axis fastest).
+  [[nodiscard]] Trial trial(std::size_t index) const;
+
+  /// All cells in enumeration order.
+  [[nodiscard]] std::vector<Trial> trials() const;
+
+  /// Cells matching every condition of `filter_spec` (see parse_filter), in
+  /// enumeration order. Conditions naming axes this grid does not have are
+  /// ignored, so one --filter string can address the several grids of a
+  /// multi-table bench. Matching uses a small absolute tolerance.
+  [[nodiscard]] std::vector<Trial> trials(const std::string& filter_spec) const;
+
+  /// Inclusive arithmetic range helper: range(1.0, 3.0, 0.25) = {1.0, 1.25,
+  /// ..., 3.0} (endpoint included within tolerance).
+  [[nodiscard]] static std::vector<double> range(double lo, double hi,
+                                                 double step);
+
+ private:
+  void refresh_names();
+
+  std::vector<Axis> axes_;
+  std::shared_ptr<const std::vector<std::string>> names_ =
+      std::make_shared<const std::vector<std::string>>();
+};
+
+}  // namespace redcr::exp

@@ -1,0 +1,57 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace redcr::exp {
+
+SweepRunner::SweepRunner(RunnerOptions options) {
+  if (options.jobs > 0) {
+    jobs_ = options.jobs;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+void SweepRunner::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace redcr::exp

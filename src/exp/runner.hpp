@@ -1,0 +1,53 @@
+// Parallel sweep execution with deterministic merge.
+//
+// Every cell of the paper's campaign is an independent computation (its own
+// DES engine, RNG streams and result row), so a fixed-size worker pool can
+// execute a grid concurrently. Results are written into a slot per trial
+// and returned in grid enumeration order, which makes parallel output
+// bit-identical to a serial run — `--jobs N` may only change wall-clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace redcr::exp {
+
+struct RunnerOptions {
+  /// Worker count; <= 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(RunnerOptions options = {});
+
+  /// The resolved worker count (>= 1).
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Applies `fn` to every item concurrently and returns the results in
+  /// item order. `fn` must be safe to call from several threads on distinct
+  /// items; the first exception thrown by any invocation is rethrown on the
+  /// calling thread after the pool drains. The result type must be
+  /// default-constructible (slots are pre-allocated).
+  template <class T, class F>
+  auto map(const std::vector<T>& items, F&& fn) const {
+    using R = std::invoke_result_t<F&, const T&>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "SweepRunner::map result type must be default-constructible");
+    std::vector<R> out(items.size());
+    run_indexed(items.size(),
+                [&](std::size_t i) { out[i] = fn(items[i]); });
+    return out;
+  }
+
+ private:
+  /// Executes fn(0..n-1), each index exactly once, across the pool.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  int jobs_ = 1;
+};
+
+}  // namespace redcr::exp

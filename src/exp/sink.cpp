@@ -1,0 +1,144 @@
+#include "exp/sink.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace redcr::exp {
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Cell::Cell(double v, int digits) : text(util::fmt(v, digits)), value(v) {}
+
+Cell Cell::count(long long v) {
+  return Cell(util::fmt_count(v), static_cast<double>(v));
+}
+
+ResultSink::ResultSink(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (Column& c : columns_)
+    if (c.key.empty()) c.key = c.header;
+}
+
+void ResultSink::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size())
+    throw std::invalid_argument("ResultSink '" + name_ + "': row has " +
+                                std::to_string(row.size()) + " cells, table " +
+                                std::to_string(columns_.size()) + " columns");
+  rows_.push_back(std::move(row));
+}
+
+void ResultSink::emphasize_row(std::size_t row, std::size_t col) {
+  if (row >= rows_.size() || col >= columns_.size())
+    throw std::out_of_range("ResultSink::emphasize_row");
+  emphasized_.emplace_back(row, col);
+}
+
+void ResultSink::emphasize_last(std::size_t col) {
+  if (rows_.empty()) throw std::logic_error("emphasize_last before add_row");
+  emphasize_row(rows_.size() - 1, col);
+}
+
+std::string ResultSink::text() const {
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (const Column& c : columns_) headers.push_back(c.header);
+  util::Table table(std::move(headers));
+  if (!title_.empty()) table.set_title(title_);
+  for (const std::vector<Cell>& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell.text);
+    table.add_row(std::move(cells));
+  }
+  for (const auto& [row, col] : emphasized_) table.emphasize(row, col);
+  return table.str();
+}
+
+void ResultSink::write_csv(const std::string& dir) const {
+  util::CsvWriter csv(dir + "/" + name_ + ".csv");
+  std::vector<std::string> header;
+  for (const Column& c : columns_)
+    if (c.in_data) header.push_back(c.key);
+  csv.write_row(header);
+  for (const std::vector<Cell>& row : rows_) {
+    std::vector<std::string> fields;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!columns_[i].in_data) continue;
+      // CSV favors the numeric payload at full precision (matching the old
+      // CsvWriter::write_numeric_row) and falls back to the display text.
+      fields.push_back(row[i].value ? util::fmt(*row[i].value, 6)
+                                    : row[i].text);
+    }
+    csv.write_row(fields);
+  }
+}
+
+void ResultSink::write_ndjson(std::FILE* out) const {
+  for (const std::vector<Cell>& row : rows_) {
+    std::string line = "{\"table\":\"" + json_escape(name_) + "\"";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!columns_[i].in_data) continue;
+      line += ",\"" + json_escape(columns_[i].key) + "\":";
+      if (row[i].value && std::isfinite(*row[i].value)) {
+        line += util::fmt(*row[i].value, 6);
+      } else if (row[i].value) {
+        line += "null";  // inf/nan are not valid JSON numbers
+      } else {
+        line += "\"" + json_escape(row[i].text) + "\"";
+      }
+    }
+    line += "}\n";
+    std::fputs(line.c_str(), out);
+  }
+}
+
+void ResultSink::emit(const BenchArgs& args, Emit mode) const {
+  if (mode == Emit::kTextOnly) {
+    args.say("%s\n", text().c_str());
+    return;
+  }
+  if (args.json) {
+    write_ndjson(stdout);
+  } else if (mode != Emit::kDataOnly) {
+    std::printf("%s\n", text().c_str());
+  }
+  if (args.csv_dir) write_csv(*args.csv_dir);
+}
+
+}  // namespace redcr::exp

@@ -1,0 +1,96 @@
+// Unified result rendering: one row stream per table, three renderings.
+//
+// A ResultSink collects rows of cells — each cell a display string plus an
+// optional numeric payload — and renders them as an ASCII table (stdout), a
+// CSV file (--csv DIR), or newline-delimited JSON (--json). This replaces
+// the per-bench printf+CsvWriter duplication: a bench fills the sink once
+// and calls emit(args).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hpp"
+#include "util/table.hpp"  // util::fmt / fmt_count, used with Cell payloads
+
+namespace redcr::exp {
+
+/// One table cell: what the reader sees plus what the tools get.
+struct Cell {
+  std::string text;             ///< rendered label for the ASCII table
+  std::optional<double> value;  ///< numeric payload for CSV / JSON
+
+  Cell(std::string t) : text(std::move(t)) {}  // NOLINT(google-explicit-*)
+  Cell(const char* t) : text(t) {}             // NOLINT(google-explicit-*)
+  /// Numeric cell; display via util::fmt(value, digits).
+  Cell(double v, int digits = 2);  // NOLINT(google-explicit-*)
+  /// Distinct display text and numeric payload ("6 hrs" / 6.0).
+  Cell(std::string t, double v) : text(std::move(t)), value(v) {}
+  /// Thousands-separated count with numeric payload.
+  [[nodiscard]] static Cell count(long long v);
+};
+
+/// One column: table header plus the CSV/JSON key (defaults to the header).
+struct Column {
+  std::string header;
+  std::string key;      ///< CSV header / JSON field name; "" = use header
+  bool in_data = true;  ///< false: table-only (e.g. paper-reference columns)
+
+  Column(std::string h) : header(std::move(h)) {}  // NOLINT(google-explicit-*)
+  Column(const char* h) : header(h) {}             // NOLINT(google-explicit-*)
+  Column(std::string h, std::string k, bool data = true)
+      : header(std::move(h)), key(std::move(k)), in_data(data) {}
+};
+
+/// How emit() routes a sink (see class comment).
+enum class Emit {
+  kAll,       ///< table (or NDJSON rows) + CSV — the normal case
+  kTextOnly,  ///< human-facing only: never CSV, commentary stream under --json
+  kDataOnly,  ///< CSV + NDJSON only: long-format dumps with no table rendering
+};
+
+class ResultSink {
+ public:
+  /// `name` keys the CSV file (DIR/<name>.csv) and tags NDJSON rows.
+  ResultSink(std::string name, std::vector<Column> columns);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<Cell> row);
+
+  /// Emphasizes a cell (per-row/per-column minima, like the paper's stars).
+  void emphasize_row(std::size_t row, std::size_t col);
+
+  /// Emphasizes a cell of the most recently added row.
+  void emphasize_last(std::size_t col);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Renders the ASCII table.
+  [[nodiscard]] std::string text() const;
+
+  /// Writes DIR/<name>.csv (header = column keys; numeric payload when
+  /// present, display text otherwise). Columns with in_data=false are
+  /// skipped. Throws std::runtime_error when the file cannot be opened.
+  void write_csv(const std::string& dir) const;
+
+  /// Writes one JSON object per row: {"table":<name>,<key>:<value>,...}.
+  void write_ndjson(std::FILE* out) const;
+
+  /// One-stop routing for a bench: honors args.json / args.csv_dir per the
+  /// Emit mode and prints through args.text_out() where applicable.
+  void emit(const BenchArgs& args, Emit mode = Emit::kAll) const;
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<std::pair<std::size_t, std::size_t>> emphasized_;
+};
+
+}  // namespace redcr::exp

@@ -1,0 +1,290 @@
+// Tests for the experiment harness (src/exp/): grid enumeration, filter
+// parsing, deterministic parallel execution, result rendering, and the
+// bench CLI front end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "exp/exp.hpp"
+
+namespace {
+
+using namespace redcr;
+
+// ---------------------------------------------------------------- ParamGrid
+
+TEST(ParamGrid, RowMajorEnumerationOrderAndSize) {
+  exp::ParamGrid grid;
+  grid.axis("a", {1, 2}).axis("b", {10, 20, 30});
+  EXPECT_EQ(grid.size(), 6u);
+  const std::vector<exp::Trial> trials = grid.trials();
+  ASSERT_EQ(trials.size(), 6u);
+  // Last axis varies fastest: (1,10) (1,20) (1,30) (2,10) (2,20) (2,30).
+  const double expected[6][2] = {{1, 10}, {1, 20}, {1, 30},
+                                 {2, 10}, {2, 20}, {2, 30}};
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index(), i);
+    EXPECT_EQ(trials[i].at("a"), expected[i][0]) << "trial " << i;
+    EXPECT_EQ(trials[i].at("b"), expected[i][1]) << "trial " << i;
+    EXPECT_EQ(trials[i].values().size(), 2u);
+  }
+  EXPECT_THROW((void)trials[0].at("nope"), std::out_of_range);
+}
+
+TEST(ParamGrid, TrialByIndexMatchesEnumeration) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {6, 12, 18, 24, 30})
+      .axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
+  const std::vector<exp::Trial> trials = grid.trials();
+  ASSERT_EQ(trials.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const exp::Trial t = grid.trial(i);
+    EXPECT_EQ(t.values(), trials[i].values());
+  }
+}
+
+TEST(ParamGrid, RangeIncludesEndpoint) {
+  const std::vector<double> r = exp::ParamGrid::range(1.0, 3.0, 0.25);
+  ASSERT_EQ(r.size(), 9u);
+  EXPECT_DOUBLE_EQ(r.front(), 1.0);
+  EXPECT_DOUBLE_EQ(r.back(), 3.0);
+}
+
+TEST(ParamGrid, RejectsDuplicateAndEmptyAxes) {
+  exp::ParamGrid grid;
+  grid.axis("a", {1});
+  EXPECT_THROW(grid.axis("a", {2}), std::invalid_argument);
+  EXPECT_THROW(grid.axis("b", {}), std::invalid_argument);
+}
+
+TEST(ParamGrid, FilterSelectsSubsetInOrder) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {6, 18, 30}).axis("r", {1.0, 2.0, 3.0});
+  const std::vector<exp::Trial> sub = grid.trials("r=2");
+  ASSERT_EQ(sub.size(), 3u);
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    EXPECT_EQ(sub[i].at("r"), 2.0);
+    if (i > 0) EXPECT_LT(sub[i - 1].index(), sub[i].index());
+  }
+  // Conditions naming axes this grid lacks are ignored (multi-grid benches
+  // share one --filter string).
+  EXPECT_EQ(grid.trials("procs=4000").size(), 9u);
+  EXPECT_EQ(grid.trials("mtbf=18,r=3").size(), 1u);
+  EXPECT_EQ(grid.trials("").size(), 9u);
+}
+
+TEST(ParamGrid, FilterSyntaxErrors) {
+  EXPECT_THROW(exp::parse_filter("mtbf"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_filter("mtbf=abc"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_filter("=6"), std::invalid_argument);
+  EXPECT_TRUE(exp::parse_filter("").empty());
+  const std::vector<exp::FilterCond> conds = exp::parse_filter("mtbf=6,r=2.5");
+  ASSERT_EQ(conds.size(), 2u);
+  EXPECT_EQ(conds[0].axis, "mtbf");
+  EXPECT_DOUBLE_EQ(conds[1].value, 2.5);
+}
+
+TEST(ParamGrid, TrialSeedsAreDeterministicAndDistinct) {
+  exp::ParamGrid grid;
+  grid.axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
+  const std::vector<exp::Trial> trials = grid.trials();
+  for (const exp::Trial& a : trials) {
+    EXPECT_EQ(a.seed(7), grid.trial(a.index()).seed(7));
+    EXPECT_NE(a.seed(0), a.seed(1));
+    for (const exp::Trial& b : trials) {
+      if (a.index() != b.index()) {
+        EXPECT_NE(a.seed(3), b.seed(3));
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- SweepRunner
+
+TEST(SweepRunner, ResolvesWorkerCount) {
+  EXPECT_GE(exp::SweepRunner(exp::RunnerOptions{0}).jobs(), 1);
+  EXPECT_EQ(exp::SweepRunner(exp::RunnerOptions{3}).jobs(), 3);
+}
+
+TEST(SweepRunner, MapPreservesItemOrder) {
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  const exp::SweepRunner runner(exp::RunnerOptions{8});
+  const std::vector<int> out =
+      runner.map(items, [](const int& v) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SweepRunner, RunsEveryItemExactlyOnce) {
+  std::atomic<int> calls{0};
+  std::vector<int> items(257);
+  const exp::SweepRunner runner(exp::RunnerOptions{4});
+  (void)runner.map(items, [&](const int&) { return ++calls; });
+  EXPECT_EQ(calls.load(), 257);
+}
+
+TEST(SweepRunner, PropagatesFirstException) {
+  std::vector<int> items(16);
+  const exp::SweepRunner runner(exp::RunnerOptions{4});
+  EXPECT_THROW((void)runner.map(items,
+                                [](const int&) -> int {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+// The tentpole guarantee: a parallel sweep is bit-identical to a serial one.
+// Exercise it end to end on a small Table-4 sub-grid through the real DES.
+TEST(SweepRunner, ParallelDesSweepBitIdenticalToSerial) {
+  exp::ParamGrid grid;
+  grid.axis("mtbf", {30.0}).axis("r", {1.0, 2.0});
+  const std::vector<exp::Trial> trials = grid.trials();
+  const auto run = [&](int jobs) {
+    const exp::SweepRunner runner(exp::RunnerOptions{jobs});
+    return runner.map(trials, [&](const exp::Trial& trial) {
+      return bench::run_experiment_cell(trial.at("mtbf"), trial.at("r"),
+                                        /*seeds=*/1, /*quick=*/true);
+    });
+  };
+  const std::vector<bench::CellResult> serial = run(1);
+  const std::vector<bench::CellResult> parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Exact equality, not tolerance: the merge order and per-trial seeding
+    // must make --jobs invisible in the output bytes.
+    EXPECT_EQ(serial[i].minutes_mean, parallel[i].minutes_mean) << i;
+    EXPECT_EQ(serial[i].minutes_stddev, parallel[i].minutes_stddev) << i;
+    EXPECT_EQ(serial[i].job_failures_mean, parallel[i].job_failures_mean) << i;
+    EXPECT_GT(serial[i].minutes_mean, 0.0);
+  }
+}
+
+// --------------------------------------------------------------- ResultSink
+
+exp::ResultSink make_sink() {
+  exp::ResultSink sink("roundtrip", {{"MTBF", "mtbf_h"},
+                                     {"r"},
+                                     {"T [min]", "t_min"},
+                                     {"note", "", /*data=*/false}});
+  sink.set_title("round-trip check");
+  sink.add_row({{"6 hrs", 6.0}, {2.0, 2}, {123.456789, 1}, {"starred"}});
+  sink.add_row({{"30 hrs", 30.0}, {1.5, 2}, {7.0, 1}, {"plain"}});
+  return sink;
+}
+
+TEST(ResultSink, CsvRoundTrip) {
+  const std::string dir = testing::TempDir();
+  make_sink().write_csv(dir);
+  std::ifstream in(dir + "/roundtrip.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // Keys (not display headers), in_data=false columns skipped.
+  EXPECT_EQ(line, "mtbf_h,r,t_min");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "6.000000,2.000000,123.456789");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "30.000000,1.500000,7.000000");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(ResultSink, NdjsonRoundTrip) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  make_sink().write_ndjson(tmp);
+  std::rewind(tmp);
+  char buffer[512];
+  ASSERT_NE(std::fgets(buffer, sizeof buffer, tmp), nullptr);
+  EXPECT_STREQ(buffer,
+               "{\"table\":\"roundtrip\",\"mtbf_h\":6.000000,\"r\":2.000000,"
+               "\"t_min\":123.456789}\n");
+  ASSERT_NE(std::fgets(buffer, sizeof buffer, tmp), nullptr);
+  EXPECT_STREQ(buffer,
+               "{\"table\":\"roundtrip\",\"mtbf_h\":30.000000,\"r\":1.500000,"
+               "\"t_min\":7.000000}\n");
+  EXPECT_EQ(std::fgets(buffer, sizeof buffer, tmp), nullptr);
+  std::fclose(tmp);
+}
+
+TEST(ResultSink, TextRenderingContainsHeadersAndValues) {
+  const std::string text = make_sink().text();
+  EXPECT_NE(text.find("round-trip check"), std::string::npos);
+  EXPECT_NE(text.find("MTBF"), std::string::npos);
+  EXPECT_NE(text.find("T [min]"), std::string::npos);
+  EXPECT_NE(text.find("123.5"), std::string::npos);  // digits=1 rendering
+  EXPECT_NE(text.find("starred"), std::string::npos);
+}
+
+TEST(ResultSink, RejectsMismatchedRowWidth) {
+  exp::ResultSink sink("bad", {{"a"}, {"b"}});
+  EXPECT_THROW(sink.add_row({{1.0, 0}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- BenchArgs
+
+std::optional<exp::BenchArgs> parse_vec(std::vector<const char*> argv,
+                                        std::string* error = nullptr) {
+  argv.insert(argv.begin(), "bench_test");
+  return exp::BenchArgs::try_parse(static_cast<int>(argv.size()),
+                                   const_cast<char**>(argv.data()), error);
+}
+
+TEST(BenchArgs, DefaultsAndSeedPolicy) {
+  const auto plain = parse_vec({});
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->seeds, 2);
+  EXPECT_EQ(plain->jobs, 0);
+  EXPECT_FALSE(plain->json);
+  EXPECT_TRUE(plain->filter.empty());
+
+  ASSERT_TRUE(parse_vec({"--quick"}).has_value());
+  EXPECT_EQ(parse_vec({"--quick"})->seeds, 1);
+  EXPECT_EQ(parse_vec({"--full"})->seeds, 5);
+  // Explicit --seeds wins over the mode default.
+  EXPECT_EQ(parse_vec({"--quick", "--seeds", "7"})->seeds, 7);
+}
+
+TEST(BenchArgs, ParsesHarnessFlags) {
+  const auto args = parse_vec(
+      {"--jobs", "4", "--json", "--filter", "mtbf=6,r=2.5", "--csv", "/tmp/x"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->jobs, 4);
+  EXPECT_TRUE(args->json);
+  EXPECT_EQ(args->filter, "mtbf=6,r=2.5");
+  ASSERT_TRUE(args->csv_dir.has_value());
+  EXPECT_EQ(*args->csv_dir, "/tmp/x");
+  EXPECT_EQ(exp::SweepRunner(args->runner()).jobs(), 4);
+}
+
+TEST(BenchArgs, RejectsInvalidSeedCounts) {
+  std::string error;
+  EXPECT_FALSE(parse_vec({"--seeds", "0"}, &error).has_value());
+  EXPECT_NE(error.find("--seeds"), std::string::npos);
+  EXPECT_FALSE(parse_vec({"--seeds", "-3"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--seeds", "two"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--seeds", "3x"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--seeds"}, &error).has_value());
+  EXPECT_NE(error.find("requires a value"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsBadFlagsAndCombinations) {
+  std::string error;
+  EXPECT_FALSE(parse_vec({"--sedes", "3"}, &error).has_value());
+  EXPECT_NE(error.find("unknown flag"), std::string::npos);
+  EXPECT_FALSE(parse_vec({"--quick", "--full"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--jobs", "0"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--filter", "mtbf"}, &error).has_value());
+  EXPECT_FALSE(parse_vec({"--help"}, &error).has_value());
+  EXPECT_EQ(error, "help");
+}
+
+}  // namespace

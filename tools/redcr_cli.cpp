@@ -15,6 +15,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "apps/cg.hpp"
@@ -22,6 +23,7 @@
 #include "apps/spectral.hpp"
 #include "apps/stencil.hpp"
 #include "apps/synthetic.hpp"
+#include "exp/exp.hpp"
 #include "model/combined.hpp"
 #include "model/extensions.hpp"
 #include "runtime/executor.hpp"
@@ -115,34 +117,63 @@ int cmd_model(const Flags& flags) {
 int cmd_sweep(const Flags& flags) {
   const model::CombinedConfig cfg = model_config(flags);
   const double step = flags.number("step", 0.25);
-  util::Table t({"r", "T_total [h]", "nodes", "Theta_sys [h]", "delta [min]",
-                 "E[failures]"});
+
+  // The sweep is the one campaign-shaped command: route it through the
+  // experiment harness so it gets --jobs/--json/--filter/--csv for free.
+  exp::BenchArgs args;
+  args.jobs = static_cast<int>(flags.number("jobs", 0));
+  args.json = flags.flag("json");
+  args.filter = flags.text("filter", "");
+  args.csv_dir = flags.text("csv", "");
+
+  exp::ParamGrid grid;
+  grid.axis("r", exp::ParamGrid::range(1.0, 3.0, step));
+  std::vector<exp::Trial> trials;
+  try {
+    trials = grid.trials(args.filter);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "redcr_cli sweep: %s\n", e.what());
+    return 2;
+  }
+  const exp::SweepRunner runner(args.runner());
+  const std::vector<model::Prediction> preds =
+      runner.map(trials, [&](const exp::Trial& trial) {
+        return model::predict(cfg, trial.at("r"));
+      });
+
+  exp::ResultSink t("sweep", {{"r"},
+                              {"T_total [h]", "total_h"},
+                              {"nodes"},
+                              {"Theta_sys [h]", "theta_sys_h"},
+                              {"delta [min]", "delta_min"},
+                              {"E[failures]", "expected_failures"}});
   t.set_title("Redundancy sweep");
   double best_r = 1.0, best_t = 1e300;
-  std::size_t row = 0, best_row = 0;
-  for (double r = 1.0; r <= 3.0 + 1e-9; r += step, ++row) {
-    const model::Prediction p = model::predict(cfg, r);
-    t.add_row({fmt(r, 2), fmt(util::to_hours(p.total_time), 1),
-               fmt_count(static_cast<long long>(p.total_procs)),
-               fmt(util::to_hours(p.system_mtbf), 1),
-               fmt(util::to_minutes(p.interval), 1),
-               fmt(p.expected_failures, 1)});
+  std::size_t best_row = 0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const model::Prediction& p = preds[i];
+    t.add_row({{trials[i].at("r"), 2},
+               {util::to_hours(p.total_time), 1},
+               exp::Cell::count(static_cast<long long>(p.total_procs)),
+               {util::to_hours(p.system_mtbf), 1},
+               {util::to_minutes(p.interval), 1},
+               {p.expected_failures, 1}});
     if (p.total_time < best_t) {
       best_t = p.total_time;
-      best_r = r;
-      best_row = row;
+      best_r = trials[i].at("r");
+      best_row = i;
     }
   }
-  t.emphasize(best_row, 1);
-  std::printf("%s", t.str().c_str());
-  std::printf("best degree: %.2fx\n\n", best_r);
+  if (!trials.empty()) t.emphasize_row(best_row, 1);
+  t.emit(args);
+  args.say("best degree: %.2fx\n\n", best_r);
 
   model::CombinedConfig probe = cfg;
   const auto x12 = model::crossover_procs(probe, 1.0, 2.0, 100, 5000000);
   if (x12)
-    std::printf("2x beats 1x from N = %s processes (at these machine "
-                "parameters)\n",
-                fmt_count(static_cast<long long>(*x12)).c_str());
+    args.say("2x beats 1x from N = %s processes (at these machine "
+             "parameters)\n",
+             fmt_count(static_cast<long long>(*x12)).c_str());
   return 0;
 }
 
@@ -248,7 +279,8 @@ void usage() {
       "redcr_cli — combined partial redundancy + checkpointing toolkit\n\n"
       "  redcr_cli model    --procs N --hours T --mtbf-years Y --alpha A\n"
       "                     --ckpt-sec C --restart-sec R (--r R | --optimize)\n"
-      "  redcr_cli sweep    [same machine flags] [--step 0.25]\n"
+      "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N]\n"
+      "                     [--json] [--filter 'r=2'] [--csv DIR]\n"
       "  redcr_cli simulate --virtual N --redundancy R --mtbf-hours H\n"
       "                     [--workload synthetic|cg|stencil|spectral|masterworker]\n"
       "                     [--protocol push|pull] [--msg-plus-hash] [--live]\n"
