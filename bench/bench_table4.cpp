@@ -109,6 +109,35 @@ int main(int argc, char** argv) {
   t.emit(args);
   tp.emit(args, exp::Emit::kTextOnly);
 
+  // Long-format per-cell dump with the observability columns: one row per
+  // grid cell actually run, in grid order (so the bytes are identical at
+  // any --jobs). Data-only — the pivoted table above is the human view.
+  exp::ResultSink obs("table4_cells",
+                      {{"MTBF", "mtbf_hours"},
+                       {"r", "r"},
+                       {"minutes", "minutes_mean"},
+                       {"ckpt min", "ckpt_minutes_mean"},
+                       {"rework min", "rework_minutes_mean"},
+                       {"failures", "job_failures_mean"},
+                       {"ckpts", "checkpoints_mean"},
+                       {"events", "engine_events_mean"},
+                       {"msgs", "messages_mean"},
+                       {"contention s", "contention_wait_mean"}});
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const bench::CellResult& cell = cells[i];
+    obs.add_row({{trials[i].at("mtbf"), 0},
+                 {trials[i].at("r"), 2},
+                 {cell.minutes_mean, 1},
+                 {cell.ckpt_minutes_mean, 1},
+                 {cell.rework_minutes_mean, 1},
+                 {cell.job_failures_mean, 1},
+                 {cell.checkpoints_mean, 1},
+                 {cell.engine_events_mean, 0},
+                 {cell.messages_mean, 0},
+                 {cell.contention_wait_mean, 2}});
+  }
+  obs.emit(args, exp::Emit::kDataOnly);
+
   // The qualitative checks need the full grid; skip them under --filter.
   if (!args.filter.empty()) return 0;
 

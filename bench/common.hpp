@@ -97,12 +97,20 @@ struct CellResult {
   double job_failures_mean = 0.0;
   double checkpoints_mean = 0.0;
   bool all_completed = true;
+  // Per-trial observability metrics (simulated quantities, so deterministic
+  // per cell): surfaced as data-only columns in the harness NDJSON/CSV.
+  double ckpt_minutes_mean = 0.0;     ///< time inside checkpoints
+  double rework_minutes_mean = 0.0;   ///< redone work after sphere deaths
+  double engine_events_mean = 0.0;    ///< DES events processed
+  double messages_mean = 0.0;         ///< physical messages injected
+  double contention_wait_mean = 0.0;  ///< seconds queued behind busy NICs
 };
 
 inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
                                       int seeds, bool quick) {
   CellResult cell;
   util::RunningStats wall, failures, checkpoints;
+  util::RunningStats ckpt_min, rework_min, events, messages, contention;
   for (int seed = 0; seed < seeds; ++seed) {
     runtime::JobConfig cfg = paper_cluster_config(
         node_mtbf_hours, redundancy, 1000 + static_cast<std::uint64_t>(seed));
@@ -114,11 +122,21 @@ inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
     wall.add(util::to_minutes(report.wallclock));
     failures.add(report.job_failures);
     checkpoints.add(report.checkpoints);
+    ckpt_min.add(util::to_minutes(report.checkpoint_time));
+    rework_min.add(util::to_minutes(report.rework_time));
+    events.add(static_cast<double>(report.engine_events));
+    messages.add(static_cast<double>(report.messages));
+    contention.add(report.network_contention_wait);
   }
   cell.minutes_mean = wall.mean();
   cell.minutes_stddev = wall.stddev();
   cell.job_failures_mean = failures.mean();
   cell.checkpoints_mean = checkpoints.mean();
+  cell.ckpt_minutes_mean = ckpt_min.mean();
+  cell.rework_minutes_mean = rework_min.mean();
+  cell.engine_events_mean = events.mean();
+  cell.messages_mean = messages.mean();
+  cell.contention_wait_mean = contention.mean();
   return cell;
 }
 

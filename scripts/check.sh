@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the tree with AddressSanitizer + UBSan enabled and
+# runs the fast `smoke`-labelled test suites under it. Intended as the
+# pre-merge check; a plain build stays untouched in ./build.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-san)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-san}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DREDCR_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error: a UBSan diagnostic must fail the gate, not just print.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"
+
+echo "check.sh: sanitizer smoke suite passed"

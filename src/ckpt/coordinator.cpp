@@ -51,6 +51,8 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   // First rank in marks the epoch's entry time.
   if (entered_count_ == 0) epoch_entry_time_ = engine_.now();
   ++entered_count_;
+  const int pid = obs::rank_pid(endpoint.rank());
+  const sim::Time t_enter = engine_.now();
 
   // 1. Drain the channels (paper: bookmark exchange before BLCR images).
   // (if/else rather than ?: — GCC 12 miscompiles a conditional expression
@@ -60,6 +62,9 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   } else {
     last_quiesce_ = co_await bookmark_exchange_quiesce(endpoint);
   }
+  const sim::Time t_quiesced = engine_.now();
+  if (recorder_ != nullptr)
+    recorder_->span("quiesce", "ckpt", pid, t_enter, t_quiesced);
 
   // 2. Write this process's image to stable storage; writers serialize on
   //    the device, which is what makes `c` grow with the process count.
@@ -74,11 +79,17 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   } else {
     co_await sim::delay(engine_, durable_at - engine_.now());
   }
+  const sim::Time t_written = engine_.now();
+  if (recorder_ != nullptr)
+    recorder_->span(config_.forked ? "fork" : "image-write", "ckpt", pid,
+                    t_quiesced, t_written);
 
   // 3. Close the checkpoint: in blocking mode nobody may resume before
   //    every image is durable; in forked mode the barrier only synchronizes
   //    the forks (durability is tracked separately below).
   co_await quiesce_barrier(endpoint);
+  if (recorder_ != nullptr)
+    recorder_->span("ckpt-barrier", "ckpt", pid, t_written, engine_.now());
 
   // 4. Rank 0 publishes the snapshot and re-arms the timer so the next
   //    request fires δ after *completion* (work/checkpoint segments of
@@ -88,6 +99,21 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     assert(completed_epochs_ == epoch);
     total_checkpoint_time_ += engine_.now() - epoch_entry_time_;
     const double work_elapsed = engine_.now() - total_checkpoint_time_;
+    if (recorder_ != nullptr) {
+      // Job-track accounting: rank 0's phase boundaries stand in for the
+      // whole collective (every rank leaves each phase within the barrier).
+      recorder_->span("checkpoint", "ckpt", obs::kJobPid, epoch_entry_time_,
+                      engine_.now());
+      obs::Registry& metrics = recorder_->metrics();
+      metrics.add("ckpt.completed");
+      metrics.add("time.ckpt_quiesce", t_quiesced - t_enter);
+      metrics.add("time.ckpt_write", t_written - t_quiesced);
+      metrics.add("time.ckpt_barrier", engine_.now() - t_written);
+      metrics
+          .histogram("quiesce.rounds",
+                     {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+          .observe(last_quiesce_.rounds);
+    }
     entered_count_ = 0;
     engine_.schedule_after(config_.interval, [this] { ++requested_epochs_; });
     auto publish = [this, iteration, epoch, work_elapsed] {

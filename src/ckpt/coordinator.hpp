@@ -25,6 +25,7 @@
 
 #include "ckpt/quiesce.hpp"
 #include "ckpt/storage.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cotask.hpp"
 #include "simmpi/world.hpp"
 
@@ -110,6 +111,12 @@ class CheckpointController {
   }
   [[nodiscard]] const CkptConfig& config() const noexcept { return config_; }
 
+  /// Attaches an observability recorder (nullptr detaches). Records
+  /// per-rank quiesce / image-write / barrier spans, a job-track span per
+  /// completed checkpoint, the "time.ckpt_*" phase counters and the
+  /// "quiesce.rounds" histogram.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   /// Max-agreement over the locally observed requested-epoch counter.
   sim::CoTask<int> agree_epoch(simmpi::Endpoint& endpoint, long iteration);
@@ -130,6 +137,7 @@ class CheckpointController {
   int entered_count_ = 0;             // ranks inside the current checkpoint
   double total_checkpoint_time_ = 0.0;
   QuiesceStats last_quiesce_;
+  obs::Recorder* recorder_ = nullptr;  // optional, not owned
 };
 
 }  // namespace redcr::ckpt

@@ -15,7 +15,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n"
-    "          [--jobs N] [--json] [--filter AXIS=V[,AXIS=V...]]\n";
+    "          [--jobs N] [--json] [--filter AXIS=V[,AXIS=V...]]\n"
+    "          [--progress] [--log-level debug|info|warn|error|off]\n";
 
 /// Strict positive-integer parse; std::atoi's silent 0 on garbage is exactly
 /// the bug class this replaces.
@@ -73,6 +74,15 @@ std::optional<BenchArgs> BenchArgs::try_parse(int argc, char** argv,
       args.csv_dir = v;
     } else if (std::strcmp(arg, "--json") == 0) {
       args.json = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      args.progress = true;
+    } else if (std::strcmp(arg, "--log-level") == 0) {
+      const char* v = value("--log-level");
+      if (!v) return fail("--log-level requires a value");
+      args.log_level = util::parse_log_level(v);
+      if (!args.log_level)
+        return fail(std::string("invalid --log-level '") + v +
+                    "' (expected debug|info|warn|error|off)");
     } else if (std::strcmp(arg, "--filter") == 0) {
       const char* v = value("--filter");
       if (!v) return fail("--filter requires a spec");
@@ -97,15 +107,21 @@ std::optional<BenchArgs> BenchArgs::try_parse(int argc, char** argv,
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   std::string error;
-  if (std::optional<BenchArgs> args = try_parse(argc, argv, &error))
+  if (std::optional<BenchArgs> args = try_parse(argc, argv, &error)) {
+    // Env first, explicit flag last, so --log-level wins.
+    util::init_log_level_from_env();
+    if (args->log_level) util::set_log_level(*args->log_level);
     return *args;
+  }
   const bool help = error == "help";
   if (!help) std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
   std::fprintf(help ? stdout : stderr, kUsage, argv[0]);
   std::exit(help ? 0 : 2);
 }
 
-RunnerOptions BenchArgs::runner() const { return RunnerOptions{jobs}; }
+RunnerOptions BenchArgs::runner() const {
+  return RunnerOptions{jobs, progress};
+}
 
 std::FILE* BenchArgs::text_out() const noexcept {
   return json ? stderr : stdout;

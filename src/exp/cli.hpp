@@ -8,6 +8,9 @@
 //   --jobs N         worker threads for the sweep (default: all cores)
 //   --json           newline-delimited JSON rows on stdout instead of tables
 //   --filter SPEC    run a subset of grid cells, e.g. "mtbf=6,r=2"
+//   --progress       live trial-count/ETA line on stderr while sweeping
+//   --log-level L    debug|info|warn|error|off (default: REDCR_LOG_LEVEL
+//                    env if set and valid, else warn)
 //
 // Under --json, stdout carries only NDJSON rows; headers, reference tables
 // and commentary move to stderr so the stream stays machine-parseable.
@@ -16,6 +19,8 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+
+#include "util/log.hpp"
 
 namespace redcr::exp {
 
@@ -27,11 +32,17 @@ struct BenchArgs {
   bool full = false;      ///< --full: 5 seeds, finest grids
   int jobs = 0;           ///< --jobs: worker threads; 0 = all cores
   bool json = false;      ///< --json: NDJSON rows on stdout
+  bool progress = false;  ///< --progress: live ETA line on stderr
   std::string filter;     ///< --filter: grid-cell subset spec (empty = all)
   std::optional<std::string> csv_dir;
+  /// --log-level: parsed but not applied by try_parse (parse() applies it,
+  /// so the non-exiting variant stays side-effect free for tests).
+  std::optional<util::LogLevel> log_level;
 
   /// Parses argv; on any error prints a one-line diagnostic plus usage to
-  /// stderr and exits with status 2 (--help exits 0).
+  /// stderr and exits with status 2 (--help exits 0). Applies the log
+  /// level: --log-level when given, else the REDCR_LOG_LEVEL environment
+  /// variable when set and valid.
   static BenchArgs parse(int argc, char** argv);
 
   /// Non-exiting variant for tests and embedding: returns std::nullopt and

@@ -2,13 +2,67 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 namespace redcr::exp {
 
-SweepRunner::SweepRunner(RunnerOptions options) {
+namespace {
+
+/// Live progress/ETA line on stderr, updated in place as trials complete.
+/// Wallclock-based by design (it reports *this* machine's pace), which is
+/// why it writes only to stderr and never into a result sink — the
+/// deterministic-output contract covers stdout and file sinks only.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, bool enabled)
+      : total_(total),
+        enabled_(enabled && total > 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ProgressMeter() {
+    if (enabled_ && reported_) std::fputc('\n', stderr);
+  }
+
+  void completed(std::size_t done) {
+    if (!enabled_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    // Throttle redraws; always draw the final state.
+    if (done < total_ && reported_ &&
+        now - last_report_ < std::chrono::milliseconds(100))
+      return;
+    last_report_ = now;
+    reported_ = true;
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    std::fprintf(stderr, "\r[exp] %zu/%zu trials (%3.0f%%) %.1fs elapsed",
+                 done, total_,
+                 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total_),
+                 elapsed);
+    if (done > 0 && done < total_) {
+      const double eta = elapsed / static_cast<double>(done) *
+                         static_cast<double>(total_ - done);
+      std::fprintf(stderr, ", eta %.1fs ", eta);
+    }
+    std::fflush(stderr);
+  }
+
+ private:
+  std::size_t total_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_report_;
+  bool reported_ = false;
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(RunnerOptions options) : progress_(options.progress) {
   if (options.jobs > 0) {
     jobs_ = options.jobs;
   } else {
@@ -20,14 +74,19 @@ SweepRunner::SweepRunner(RunnerOptions options) {
 void SweepRunner::run_indexed(
     std::size_t n, const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
+  ProgressMeter meter(n, progress_);
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+      meter.completed(i + 1);
+    }
     return;
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -44,6 +103,7 @@ void SweepRunner::run_indexed(
         failed.store(true, std::memory_order_relaxed);
         return;
       }
+      meter.completed(done.fetch_add(1, std::memory_order_relaxed) + 1);
     }
   };
 

@@ -17,6 +17,11 @@ namespace redcr::exp {
 struct RunnerOptions {
   /// Worker count; <= 0 means std::thread::hardware_concurrency().
   int jobs = 0;
+  /// Live "k/N trials (p%) elapsed/ETA" progress line on stderr, updated in
+  /// place as trials finish. Off by default: the line is wallclock-derived
+  /// (so never part of the deterministic output contract) and stderr may be
+  /// a log file under CI. Enable with --progress.
+  bool progress = false;
 };
 
 class SweepRunner {
@@ -25,6 +30,7 @@ class SweepRunner {
 
   /// The resolved worker count (>= 1).
   [[nodiscard]] int jobs() const noexcept { return jobs_; }
+  [[nodiscard]] bool progress() const noexcept { return progress_; }
 
   /// Applies `fn` to every item concurrently and returns the results in
   /// item order. `fn` must be safe to call from several threads on distinct
@@ -48,6 +54,7 @@ class SweepRunner {
                    const std::function<void(std::size_t)>& fn) const;
 
   int jobs_ = 1;
+  bool progress_ = false;
 };
 
 }  // namespace redcr::exp

@@ -113,13 +113,26 @@ sim::Task FailureInjector::run(sim::Engine& engine, SphereMonitor& monitor,
     if (!params_.inject_during_checkpoint && protected_phase) {
       // Paper Section 6 (observation 5): the experiments do not trigger
       // failures while a checkpoint is in progress; defer to phase end.
+      const bool deferred = protected_phase();
       while (protected_phase()) co_await sim::delay(engine, kPhasePoll);
+      if (deferred && recorder_ != nullptr)
+        recorder_->add("failure.deferred");
     }
     const bool sphere_died = monitor.mark_dead(static_cast<Rank>(p));
+    if (recorder_ != nullptr) {
+      recorder_->instant("replica-death", "failure",
+                         obs::rank_pid(static_cast<int>(p)), engine.now());
+      recorder_->add("failure.replica_deaths");
+    }
     if (on_replica_death) on_replica_death(static_cast<Rank>(p));
     if (sphere_died) {
-      on_job_failure(JobFailure{engine.now(),
-                                map_->virtual_of(static_cast<Rank>(p))});
+      const Rank sphere = map_->virtual_of(static_cast<Rank>(p));
+      if (recorder_ != nullptr) {
+        recorder_->instant("sphere-death", "failure", obs::kJobPid,
+                           engine.now());
+        recorder_->add("failure.sphere_deaths");
+      }
+      on_job_failure(JobFailure{engine.now(), sphere});
       co_return;  // the job is down; this episode is over
     }
   }

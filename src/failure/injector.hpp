@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "red/red_comm.hpp"
 #include "red/replica_map.hpp"
 #include "sim/task.hpp"
@@ -107,9 +108,15 @@ class FailureInjector {
 
   [[nodiscard]] const FailureParams& params() const noexcept { return params_; }
 
+  /// Attaches an observability recorder (nullptr detaches). Records a
+  /// "replica-death" instant on the dying rank's track, a "sphere-death"
+  /// instant on the job track, and the "failure.*" counters.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   const red::ReplicaMap* map_;
   FailureParams params_;
+  obs::Recorder* recorder_ = nullptr;  // optional, not owned
 };
 
 }  // namespace redcr::failure

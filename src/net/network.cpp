@@ -13,6 +13,18 @@ Network::Network(sim::Engine& engine, std::size_t num_nodes,
   assert(params_.bandwidth > 0.0);
 }
 
+void Network::set_recorder(obs::Recorder* recorder) {
+  if (recorder == nullptr) {
+    messages_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    wait_counter_ = nullptr;
+    return;
+  }
+  messages_counter_ = &recorder->metrics().counter("net.messages");
+  bytes_counter_ = &recorder->metrics().counter("net.bytes");
+  wait_counter_ = &recorder->metrics().counter("net.contention_wait");
+}
+
 sim::Time Network::delivery_time(NodeId src, NodeId dst, util::Bytes size) {
   assert(src < egress_free_.size());
   assert(dst < egress_free_.size());
@@ -23,6 +35,10 @@ sim::Time Network::delivery_time(NodeId src, NodeId dst, util::Bytes size) {
 
   ++stats_.messages;
   stats_.bytes += size;
+  if (messages_counter_ != nullptr) {
+    messages_counter_->add();
+    bytes_counter_->add(size);
+  }
 
   if (!params_.model_contention) {
     return now + params_.send_overhead + transmission + params_.latency;
@@ -31,6 +47,8 @@ sim::Time Network::delivery_time(NodeId src, NodeId dst, util::Bytes size) {
   const sim::Time inject_start =
       std::max(now + params_.send_overhead, egress_free_[src]);
   stats_.contention_wait += inject_start - (now + params_.send_overhead);
+  if (wait_counter_ != nullptr)
+    wait_counter_->add(inject_start - (now + params_.send_overhead));
   egress_free_[src] = inject_start + transmission;
   return egress_free_[src] + params_.latency;
 }

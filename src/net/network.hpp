@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
 
@@ -69,11 +70,20 @@ class Network {
     return egress_free_.size();
   }
 
+  /// Attaches an observability recorder (nullptr detaches). Feeds the
+  /// "net.messages" / "net.bytes" / "net.contention_wait" counters — the
+  /// redundant-communication overhead `t_Red` shows up here as injected
+  /// bytes and NIC queueing the r-fold fan-out causes.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   sim::Engine& engine_;
   NetworkParams params_;
   std::vector<sim::Time> egress_free_;  // per-node NIC available-at time
   TrafficStats stats_;
+  obs::Counter* messages_counter_ = nullptr;  // cached registry handles
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* wait_counter_ = nullptr;
 };
 
 }  // namespace redcr::net

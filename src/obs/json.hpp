@@ -1,0 +1,66 @@
+// Minimal deterministic JSON emission helpers shared by the obs sinks.
+//
+// Determinism contract: the same sequence of append calls produces the same
+// bytes on every platform and at every --jobs level. Numbers are therefore
+// rendered with a fixed rule — integral values (the overwhelmingly common
+// case for counters and event ids) print without a fraction, everything
+// else prints with %.17g, the shortest form that round-trips a double.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace redcr::obs::json {
+
+/// Appends a JSON number. NaN/Inf are not valid JSON; they render as null.
+inline void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // 2^53: largest magnitude at which every integer is exactly representable.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out += buf;
+}
+
+/// Appends a quoted, escaped JSON string.
+inline void append_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace redcr::obs::json

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: metrics registry, simulated-
+// time trace sink and the Recorder handle the stack is instrumented with.
+#pragma once
+
+#include "obs/json.hpp"      // IWYU pragma: export
+#include "obs/recorder.hpp"  // IWYU pragma: export
+#include "obs/registry.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

@@ -1,0 +1,60 @@
+// Recorder: the handle the instrumented stack records through — a metrics
+// Registry plus a TraceSink plus the episode clock offset.
+//
+// Enable/disable contract: components hold a `Recorder*` that may be null;
+// every instrumentation site is guarded by that one branch (the REDCR_LOG
+// pattern), so a run without observability pays nothing but the checks.
+//
+// Clock contract: each executor episode runs its own sim::Engine starting
+// at t = 0, while the exported trace and the phase-time counters are in
+// job time (all episodes plus restart gaps laid end to end). The executor
+// sets the offset to the job wallclock consumed so far before every
+// episode; instrumented components pass raw engine.now() values and the
+// span()/instant() conveniences apply the offset. Both clocks are
+// simulated — wallclock never enters, which is what keeps obs output
+// bit-identical across --jobs levels.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace redcr::obs {
+
+class Recorder {
+ public:
+  [[nodiscard]] Registry& metrics() noexcept { return registry_; }
+  [[nodiscard]] const Registry& metrics() const noexcept { return registry_; }
+  [[nodiscard]] TraceSink& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
+
+  /// Job-time offset added to episode-local timestamps (see header comment).
+  void set_time_offset(double offset) noexcept { offset_ = offset; }
+  [[nodiscard]] double time_offset() const noexcept { return offset_; }
+
+  /// Records a span given episode-local times.
+  void span(std::string name, std::string category, int pid, double begin,
+            double end) {
+    trace_.span(std::move(name), std::move(category), pid, offset_ + begin,
+                offset_ + end);
+  }
+
+  /// Records an instant event given an episode-local time.
+  void instant(std::string name, std::string category, int pid, double at) {
+    trace_.instant(std::move(name), std::move(category), pid, offset_ + at);
+  }
+
+  /// Cold-path counter bump (hot paths cache a Counter& instead).
+  void add(const std::string& name, double delta = 1.0) {
+    registry_.add(name, delta);
+  }
+
+ private:
+  Registry registry_;
+  TraceSink trace_;
+  double offset_ = 0.0;
+};
+
+}  // namespace redcr::obs

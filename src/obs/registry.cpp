@@ -1,0 +1,143 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace redcr::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument(
+        "Histogram: bucket bounds must be strictly ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+namespace {
+
+void check_unclaimed(const char* kind, const std::string& name, bool taken) {
+  if (taken)
+    throw std::invalid_argument("Registry: '" + name +
+                                "' already registered as a different kind "
+                                "(wanted " + kind + ")");
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  check_unclaimed("counter", name,
+                  gauges_.count(name) > 0 || histograms_.count(name) > 0);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  check_unclaimed("gauge", name,
+                  counters_.count(name) > 0 || histograms_.count(name) > 0);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.bounds() != bounds)
+      throw std::invalid_argument("Registry: histogram '" + name +
+                                  "' re-registered with different bounds");
+    return it->second;
+  }
+  check_unclaimed("histogram", name,
+                  counters_.count(name) > 0 || gauges_.count(name) > 0);
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+double Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string Registry::ndjson() const {
+  // The three maps are each sorted; merge them into one name-sorted stream
+  // so the output order does not depend on instrument kind registration.
+  struct Line {
+    const std::string* name;
+    int kind;  // 0 counter, 1 gauge, 2 histogram — tie-break only
+    const void* instrument;
+  };
+  std::vector<Line> lines;
+  lines.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) lines.push_back({&name, 0, &c});
+  for (const auto& [name, g] : gauges_) lines.push_back({&name, 1, &g});
+  for (const auto& [name, h] : histograms_) lines.push_back({&name, 2, &h});
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (*a.name != *b.name) return *a.name < *b.name;
+    return a.kind < b.kind;
+  });
+
+  std::string out;
+  for (const Line& line : lines) {
+    out += "{\"metric\":";
+    json::append_string(out, *line.name);
+    if (line.kind == 0) {
+      out += ",\"type\":\"counter\",\"value\":";
+      json::append_number(out,
+                          static_cast<const Counter*>(line.instrument)->value());
+    } else if (line.kind == 1) {
+      out += ",\"type\":\"gauge\",\"value\":";
+      json::append_number(out,
+                          static_cast<const Gauge*>(line.instrument)->value());
+    } else {
+      const auto* h = static_cast<const Histogram*>(line.instrument);
+      out += ",\"type\":\"histogram\",\"count\":";
+      json::append_number(out, static_cast<double>(h->count()));
+      out += ",\"sum\":";
+      json::append_number(out, h->sum());
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < h->counts().size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"le\":";
+        if (i < h->bounds().size()) {
+          json::append_number(out, h->bounds()[i]);
+        } else {
+          out += "\"+inf\"";
+        }
+        out += ",\"count\":";
+        json::append_number(out, static_cast<double>(h->counts()[i]));
+        out += '}';
+      }
+      out += ']';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void Registry::write_ndjson(std::FILE* out) const {
+  const std::string text = ndjson();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace redcr::obs

@@ -1,0 +1,114 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Design goals, in order:
+//   1. Determinism — export order is sorted by instrument name, values are
+//      pure functions of the recorded sequence, and rendering uses the
+//      fixed number format of obs/json.hpp. Two identical runs (or the same
+//      sweep at --jobs 1 and --jobs N, merged in grid order) produce
+//      byte-identical NDJSON.
+//   2. Cheap hot paths — instruments are node-stable references handed out
+//      once; recording through a cached Counter* is a single add. A
+//      *disabled* registry is represented by the absence of one (callers
+//      hold an obs::Recorder* that may be null), so the disabled cost is
+//      one branch, mirroring the REDCR_LOG macro design.
+//   3. No dependencies — util-level; everything above it may link obs.
+//
+// Names are dot-separated paths ("net.messages", "time.checkpoint"). A name
+// identifies exactly one instrument kind; asking for the same name as a
+// different kind throws (catching instrumentation typos early).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace redcr::obs {
+
+/// Monotonically accumulating value (events, seconds attributed to a phase).
+class Counter {
+ public:
+  void add(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are set at creation and
+/// never change (fixed buckets keep merging and export deterministic).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// counts()[i] pairs with bounds()[i]; counts().back() is the overflow.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;          // ascending, strict
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Finds or creates the named instrument. References stay valid for the
+  /// registry's lifetime (node-based storage), so hot paths cache them.
+  /// Throws std::invalid_argument if `name` already names another kind (or,
+  /// for histograms, was created with different bounds).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Convenience one-shot recording (cold paths; looks the name up).
+  void add(const std::string& name, double delta = 1.0) {
+    counter(name).add(delta);
+  }
+  void set(const std::string& name, double value) { gauge(name).set(value); }
+
+  /// Value of a counter/gauge, or 0 if absent (test/reporting helper).
+  [[nodiscard]] double counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// One JSON object per instrument, sorted by (name, kind), e.g.
+  ///   {"metric":"net.messages","type":"counter","value":1234}
+  ///   {"metric":"quiesce.rounds","type":"histogram","count":7,"sum":9,
+  ///    "buckets":[{"le":1,"count":5},{"le":"+inf","count":2}]}
+  [[nodiscard]] std::string ndjson() const;
+  void write_ndjson(std::FILE* out) const;
+
+ private:
+  // std::map: node-stable references + deterministic sorted iteration.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace redcr::obs

@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace redcr::obs {
+
+void TraceSink::span(std::string name, std::string category, int pid,
+                     double begin, double end) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.pid = pid;
+  event.ts = begin;
+  event.dur = std::max(0.0, end - begin);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::instant(std::string name, std::string category, int pid,
+                        double at) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.pid = pid;
+  event.ts = at;
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::set_track_name(int pid, std::string name) {
+  track_names_.emplace(pid, std::move(name));
+}
+
+double TraceSink::span_total(const std::string& name) const {
+  double total = 0.0;
+  for (const TraceEvent& event : events_)
+    if (event.kind == TraceEvent::Kind::kSpan && event.name == name)
+      total += event.dur;
+  return total;
+}
+
+std::string TraceSink::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+  };
+  for (const auto& [pid, name] : track_names_) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    json::append_number(out, pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    json::append_string(out, name);
+    out += "}}";
+  }
+  constexpr double kMicros = 1e6;  // trace-event timestamps are in µs
+  for (const TraceEvent& event : events_) {
+    comma();
+    out += "{\"name\":";
+    json::append_string(out, event.name);
+    out += ",\"cat\":";
+    json::append_string(out, event.category);
+    if (event.kind == TraceEvent::Kind::kSpan) {
+      out += ",\"ph\":\"X\",\"ts\":";
+      json::append_number(out, event.ts * kMicros);
+      out += ",\"dur\":";
+      json::append_number(out, event.dur * kMicros);
+    } else {
+      // Instant, thread-scoped (the "s" key is required by the format).
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      json::append_number(out, event.ts * kMicros);
+    }
+    out += ",\"pid\":";
+    json::append_number(out, event.pid);
+    out += ",\"tid\":0}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceSink::write_chrome(std::FILE* out) const {
+  const std::string text = chrome_json();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace redcr::obs

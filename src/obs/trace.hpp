@@ -1,0 +1,73 @@
+// Structured trace sink: spans and instant events in *simulated* time,
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+// Track model: pid 0 ("job") carries job-level control events — episodes,
+// whole checkpoints, restarts, sphere deaths; pid 1+p carries the events of
+// physical rank p. Timestamps are simulated seconds since job start
+// (sim::Engine::now() plus the recorder's episode offset), never wallclock,
+// so the export is bit-identical across --jobs levels and machines.
+//
+// Spans are recorded as closed [begin, end) intervals ("X" complete events
+// in the Chrome format) rather than via an RAII guard: the instrumented
+// code is coroutine-heavy, and a span's begin and end frequently live on
+// opposite sides of a suspension point where no C++ scope survives.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace redcr::obs {
+
+/// Track of job-level (non-rank) events.
+inline constexpr int kJobPid = 0;
+/// Track of physical rank `rank`'s events.
+[[nodiscard]] constexpr int rank_pid(int rank) noexcept { return rank + 1; }
+
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant };
+  Kind kind = Kind::kSpan;
+  std::string name;
+  std::string category;
+  int pid = kJobPid;
+  double ts = 0.0;   ///< seconds since job start
+  double dur = 0.0;  ///< seconds (spans only)
+};
+
+class TraceSink {
+ public:
+  /// Records a closed span [begin, end]; `end >= begin` (clamped).
+  void span(std::string name, std::string category, int pid, double begin,
+            double end);
+
+  /// Records a point-in-time event.
+  void instant(std::string name, std::string category, int pid, double at);
+
+  /// Names a track in the exported trace (e.g. "job", "rank 3"). Idempotent.
+  void set_track_name(int pid, std::string name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Sum of the durations of every span named `name` (reconciliation and
+  /// test helper).
+  [[nodiscard]] double span_total(const std::string& name) const;
+
+  /// The full export: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Events keep recording order (already time-sorted per track by
+  /// construction — recording happens inside a single-threaded DES run);
+  /// track-name metadata comes first, sorted by pid. Timestamps convert to
+  /// the format's microseconds.
+  [[nodiscard]] std::string chrome_json() const;
+  void write_chrome(std::FILE* out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace redcr::obs

@@ -70,6 +70,16 @@ Request PullComm::irecv(Rank src, int tag) {
   return parent;
 }
 
+void PullComm::set_recorder(obs::Recorder* recorder) {
+  if (recorder == nullptr) {
+    requests_counter_ = nullptr;
+    failovers_counter_ = nullptr;
+    return;
+  }
+  requests_counter_ = &recorder->metrics().counter("pull.requests");
+  failovers_counter_ = &recorder->metrics().counter("pull.failovers");
+}
+
 sim::Task PullComm::drive_pull(Rank src_virtual, int tag, std::uint64_t seq,
                                Request parent) {
   if (dead(endpoint_->rank())) {
@@ -85,11 +95,15 @@ sim::Task PullComm::drive_pull(Rank src_virtual, int tag, std::uint64_t seq,
   for (unsigned hop = 0; hop < degree; ++hop) {
     const Rank target = replicas[(preferred + hop) % degree];
     if (dead(target)) continue;
-    if (!first_attempt) ++stats_.failovers;
+    if (!first_attempt) {
+      ++stats_.failovers;
+      if (failovers_counter_ != nullptr) failovers_counter_->add();
+    }
     first_attempt = false;
 
     Request response = endpoint_->irecv(target, kDataTagOffset + tag);
     ++stats_.requests_sent;
+    if (requests_counter_ != nullptr) requests_counter_->add();
     endpoint_->isend(target, kRequestTag,
                      Payload::of({static_cast<double>(tag),
                                   static_cast<double>(seq)}));

@@ -73,6 +73,10 @@ class PullComm final : public simmpi::Comm {
 
   void set_liveness(const Liveness* liveness) { liveness_ = liveness; }
 
+  /// Attaches an observability recorder (nullptr detaches). Feeds the
+  /// "pull.requests" / "pull.failovers" counters shared by all PullComms.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   /// Control tags (outside the collective band, below the quiesce band).
   static constexpr int kRequestTag = 3 << 28;
@@ -112,6 +116,8 @@ class PullComm final : public simmpi::Comm {
   Rank virtual_rank_;
   unsigned replica_index_;
   const Liveness* liveness_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;   // cached registry handles
+  obs::Counter* failovers_counter_ = nullptr;
   PullStats stats_;
 
   /// Sender side: all payloads produced per stream, indexed by seq.

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/log.hpp"
+
 namespace redcr::red {
 
 using simmpi::kAnySource;
@@ -138,15 +140,24 @@ void RedComm::post_copy_set(Rank src_virtual, int tag, Request parent) {
                                     full ? tag : kHashTagOffset + tag));
   }
 
-  auto shared_subs = std::make_shared<std::vector<Request>>(std::move(subs));
-  auto remaining = std::make_shared<std::size_t>(shared_subs->size());
-  for (auto& sub : *shared_subs) {
-    simmpi::attach_completion(
-        sub, [this, remaining, shared_subs, src_virtual, tag, parent] {
-          if (--*remaining == 0)
-            finish_copy_set(*shared_subs, src_virtual, tag, parent);
-        });
-  }
+  // The comm owns the copy-set; the hooks hold only an iterator. (Having
+  // each hook own the sub vector would make sub → hook → subs a shared_ptr
+  // cycle that leaks every copy-set still in flight at episode teardown.)
+  copy_sets_.emplace_back();
+  const auto it = std::prev(copy_sets_.end());
+  it->subs = std::move(subs);
+  // +1 guard: a sub that is already complete runs its hook inside
+  // attach_completion, and the set must not finish (and erase itself) while
+  // this frame still iterates it.
+  it->remaining = it->subs.size() + 1;
+  auto maybe_finish = [this, it, src_virtual, tag, parent] {
+    if (--it->remaining == 0) {
+      finish_copy_set(it->subs, src_virtual, tag, parent);
+      copy_sets_.erase(it);
+    }
+  };
+  for (auto& sub : it->subs) simmpi::attach_completion(sub, maybe_finish);
+  maybe_finish();  // releases the guard
 }
 
 sim::Task RedComm::drive_wildcard(int tag, Request parent) {
@@ -239,6 +250,20 @@ void RedComm::finish_copy_set(const std::vector<Request>& subs,
   finalize(src_virtual, tag, std::move(copies), parent);
 }
 
+void RedComm::set_recorder(obs::Recorder* recorder) {
+  if (recorder == nullptr) {
+    compared_counter_ = nullptr;
+    detected_counter_ = nullptr;
+    corrected_counter_ = nullptr;
+    return;
+  }
+  compared_counter_ = &recorder->metrics().counter("red.compared");
+  detected_counter_ =
+      &recorder->metrics().counter("red.mismatches_detected");
+  corrected_counter_ =
+      &recorder->metrics().counter("red.mismatches_corrected");
+}
+
 void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
                        Request parent) {
   assert(!copies.empty());
@@ -259,10 +284,12 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
   const Message* chosen = fulls.front();
   if (config_->vote && hashes.size() > 1) {
     ++stats_.messages_compared;
+    if (compared_counter_ != nullptr) compared_counter_->add();
     std::map<std::uint64_t, unsigned> counts;
     for (const std::uint64_t h : hashes) ++counts[h];
     if (counts.size() > 1) {
       ++stats_.mismatches_detected;
+      if (detected_counter_ != nullptr) detected_counter_->add();
       // Majority vote: adopt a full copy carrying the majority content, if
       // both a strict majority and such a copy exist (paper: triple
       // redundancy can vote out the corrupt message).
@@ -277,6 +304,10 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
         if (it != fulls.end()) {
           chosen = *it;
           ++stats_.mismatches_corrected;
+          if (corrected_counter_ != nullptr) corrected_counter_->add();
+          REDCR_LOG_WARN << "red: replica mismatch outvoted (virtual rank "
+                         << virtual_rank_ << " <- " << src_virtual << ", tag "
+                         << tag << ", " << hashes.size() << " copies)";
         }
       }
     }

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "red/replica_map.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
@@ -107,6 +109,11 @@ class RedComm final : public simmpi::Comm {
   /// paper's experiments do.
   void set_liveness(const Liveness* liveness) { liveness_ = liveness; }
 
+  /// Attaches an observability recorder (nullptr detaches). Feeds the
+  /// "red.compared" / "red.mismatches_detected" / "red.mismatches_corrected"
+  /// counters shared by all RedComms of a job.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   /// Tag offsets for the control plane (hash copies, envelope forwarding).
   /// Application and collective tags are < 2^28, so these bands are private.
@@ -139,6 +146,15 @@ class RedComm final : public simmpi::Comm {
   void finalize(Rank src_virtual, int tag, std::vector<simmpi::Message> copies,
                 simmpi::Request parent);
 
+  /// One in-flight copy-set: the physical sub-receives plus the completion
+  /// countdown. Owned by the RedComm (not by the sub-requests' completion
+  /// hooks) so a copy-set still pending at episode teardown is freed with
+  /// the comm instead of leaking through a hook ⇄ sub-request ref cycle.
+  struct CopySet {
+    std::vector<simmpi::Request> subs;
+    std::size_t remaining = 0;
+  };
+
   simmpi::World* world_;
   const ReplicaMap* map_;
   const RedConfig* config_;
@@ -148,6 +164,9 @@ class RedComm final : public simmpi::Comm {
   RedStats stats_;
   std::function<simmpi::Payload(simmpi::Payload)> corruption_hook_;
   const Liveness* liveness_ = nullptr;
+  obs::Counter* compared_counter_ = nullptr;  // cached registry handles
+  obs::Counter* detected_counter_ = nullptr;
+  obs::Counter* corrected_counter_ = nullptr;
 
   [[nodiscard]] bool dead(Rank physical) const {
     return liveness_ != nullptr && liveness_->is_dead(physical);
@@ -157,6 +176,8 @@ class RedComm final : public simmpi::Comm {
   /// has posted its remaining-copy receives — otherwise instance k+1 could
   /// steal a duplicate copy of instance k's message (see drive_wildcard).
   std::unordered_map<int, std::shared_ptr<sim::OneShotEvent>> wildcard_turn_;
+  /// In-flight copy-sets (stable iterators; erased as each one finishes).
+  std::list<CopySet> copy_sets_;
 };
 
 }  // namespace redcr::red

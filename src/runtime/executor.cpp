@@ -2,10 +2,12 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "red/pull_comm.hpp"
 #include "simmpi/world.hpp"
+#include "util/log.hpp"
 
 namespace redcr::runtime {
 
@@ -78,7 +80,9 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
 JobExecutor::EpisodeResult JobExecutor::run_episode(
     long start_iteration, std::uint64_t episode_index) {
   sim::Engine engine;
+  engine.set_recorder(config_.recorder);
   net::Network network(engine, map_.num_physical(), config_.network);
+  network.set_recorder(config_.recorder);
   simmpi::World world(engine, network,
                       static_cast<int>(map_.num_physical()));
   ckpt::StableStorage storage(engine, config_.storage);
@@ -93,9 +97,11 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   ckpt_config.forked = config_.ckpt_forked;
   ckpt::CheckpointController controller(engine, storage, ckpt_config,
                                         static_cast<int>(map_.num_physical()));
+  controller.set_recorder(config_.recorder);
 
   failure::SphereMonitor monitor(map_);
   failure::FailureInjector injector(map_, config_.fail);
+  injector.set_recorder(config_.recorder);
 
   std::vector<std::unique_ptr<simmpi::Comm>> comms;
   comms.reserve(map_.num_physical());
@@ -104,11 +110,13 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
       auto comm = std::make_unique<red::RedComm>(
           world, map_, static_cast<red::Rank>(p), config_.red);
       if (config_.live_failure_semantics) comm->set_liveness(&monitor);
+      comm->set_recorder(config_.recorder);
       comms.push_back(std::move(comm));
     } else {
       auto comm = std::make_unique<red::PullComm>(
           world, map_, static_cast<red::Rank>(p));
       if (config_.live_failure_semantics) comm->set_liveness(&monitor);
+      comm->set_recorder(config_.recorder);
       comms.push_back(std::move(comm));
     }
   }
@@ -157,6 +165,14 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   result.elapsed = job_failure ? job_failure->time : shared.finish_time;
   result.checkpoint_time = controller.total_checkpoint_time() +
                            controller.in_progress_elapsed(result.elapsed);
+  // A kill mid-checkpoint is charged to checkpoint_time; record the
+  // truncated span too so the "checkpoint" spans tile the counter exactly.
+  if (config_.recorder != nullptr) {
+    const double partial = controller.in_progress_elapsed(result.elapsed);
+    if (partial > 0.0)
+      config_.recorder->span("checkpoint", "ckpt", obs::kJobPid,
+                             result.elapsed - partial, result.elapsed);
+  }
   result.snapshot = controller.snapshot();
   result.checkpoints = controller.checkpoints_completed();
   result.physical_failures = monitor.dead_processes();
@@ -176,9 +192,22 @@ JobReport JobExecutor::run() {
   JobReport report;
   report.num_physical = map_.num_physical();
 
+  obs::Recorder* rec = config_.recorder;
+  if (rec != nullptr) {
+    rec->trace().set_track_name(obs::kJobPid, "job");
+    for (std::size_t p = 0; p < map_.num_physical(); ++p)
+      rec->trace().set_track_name(obs::rank_pid(static_cast<int>(p)),
+                                  "rank " + std::to_string(p));
+  }
+
   long start_iteration = 0;
   for (int episode = 0; episode < config_.max_episodes; ++episode) {
     for (auto& workload : workloads_) workload->restore(start_iteration);
+    // Episode engines restart at t = 0; job time resumes where the previous
+    // episode (plus its restart gap) left off.
+    if (rec != nullptr) rec->set_time_offset(report.wallclock);
+    REDCR_LOG_INFO << "job: episode " << episode << " begin at wallclock "
+                   << report.wallclock << "s, iteration " << start_iteration;
     const EpisodeResult res =
         run_episode(start_iteration, static_cast<std::uint64_t>(episode));
 
@@ -208,12 +237,31 @@ JobReport JobExecutor::run() {
 
     const double work_this_episode = res.elapsed - res.checkpoint_time;
     report.checkpoint_time += res.checkpoint_time;
+    if (rec != nullptr) {
+      // The episode span is recorded episode-locally ([0, elapsed]); the
+      // offset set above places it at its job-time position.
+      rec->span("episode " + std::to_string(episode), "episode", obs::kJobPid,
+                0.0, res.elapsed);
+      obs::Registry& metrics = rec->metrics();
+      metrics.add("job.episodes");
+      metrics.add("time.checkpoint", res.checkpoint_time);
+      metrics
+          .histogram("episode.elapsed",
+                     {60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0,
+                      43200.0})
+          .observe(res.elapsed);
+    }
 
     if (res.finished) {
       // Every work second of the final episode survives into the result.
       report.wallclock += res.elapsed;
       report.useful_work += work_this_episode;
       report.completed = true;
+      if (rec != nullptr) rec->add("time.useful_work", work_this_episode);
+      REDCR_LOG_INFO << "job: episode " << episode
+                     << " completed the workload after " << res.elapsed
+                     << "s (" << res.checkpoints << " checkpoints, "
+                     << res.physical_failures << " replica deaths)";
       return report;
     }
 
@@ -230,7 +278,24 @@ JobReport JobExecutor::run() {
     // next episode restarts from the same iteration as this one did.
     report.useful_work += retained;
     report.rework_time += work_this_episode - retained;
+    if (rec != nullptr) {
+      rec->span("restart", "restart", obs::kJobPid, res.elapsed,
+                res.elapsed + config_.restart_cost);
+      obs::Registry& metrics = rec->metrics();
+      metrics.add("time.useful_work", retained);
+      metrics.add("time.rework", work_this_episode - retained);
+      metrics.add("time.restart", config_.restart_cost);
+    }
+    REDCR_LOG_INFO << "job: episode " << episode << " killed at "
+                   << res.elapsed << "s"
+                   << (res.failure ? " (sphere " +
+                                         std::to_string(res.failure->sphere) +
+                                         " died)"
+                                   : "")
+                   << "; restarting from iteration " << start_iteration;
   }
+  REDCR_LOG_WARN << "job: gave up after " << config_.max_episodes
+                 << " episodes without completing";
   return report;  // completed == false: gave up after max_episodes
 }
 

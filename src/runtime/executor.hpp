@@ -24,6 +24,7 @@
 #include "ckpt/coordinator.hpp"
 #include "failure/injector.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "red/red_comm.hpp"
 #include "runtime/trace.hpp"
 
@@ -73,6 +74,12 @@ struct JobConfig {
   /// !completed). A job whose MTBF is far below its checkpoint cost can
   /// otherwise livelock, which is exactly Eq. 14's λ·t_RR ≥ 1 regime.
   int max_episodes = 10000;
+  /// Optional observability sink (not owned; must outlive the executor).
+  /// When set, the whole stack records into it: phase-time counters that
+  /// reproduce the accounting invariant, per-rank checkpoint spans, failure
+  /// instants, and traffic/engine counters. All timestamps are simulated
+  /// job time, so the recorded output is a pure function of the config.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct JobReport {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "sim/task.hpp"
 
 namespace redcr::sim {
@@ -25,6 +26,7 @@ EventId Engine::schedule_at(Time t, Callback cb) {
   entry.id = next_id_++;
   entry.callback = std::move(cb);
   const EventId id{entry.id};
+  pending_.insert(entry.id);
   queue_.push(std::move(entry));
   return id;
 }
@@ -35,7 +37,23 @@ EventId Engine::schedule_after(Time dt, Callback cb) {
 }
 
 void Engine::cancel(EventId id) {
-  if (id.value != 0) cancelled_.insert(id.value);
+  // Only ids still in the queue may leave a tombstone; a stale (already
+  // fired) or unknown id is a no-op. Without the pending check, repeated
+  // stale cancels would grow cancelled_ without bound — only the pop path
+  // erases it.
+  if (pending_.erase(id.value) == 0) return;
+  cancelled_.insert(id.value);
+  if (cancelled_counter_ != nullptr) cancelled_counter_->add();
+}
+
+void Engine::set_recorder(obs::Recorder* recorder) {
+  if (recorder == nullptr) {
+    events_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
+    return;
+  }
+  events_counter_ = &recorder->metrics().counter("sim.events");
+  cancelled_counter_ = &recorder->metrics().counter("sim.cancelled");
 }
 
 void Engine::spawn(Task task) {
@@ -69,9 +87,11 @@ bool Engine::step(Time limit) {
   // via const_cast-free copy of the small fields and move of the callback.
   QueueEntry entry = std::move(const_cast<QueueEntry&>(queue_.top()));
   queue_.pop();
+  pending_.erase(entry.id);
   assert(entry.time >= now_);
   now_ = entry.time;
   ++events_processed_;
+  if (events_counter_ != nullptr) events_counter_->add();
   entry.callback();
   if (pending_exception_) {
     auto ep = std::exchange(pending_exception_, nullptr);

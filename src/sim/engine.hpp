@@ -21,6 +21,11 @@
 #include <unordered_set>
 #include <vector>
 
+namespace redcr::obs {
+class Counter;
+class Recorder;
+}  // namespace redcr::obs
+
 namespace redcr::sim {
 
 /// Simulated time, in seconds since episode start.
@@ -52,7 +57,7 @@ class Engine {
   EventId schedule_after(Time dt, Callback cb);
 
   /// Cancels a pending event; cancelling an already-fired or unknown id is a
-  /// no-op.
+  /// no-op (and leaves no residue — see cancelled_backlog()).
   void cancel(EventId id);
 
   /// Registers a coroutine process and schedules its first step at now().
@@ -82,6 +87,18 @@ class Engine {
   [[nodiscard]] std::size_t live_processes() const noexcept {
     return handles_.size();
   }
+
+  /// Cancelled-but-not-yet-popped events. Bounded by the queue size at all
+  /// times: cancel() of a fired or unknown id leaves no tombstone (the
+  /// regression guard for the former unbounded cancelled-set growth).
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
+    return cancelled_.size();
+  }
+
+  /// Attaches an observability recorder (nullptr detaches). The engine
+  /// feeds the "sim.events" and "sim.cancelled" counters; one branch per
+  /// event when detached.
+  void set_recorder(obs::Recorder* recorder);
 
   // --- Coroutine plumbing (used by Task, CoTask and the awaitables) -----
 
@@ -121,9 +138,12 @@ class Engine {
   bool stop_requested_ = false;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
       queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;    // ids still in queue_
+  std::unordered_set<std::uint64_t> cancelled_;  // subset of former pending_
   std::unordered_set<void*> handles_;  // live process coroutine frames
   std::exception_ptr pending_exception_;
+  obs::Counter* events_counter_ = nullptr;     // cached registry handles
+  obs::Counter* cancelled_counter_ = nullptr;  // (null when no recorder)
 };
 
 }  // namespace redcr::sim

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace redcr::util {
 
@@ -28,6 +29,23 @@ const char* level_name(LogLevel level) noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> init_log_level_from_env() {
+  const char* env = std::getenv("REDCR_LOG_LEVEL");
+  if (env == nullptr) return std::nullopt;
+  const std::optional<LogLevel> level = parse_log_level(env);
+  if (level) set_log_level(*level);
+  return level;
+}
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;

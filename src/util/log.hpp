@@ -3,8 +3,10 @@
 // process-wide (mirrors every MPI runtime's *_DEBUG env convention).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace redcr::util {
 
@@ -13,6 +15,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the process-wide minimum level that will be emitted.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive,
+/// matching the CLI flag values); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view name) noexcept;
+
+/// Applies the REDCR_LOG_LEVEL environment variable if it is set to a valid
+/// level name (the *_DEBUG env convention every MPI runtime follows);
+/// returns the level applied, if any. Call once at entry-point startup,
+/// before flag parsing, so an explicit --log-level still wins.
+std::optional<LogLevel> init_log_level_from_env();
 
 /// Emits one line to stderr if `level` is at or above the global level.
 void log_line(LogLevel level, const std::string& message);

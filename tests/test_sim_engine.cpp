@@ -215,6 +215,40 @@ TEST(Engine, TeardownDestroysSuspendedProcesses) {
   }
 }
 
+TEST(Engine, StaleCancelsLeaveNoTombstones) {
+  // Regression: cancel() used to insert a tombstone unconditionally, so
+  // cancelling already-fired or unknown ids (the failure injector does this
+  // every checkpoint) grew the cancelled set without bound over a long run.
+  Engine engine;
+  const EventId fired = engine.schedule_at(1.0, [] {});
+  engine.run();
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    engine.cancel(fired);                    // stale: already popped
+    engine.cancel(EventId{1000000 + i});     // unknown: never scheduled
+  }
+  EXPECT_EQ(engine.cancelled_backlog(), 0u);
+
+  // A genuinely pending cancel keeps exactly one tombstone (idempotently)
+  // until the queue pops past it.
+  const EventId pending = engine.schedule_at(2.0, [] {});
+  engine.cancel(pending);
+  for (int i = 0; i < 100; ++i) engine.cancel(pending);
+  EXPECT_EQ(engine.cancelled_backlog(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.cancelled_backlog(), 0u);
+}
+
+TEST(Engine, CancelledEventDoesNotRun) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.schedule_at(1.0, [&] { ran = true; });
+  engine.schedule_at(2.0, [] {});
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(engine.now(), 2.0);
+}
+
 TEST(Engine, DeterministicEventCounts) {
   auto run_once = [] {
     Engine engine;

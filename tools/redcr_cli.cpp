@@ -2,12 +2,15 @@
 //
 //   redcr_cli model    [machine/job flags] [--r R | --optimize]
 //   redcr_cli sweep    [machine/job flags] [--step S]
-//   redcr_cli simulate [cluster flags] --workload W --redundancy R ...
+//   redcr_cli run      [cluster flags] --workload W --redundancy R ...
+//                      [--trace-out FILE] [--metrics-out FILE]
 //
 // `model` evaluates the paper's combined model at one degree (or finds the
-// optimum); `sweep` prints the full degree sweep with crossovers; `simulate`
-// runs an actual job on the discrete-event cluster and prints the report
-// and per-episode timeline.
+// optimum); `sweep` prints the full degree sweep with crossovers; `run`
+// (alias: `simulate`) runs an actual job on the discrete-event cluster and
+// prints the report and per-episode timeline — optionally exporting a
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing) and an
+// NDJSON metrics dump of the run.
 //
 // Run with --help (or no arguments) for the full flag list.
 #include <cstdio>
@@ -26,7 +29,9 @@
 #include "exp/exp.hpp"
 #include "model/combined.hpp"
 #include "model/extensions.hpp"
+#include "obs/obs.hpp"
 #include "runtime/executor.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -223,6 +228,23 @@ runtime::WorkloadFactory make_workload(const std::string& name,
   };
 }
 
+/// Writes `text` to `path` ("-" = stdout); returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "redcr_cli: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  std::fclose(out);
+  return ok;
+}
+
 int cmd_simulate(const Flags& flags) {
   runtime::JobConfig cfg;
   cfg.num_virtual = static_cast<std::size_t>(flags.number("virtual", 32));
@@ -249,9 +271,23 @@ int cmd_simulate(const Flags& flags) {
   cfg.ckpt_forked = flags.flag("forked-checkpoint");
   cfg.ckpt_incremental_fraction = flags.number("incremental-fraction", 1.0);
 
+  // Observability: record when any sink is requested (recording costs a
+  // little; a run without --trace-out/--metrics-out pays only null checks).
+  const std::string trace_out = flags.text("trace-out", "");
+  const std::string metrics_out = flags.text("metrics-out", "");
+  obs::Recorder recorder;
+  if (!trace_out.empty() || !metrics_out.empty()) cfg.recorder = &recorder;
+
   runtime::JobExecutor executor(
       cfg, make_workload(flags.text("workload", "synthetic"), flags));
   const runtime::JobReport report = executor.run();
+
+  if (!trace_out.empty() &&
+      !write_file(trace_out, recorder.trace().chrome_json()))
+    return 1;
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, recorder.metrics().ndjson()))
+    return 1;
 
   std::printf("outcome          : %s\n",
               report.completed ? "completed" : "GAVE UP (max episodes)");
@@ -281,12 +317,18 @@ void usage() {
       "                     --ckpt-sec C --restart-sec R (--r R | --optimize)\n"
       "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N]\n"
       "                     [--json] [--filter 'r=2'] [--csv DIR]\n"
-      "  redcr_cli simulate --virtual N --redundancy R --mtbf-hours H\n"
+      "  redcr_cli run      --virtual N --redundancy R --mtbf-hours H\n"
       "                     [--workload synthetic|cg|stencil|spectral|masterworker]\n"
       "                     [--protocol push|pull] [--msg-plus-hash] [--live]\n"
       "                     [--no-checkpoint] [--no-failures] [--seed S]\n"
       "                     [--forked-checkpoint] [--incremental-fraction F]\n"
-      "                     [--weibull-shape K] [--interval-sec D]\n");
+      "                     [--weibull-shape K] [--interval-sec D]\n"
+      "                     [--trace-out FILE] [--metrics-out FILE]\n"
+      "                     (alias: simulate)\n\n"
+      "Global: [--log-level debug|info|warn|error|off]  (or REDCR_LOG_LEVEL\n"
+      "env var; the flag wins). --trace-out writes Chrome trace-event JSON\n"
+      "(open in Perfetto or chrome://tracing); --metrics-out writes one\n"
+      "JSON object per metric, newline-delimited. Use '-' for stdout.\n");
 }
 
 }  // namespace
@@ -298,9 +340,23 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
+  // Env first, explicit flag last, so --log-level wins.
+  util::init_log_level_from_env();
+  const std::string log_level = flags.text("log-level", "");
+  if (!log_level.empty()) {
+    const auto level = util::parse_log_level(log_level);
+    if (!level) {
+      std::fprintf(stderr,
+                   "redcr_cli: invalid --log-level '%s' "
+                   "(expected debug|info|warn|error|off)\n",
+                   log_level.c_str());
+      return 2;
+    }
+    util::set_log_level(*level);
+  }
   if (command == "model") return cmd_model(flags);
   if (command == "sweep") return cmd_sweep(flags);
-  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "run" || command == "simulate") return cmd_simulate(flags);
   usage();
   return command == "--help" || command == "help" ? 0 : 2;
 }
