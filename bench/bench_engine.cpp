@@ -1,0 +1,493 @@
+// bench_engine — microbenchmarks for the hot-path engine overhaul.
+//
+// Four scenarios, each reporting a primary `rate` (bigger is better):
+//
+//   event_throughput  self-rescheduling timer churn through sim::Engine
+//                     (the calendar-queue schedule/fire fast path)
+//   cancel_heavy      timer churn where most scheduled events are cancelled
+//                     before firing, run side by side on the pre-overhaul
+//                     reference scheduler (std::priority_queue + tombstone
+//                     set) — reports the live speedup_vs_heap
+//   message_storm     ring exchange through simmpi::World (arena-allocated
+//                     messages, flat channel tables, pooled send FIFOs)
+//   batch_eval        model::evaluate_batch over a Table-4-shaped grid vs
+//                     the scalar predict() loop — reports speedup_vs_scalar
+//                     and checks bitwise equality of the results
+//
+//   bench_engine [--json] [--quick] [--jobs N] [--repeat N]
+//                [--guard BASELINE.json] [--tolerance F]
+//
+// --guard compares this run against a committed baseline JSON (the output
+// of a previous `bench_engine --json`) and exits 1 when a guarded rate
+// (event_throughput, batch_eval) regresses by more than --tolerance
+// (default 0.15). scripts/bench_guard.sh wraps exactly this.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/batch.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "simmpi/world.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace redcr;
+
+// ---------------------------------------------------------------------------
+// Reference scheduler: the engine's event queue as it was before the
+// calendar-queue overhaul — a (time, seq) min-heap plus a tombstone set for
+// cancellations. Kept here (not in src/) so the comparison target stays
+// frozen even as sim::Engine evolves.
+class RefHeapScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule_at(double t, Callback cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Item{t, seq, std::move(cb)});
+    return seq;
+  }
+  std::uint64_t schedule_after(double dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+  void cancel(std::uint64_t seq) { cancelled_.insert(seq); }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  void run() {
+    while (!heap_.empty()) {
+      // priority_queue::top() is const; moving the callback out before pop
+      // is the standard (and pre-overhaul) idiom.
+      Item& top = const_cast<Item&>(heap_.top());
+      const double time = top.time;
+      const std::uint64_t seq = top.seq;
+      Callback cb = std::move(top.cb);
+      heap_.pop();
+      if (cancelled_.erase(seq) > 0) continue;  // tombstone: skip
+      now_ = time;
+      ++processed_;
+      cb();
+    }
+  }
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  double now_ = 0.0;
+};
+
+/// Adapter so the workloads below run identically on sim::Engine.
+class NewEngineAdapter {
+ public:
+  std::uint64_t schedule_at(double t, sim::Engine::Callback cb) {
+    return engine_.schedule_at(t, std::move(cb)).value;
+  }
+  std::uint64_t schedule_after(double dt, sim::Engine::Callback cb) {
+    return engine_.schedule_after(dt, std::move(cb)).value;
+  }
+  void cancel(std::uint64_t id) { engine_.cancel(sim::EventId{id}); }
+  [[nodiscard]] double now() const noexcept { return engine_.now(); }
+  void run() { engine_.run(); }
+
+ private:
+  sim::Engine engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG for workload shaping (SplitMix64).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario workloads.
+
+/// Self-rescheduling timers: `chains` concurrent timers, each firing and
+/// rescheduling itself until `total` events have fired. Returns ops (events
+/// fired); `out_seconds` gets the wall time of the run.
+template <class Eng>
+std::uint64_t run_event_throughput(Eng& eng, std::uint64_t total,
+                                   double* out_seconds) {
+  constexpr int kChains = 512;
+  std::uint64_t fired = 0;
+  Rng rng{12345};
+  std::function<void(int)> arm = [&](int chain) {
+    eng.schedule_after(1e-4 + rng.uniform() * 0.05, [&, chain] {
+      if (++fired < total) arm(chain);
+    });
+  };
+  for (int c = 0; c < kChains; ++c) arm(c);
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  *out_seconds = seconds_since(t0);
+  return fired;
+}
+
+/// Cancel-dominated churn: each fired event schedules one near successor
+/// (continuing the chain) and three far-future "retransmit timers", then
+/// cancels the three oldest outstanding timers — so 3 of every 4 scheduled
+/// events are cancelled while pending. On the tombstone scheduler the
+/// cancelled far-future items pile up in the heap until the final drain; the
+/// calendar queue frees them in place. Returns total ops (schedules + fires
+/// + cancels).
+template <class Eng>
+std::uint64_t run_cancel_heavy(Eng& eng, std::uint64_t total_fires,
+                               double* out_seconds) {
+  std::uint64_t fired = 0;
+  std::uint64_t ops = 0;
+  Rng rng{999};
+  std::deque<std::uint64_t> fodder;
+  std::function<void()> arm = [&] {
+    eng.schedule_after(1e-4 + rng.uniform() * 0.01, [&] {
+      ++fired;
+      ++ops;
+      if (fired >= total_fires) return;
+      for (int i = 0; i < 3; ++i) {
+        fodder.push_back(
+            eng.schedule_after(1e6 + rng.uniform() * 1e3, [] {}));
+        ++ops;
+      }
+      while (fodder.size() > 3) {
+        eng.cancel(fodder.front());
+        fodder.pop_front();
+        ++ops;
+      }
+      arm();
+      ++ops;
+    });
+  };
+  for (int c = 0; c < 4; ++c) arm();
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  *out_seconds = seconds_since(t0);
+  // Drain leftovers so both engines end empty (the tombstone drain is part
+  // of the measured cost above; these cancels are bookkeeping only).
+  for (const std::uint64_t id : fodder) eng.cancel(id);
+  return ops;
+}
+
+/// Ring exchange through the full World/Network message path.
+std::uint64_t run_message_storm(int ranks, int rounds, double* out_seconds) {
+  sim::Engine engine;
+  net::Network network(engine, static_cast<std::size_t>(ranks),
+                       net::NetworkParams{});
+  simmpi::World world(engine, network, ranks);
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kBatch = 64;  // bound outstanding requests
+  for (int done = 0; done < rounds; done += kBatch) {
+    const int batch = std::min(kBatch, rounds - done);
+    for (int round = 0; round < batch; ++round) {
+      for (int r = 0; r < ranks; ++r) {
+        world.endpoint(r).irecv((r + ranks - 1) % ranks, /*tag=*/1);
+        world.endpoint(r).isend((r + 1) % ranks, /*tag=*/1,
+                                simmpi::Payload::sized(4096));
+      }
+    }
+    engine.run();
+  }
+  *out_seconds = seconds_since(t0);
+  return world.stats().messages_sent;
+}
+
+/// Campaign-shaped model grid: MTBF × process count × redundancy degree,
+/// the Table-4 calibration swept over the Fig-13 weak-scaling axis. The
+/// procs axis multiplies the point count without adding distinct (pf,
+/// degree) sphere terms — exactly the sharing evaluate_batch memoizes.
+std::vector<model::BatchPoint> batch_grid(int procs_steps, double r_step) {
+  std::vector<model::BatchPoint> points;
+  for (const double mtbf_hours : {6.0, 12.0, 18.0, 24.0, 30.0}) {
+    for (int p = 0; p < procs_steps; ++p) {
+      model::CombinedConfig cfg;
+      cfg.app.base_time = util::minutes(46);
+      cfg.app.comm_fraction = 0.2;
+      cfg.app.num_procs = static_cast<std::size_t>(128 + 512 * p);
+      cfg.machine.node_mtbf = util::hours(mtbf_hours);
+      cfg.machine.checkpoint_cost = 120.0;
+      cfg.machine.restart_cost = 500.0;
+      for (double r = 1.0; r <= 3.0 + 1e-9; r += r_step)
+        points.push_back(model::BatchPoint{cfg, std::min(r, 3.0)});
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Results, JSON output, guard comparison.
+
+struct ScenarioResult {
+  std::string name;
+  double rate = 0.0;  // primary metric, bigger is better
+  std::string unit;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double speedup = 0.0;        // 0 = not applicable
+  std::string speedup_label;   // e.g. "speedup_vs_heap"
+};
+
+std::string to_json(const std::vector<ScenarioResult>& results, bool quick) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"bench_engine\",\n  \"quick\": "
+      << (quick ? "true" : "false") << ",\n  \"scenarios\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& s = results[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"rate\": %.6e, \"unit\": \"%s\", "
+                  "\"ops\": %llu, \"seconds\": %.6f",
+                  s.name.c_str(), s.rate, s.unit.c_str(),
+                  static_cast<unsigned long long>(s.ops), s.seconds);
+    out << buf;
+    if (!s.speedup_label.empty()) {
+      std::snprintf(buf, sizeof buf, ", \"%s\": %.3f",
+                    s.speedup_label.c_str(), s.speedup);
+      out << buf;
+    }
+    out << (i + 1 < results.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Extracts `"rate": <num>` for the scenario named `name` from a baseline
+/// JSON produced by this bench. Returns false when absent.
+bool baseline_rate(const std::string& text, const std::string& name,
+                   double* rate) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t key = text.find("\"rate\": ", at);
+  if (key == std::string::npos) return false;
+  *rate = std::atof(text.c_str() + key + std::strlen("\"rate\": "));
+  return *rate > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false, quick = false;
+  int jobs = 0, repeat = 3;
+  double tolerance = 0.15;
+  std::string guard_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    else if (arg == "--quick") quick = true;
+    else if (arg == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (arg == "--repeat" && i + 1 < argc) repeat = std::atoi(argv[++i]);
+    else if (arg == "--tolerance" && i + 1 < argc)
+      tolerance = std::atof(argv[++i]);
+    else if (arg == "--guard" && i + 1 < argc) guard_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--quick] [--jobs N] [--repeat N] "
+                   "[--guard BASELINE.json] [--tolerance F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  repeat = std::max(repeat, 1);
+
+  const std::uint64_t throughput_events = quick ? 300000 : 2000000;
+  const std::uint64_t cancel_fires = quick ? 40000 : 200000;
+  const int storm_ranks = quick ? 32 : 64;
+  const int storm_rounds = quick ? 400 : 1500;
+  const int grid_procs_steps = quick ? 20 : 100;
+  const double grid_step = quick ? 0.02 : 0.01;
+
+  std::vector<ScenarioResult> results;
+  std::FILE* text = json ? stderr : stdout;
+  std::fprintf(text, "bench_engine (%s, repeat %d)\n",
+               quick ? "quick" : "full", repeat);
+
+  {  // --- event_throughput ---
+    ScenarioResult s;
+    s.name = "event_throughput";
+    s.unit = "events/sec";
+    s.seconds = 1e300;
+    for (int i = 0; i < repeat; ++i) {
+      NewEngineAdapter eng;
+      double sec = 0.0;
+      const std::uint64_t ops = run_event_throughput(eng, throughput_events,
+                                                     &sec);
+      if (sec < s.seconds) {
+        s.seconds = sec;
+        s.ops = ops;
+      }
+    }
+    s.rate = static_cast<double>(s.ops) / s.seconds;
+    std::fprintf(text, "  event_throughput : %10.0f events/sec\n", s.rate);
+    results.push_back(std::move(s));
+  }
+
+  {  // --- cancel_heavy (calendar queue vs reference heap) ---
+    ScenarioResult s;
+    s.name = "cancel_heavy";
+    s.unit = "ops/sec";
+    s.seconds = 1e300;
+    double ref_seconds = 1e300;
+    for (int i = 0; i < repeat; ++i) {
+      NewEngineAdapter eng;
+      double sec = 0.0;
+      const std::uint64_t ops = run_cancel_heavy(eng, cancel_fires, &sec);
+      if (sec < s.seconds) {
+        s.seconds = sec;
+        s.ops = ops;
+      }
+      RefHeapScheduler ref;
+      double rsec = 0.0;
+      run_cancel_heavy(ref, cancel_fires, &rsec);
+      ref_seconds = std::min(ref_seconds, rsec);
+    }
+    s.rate = static_cast<double>(s.ops) / s.seconds;
+    s.speedup = ref_seconds / s.seconds;
+    s.speedup_label = "speedup_vs_heap";
+    std::fprintf(text,
+                 "  cancel_heavy     : %10.0f ops/sec (%.2fx vs "
+                 "priority_queue+tombstones)\n",
+                 s.rate, s.speedup);
+    results.push_back(std::move(s));
+  }
+
+  {  // --- message_storm ---
+    ScenarioResult s;
+    s.name = "message_storm";
+    s.unit = "messages/sec";
+    s.seconds = 1e300;
+    for (int i = 0; i < repeat; ++i) {
+      double sec = 0.0;
+      const std::uint64_t ops = run_message_storm(storm_ranks, storm_rounds,
+                                                  &sec);
+      if (sec < s.seconds) {
+        s.seconds = sec;
+        s.ops = ops;
+      }
+    }
+    s.rate = static_cast<double>(s.ops) / s.seconds;
+    std::fprintf(text, "  message_storm    : %10.0f messages/sec\n", s.rate);
+    results.push_back(std::move(s));
+  }
+
+  {  // --- batch_eval ---
+    const std::vector<model::BatchPoint> points =
+        batch_grid(grid_procs_steps, grid_step);
+    model::BatchOptions options;
+    options.jobs = jobs;
+    ScenarioResult s;
+    s.name = "batch_eval";
+    s.unit = "points/sec";
+    s.seconds = 1e300;
+    double scalar_seconds = 1e300;
+    std::vector<model::Prediction> batch_out, scalar_out;
+    for (int i = 0; i < repeat; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      batch_out = model::evaluate_batch(points, options);
+      s.seconds = std::min(s.seconds, seconds_since(t0));
+      t0 = std::chrono::steady_clock::now();
+      scalar_out.clear();
+      scalar_out.reserve(points.size());
+      for (const model::BatchPoint& p : points)
+        scalar_out.push_back(model::predict(p.config, p.r));
+      scalar_seconds = std::min(scalar_seconds, seconds_since(t0));
+    }
+    s.ops = points.size();
+    s.rate = static_cast<double>(s.ops) / s.seconds;
+    s.speedup = scalar_seconds / s.seconds;
+    s.speedup_label = "speedup_vs_scalar";
+    bool bitwise = batch_out.size() == scalar_out.size();
+    for (std::size_t i = 0; bitwise && i < batch_out.size(); ++i)
+      bitwise = std::memcmp(&batch_out[i], &scalar_out[i],
+                            offsetof(model::Prediction, total_procs)) == 0 &&
+                batch_out[i].total_procs == scalar_out[i].total_procs;
+    std::fprintf(text,
+                 "  batch_eval       : %10.0f points/sec (%.2fx vs scalar "
+                 "loop; bitwise %s)\n",
+                 s.rate, s.speedup, bitwise ? "identical" : "DIFFERENT");
+    if (!bitwise) {
+      std::fprintf(stderr,
+                   "bench_engine: batch_eval results diverge from scalar "
+                   "predict()\n");
+      return 1;
+    }
+    results.push_back(std::move(s));
+  }
+
+  if (json) std::fputs(to_json(results, quick).c_str(), stdout);
+
+  if (!guard_path.empty()) {
+    std::ifstream in(guard_path);
+    if (!in) {
+      std::fprintf(stderr, "bench_engine: cannot read baseline '%s'\n",
+                   guard_path.c_str());
+      return 1;
+    }
+    const std::string baseline((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    bool failed = false;
+    std::fprintf(text, "guard vs %s (tolerance %.0f%%):\n", guard_path.c_str(),
+                 100.0 * tolerance);
+    for (const char* guarded : {"event_throughput", "batch_eval"}) {
+      double base = 0.0;
+      if (!baseline_rate(baseline, guarded, &base)) {
+        std::fprintf(stderr, "bench_engine: baseline has no rate for '%s'\n",
+                     guarded);
+        failed = true;
+        continue;
+      }
+      double current = 0.0;
+      for (const ScenarioResult& s : results)
+        if (s.name == guarded) current = s.rate;
+      const double floor = base * (1.0 - tolerance);
+      const bool ok = current >= floor;
+      std::fprintf(text, "  %-17s: %10.0f vs baseline %10.0f -> %s\n", guarded,
+                   current, base, ok ? "ok" : "REGRESSION");
+      failed = failed || !ok;
+    }
+    if (failed) return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 
 #include "bench/common.hpp"
 #include "exp/exp.hpp"
+#include "model/batch.hpp"
 
 namespace {
 
@@ -36,13 +37,26 @@ void run_figure(const exp::BenchArgs& args, const char* csv_name,
   exp::ParamGrid grid;
   grid.axis("procs", procs).axis("r", degrees);
   const std::vector<exp::Trial> trials = grid.trials(args.filter);
-  const exp::SweepRunner runner(args.runner());
-  const std::vector<double> hours =
-      runner.map(trials, [&](const exp::Trial& trial) {
-        model::CombinedConfig cfg = figure_config();
-        cfg.app.num_procs = static_cast<std::size_t>(trial.at("procs"));
-        return util::to_hours(model::predict(cfg, trial.at("r")).total_time);
-      });
+  // Pure model grid: hand the whole figure to the batch evaluator, which
+  // memoizes the shared Eq. 9 sphere terms and runs the points on a worker
+  // pool. Bitwise-identical to mapping predict() over the trials.
+  std::vector<model::BatchPoint> points;
+  points.reserve(trials.size());
+  for (const exp::Trial& trial : trials) {
+    model::BatchPoint point;
+    point.config = figure_config();
+    point.config.app.num_procs =
+        static_cast<std::size_t>(trial.at("procs"));
+    point.r = trial.at("r");
+    points.push_back(point);
+  }
+  model::BatchOptions batch;
+  batch.jobs = args.run_options().jobs;
+  const std::vector<model::Prediction> preds =
+      model::evaluate_batch(points, batch);
+  std::vector<double> hours(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    hours[i] = util::to_hours(preds[i].total_time);
 
   exp::ResultSink t(csv_name, {{"N", "N"},
                                {"1x [h]", "r1"},

@@ -19,6 +19,7 @@
 
 #include "bench/common.hpp"
 #include "exp/exp.hpp"
+#include "model/batch.hpp"
 
 int main(int argc, char** argv) {
   using namespace redcr;
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
   exp::ParamGrid grid;
   grid.axis("mtbf", mtbfs).axis("r", degrees);
   const std::vector<exp::Trial> trials = grid.trials(args.filter);
-  const exp::SweepRunner runner(args.runner());
+  const exp::SweepRunner runner(args.run_options());
   const std::vector<bench::CellResult> cells =
       runner.map(trials, [&](const exp::Trial& trial) {
         const bench::CellResult cell = bench::run_experiment_cell(
@@ -108,6 +109,45 @@ int main(int argc, char** argv) {
   }
   t.emit(args);
   tp.emit(args, exp::Emit::kTextOnly);
+
+  // Model counterpart of the same grid (Section 4.3 prediction at the
+  // paper's CG calibration), batch-evaluated with the shared sphere-term
+  // cache. Text-only: the NDJSON stream carries only measured cells.
+  {
+    std::vector<model::BatchPoint> points;
+    points.reserve(mtbfs.size() * degrees.size());
+    for (const double mtbf : mtbfs)
+      for (const double r : degrees) {
+        model::BatchPoint point;
+        point.config.app = bench::paper_app();
+        point.config.machine = bench::paper_machine(mtbf);
+        point.r = r;
+        points.push_back(point);
+      }
+    model::BatchOptions batch;
+    batch.jobs = args.run_options().jobs;
+    const std::vector<model::Prediction> model_preds =
+        model::evaluate_batch(points, batch);
+    exp::ResultSink tm("table4_model", columns);
+    tm.set_title("Combined-model prediction [minutes] (same grid)");
+    for (std::size_t m = 0; m < mtbfs.size(); ++m) {
+      std::vector<exp::Cell> row{{util::fmt(mtbfs[m], 0) + " hrs", mtbfs[m]}};
+      double best = 1e300;
+      std::size_t best_col = 1;
+      for (std::size_t d = 0; d < degrees.size(); ++d) {
+        const double minutes = util::to_minutes(
+            model_preds[m * degrees.size() + d].total_time);
+        row.push_back({util::fmt(minutes, 0), minutes});
+        if (minutes < best) {
+          best = minutes;
+          best_col = d + 1;
+        }
+      }
+      tm.add_row(std::move(row));
+      tm.emphasize_last(best_col);
+    }
+    tm.emit(args, exp::Emit::kTextOnly);
+  }
 
   // Long-format per-cell dump with the observability columns: one row per
   // grid cell actually run, in grid order (so the bytes are identical at

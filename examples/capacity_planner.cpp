@@ -16,9 +16,7 @@
 #include <cstring>
 #include <vector>
 
-#include "exp/exp.hpp"
-#include "model/combined.hpp"
-#include "util/units.hpp"
+#include "redcr/redcr.hpp"
 
 namespace {
 
@@ -34,14 +32,16 @@ int main(int argc, char** argv) {
   using namespace redcr;
   using namespace redcr::util;
 
-  model::CombinedConfig config;
-  config.app.num_procs =
-      static_cast<std::size_t>(arg_or(argc, argv, "--procs", 100000));
-  config.app.base_time = hours(arg_or(argc, argv, "--hours", 128));
-  config.app.comm_fraction = arg_or(argc, argv, "--alpha", 0.2);
-  config.machine.node_mtbf = years(arg_or(argc, argv, "--mtbf-years", 5));
-  config.machine.checkpoint_cost = arg_or(argc, argv, "--ckpt-sec", 600);
-  config.machine.restart_cost = arg_or(argc, argv, "--restart-sec", 1800);
+  const model::CombinedConfig config =
+      scenario()
+          .node_mtbf(years(arg_or(argc, argv, "--mtbf-years", 5)))
+          .checkpoint_cost(arg_or(argc, argv, "--ckpt-sec", 600))
+          .restart_cost(arg_or(argc, argv, "--restart-sec", 1800))
+          .base_time(hours(arg_or(argc, argv, "--hours", 128)))
+          .comm_fraction(arg_or(argc, argv, "--alpha", 0.2))
+          .processes(
+              static_cast<std::size_t>(arg_or(argc, argv, "--procs", 100000)))
+          .build();
   const double time_weight = arg_or(argc, argv, "--time-weight", 0.5);
 
   std::printf("Job: N=%zu procs, t=%.0f h, alpha=%.2f | Machine: theta=%.1f y,"
@@ -50,17 +50,18 @@ int main(int argc, char** argv) {
               config.app.comm_fraction, to_years(config.machine.node_mtbf),
               config.machine.checkpoint_cost, config.machine.restart_cost);
 
-  // The degree sweep is a one-axis campaign on the experiment harness.
+  // The degree sweep is a one-axis campaign; the batch evaluator memoizes
+  // the shared Eq. 9 terms and runs the points on a worker pool.
   exp::ParamGrid grid;
   grid.axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
-  exp::RunnerOptions options;
-  options.jobs = static_cast<int>(arg_or(argc, argv, "--jobs", 0));
-  const exp::SweepRunner runner(options);
   const std::vector<exp::Trial> trials = grid.trials();
+  std::vector<double> degrees;
+  degrees.reserve(trials.size());
+  for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
+  model::BatchOptions batch;
+  batch.jobs = static_cast<int>(arg_or(argc, argv, "--jobs", 0));
   const std::vector<model::Prediction> preds =
-      runner.map(trials, [&](const exp::Trial& trial) {
-        return model::predict(config, trial.at("r"));
-      });
+      model::evaluate_batch(config, degrees, batch);
 
   exp::ResultSink t("capacity", {{"r"}, {"T_total [h]"}, {"nodes"},
                                  {"node-hours"}, {"delta [min]"},

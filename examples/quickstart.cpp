@@ -8,20 +8,21 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "model/combined.hpp"
-#include "util/units.hpp"
+#include "redcr/redcr.hpp"
 
 int main() {
   using namespace redcr;
   using namespace redcr::util;
 
-  model::CombinedConfig config;
-  config.app.base_time = hours(128);   // t: failure-free execution time
-  config.app.comm_fraction = 0.2;      // α: share of t spent communicating
-  config.app.num_procs = 50000;        // N: application processes
-  config.machine.node_mtbf = years(5); // θ: per-node mean time to failure
-  config.machine.checkpoint_cost = seconds(600);  // c
-  config.machine.restart_cost = seconds(1800);    // R
+  const model::CombinedConfig config =
+      scenario()
+          .node_mtbf(years(5))             // θ: per-node mean time to failure
+          .checkpoint_cost(seconds(600))   // c
+          .restart_cost(seconds(1800))     // R
+          .base_time(hours(128))           // t: failure-free execution time
+          .comm_fraction(0.2)              // α: share of t communicating
+          .processes(50000)                // N: application processes
+          .build();
 
   // Evaluate a few interesting degrees...
   for (const double r : {1.0, 1.5, 2.0, 3.0}) {

@@ -1,0 +1,134 @@
+// redcr::ScenarioBuilder — fluent construction of a combined-model scenario.
+//
+// The aggregate form
+//
+//   model::CombinedConfig cfg;
+//   cfg.app.num_procs = 50000;
+//   cfg.machine.node_mtbf = util::years(5);
+//   ...
+//
+// keeps working (CombinedConfig is still a plain aggregate), but it accepts
+// any half-filled struct silently. The builder names every knob at the call
+// site, validates on build(), and reads in the paper's machine → app →
+// model-choice order:
+//
+//   const model::CombinedConfig cfg = redcr::scenario()
+//       .node_mtbf(util::years(5))
+//       .checkpoint_cost(util::minutes(10))
+//       .restart_cost(util::minutes(30))
+//       .base_time(util::hours(128))
+//       .comm_fraction(0.2)
+//       .processes(50000)
+//       .build();
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "model/combined.hpp"
+#include "util/units.hpp"
+
+namespace redcr {
+
+class ScenarioBuilder {
+ public:
+  // --- machine (θ, c, R) ---
+
+  /// θ: per-node mean time between failures, seconds.
+  ScenarioBuilder& node_mtbf(util::Seconds theta) {
+    config_.machine.node_mtbf = theta;
+    return *this;
+  }
+  /// c: wallclock cost of one coordinated checkpoint, seconds.
+  ScenarioBuilder& checkpoint_cost(util::Seconds c) {
+    config_.machine.checkpoint_cost = c;
+    return *this;
+  }
+  /// R: dead time charged per restart phase, seconds.
+  ScenarioBuilder& restart_cost(util::Seconds restart) {
+    config_.machine.restart_cost = restart;
+    return *this;
+  }
+
+  // --- application (t, α, N) ---
+
+  /// t: failure-free, redundancy-free execution time, seconds.
+  ScenarioBuilder& base_time(util::Seconds t) {
+    config_.app.base_time = t;
+    return *this;
+  }
+  /// α: communication fraction of t, in [0, 1] (Eq. 1).
+  ScenarioBuilder& comm_fraction(double alpha) {
+    config_.app.comm_fraction = alpha;
+    return *this;
+  }
+  /// N: number of virtual processes.
+  ScenarioBuilder& processes(std::size_t n) {
+    config_.app.num_procs = n;
+    return *this;
+  }
+
+  // --- model choices ---
+
+  /// How the per-node failure probability is computed (Eq. 2 vs Eq. 3).
+  ScenarioBuilder& failure_model(model::NodeFailureModel m) {
+    config_.failure_model = m;
+    return *this;
+  }
+  /// How t_RR treats the expected-failure-time integral (Eq. 13).
+  ScenarioBuilder& restart_model(model::RestartModel m) {
+    config_.restart_model = m;
+    return *this;
+  }
+
+  // --- checkpoint-interval policy (mutually exclusive; Daly is default) ---
+
+  /// δ = Daly's δ_opt (Eq. 15) — the default.
+  ScenarioBuilder& daly_interval() {
+    config_.use_young_interval = false;
+    config_.fixed_interval.reset();
+    return *this;
+  }
+  /// δ = Young's first-order interval sqrt(2cΘ_sys) (ablation).
+  ScenarioBuilder& young_interval() {
+    config_.use_young_interval = true;
+    config_.fixed_interval.reset();
+    return *this;
+  }
+  /// δ fixed to the given value, overriding Daly/Young.
+  ScenarioBuilder& fixed_interval(util::Seconds delta) {
+    config_.use_young_interval = false;
+    config_.fixed_interval = delta;
+    return *this;
+  }
+
+  /// Validates and returns the finished configuration. Throws
+  /// std::invalid_argument naming the offending knob.
+  [[nodiscard]] model::CombinedConfig build() const {
+    const auto fail = [](const std::string& what) {
+      throw std::invalid_argument("redcr::ScenarioBuilder: " + what);
+    };
+    if (config_.app.num_procs < 1) fail("processes() must be >= 1");
+    if (!(config_.app.base_time > 0.0)) fail("base_time() must be > 0");
+    if (!(config_.app.comm_fraction >= 0.0 &&
+          config_.app.comm_fraction <= 1.0))
+      fail("comm_fraction() must be in [0, 1]");
+    if (!(config_.machine.node_mtbf > 0.0)) fail("node_mtbf() must be > 0");
+    if (!(config_.machine.checkpoint_cost >= 0.0))
+      fail("checkpoint_cost() must be >= 0");
+    if (!(config_.machine.restart_cost >= 0.0))
+      fail("restart_cost() must be >= 0");
+    if (config_.fixed_interval && !(*config_.fixed_interval > 0.0))
+      fail("fixed_interval() must be > 0");
+    return config_;
+  }
+
+ private:
+  model::CombinedConfig config_;
+};
+
+/// Entry point: `redcr::scenario().node_mtbf(...)...build()`.
+[[nodiscard]] inline ScenarioBuilder scenario() { return ScenarioBuilder{}; }
+
+}  // namespace redcr

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance-regression gate for the hot-path engine.
+#
+# Runs bench_engine and compares the guarded rates (event_throughput,
+# batch_eval) against the committed baseline, failing on a >15% regression.
+# The comparison runs inside bench_engine itself (--guard), so no external
+# JSON tooling is needed.
+#
+# Usage: scripts/bench_guard.sh [build-dir] [baseline]
+#   build-dir  default: build
+#   baseline   default: BENCH_baseline.json (repo root)
+#
+# Refresh the baseline after an intentional perf change:
+#   build/bench/bench_engine --json > BENCH_baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BASELINE="${2:-BENCH_baseline.json}"
+TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.15}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_engine" ]]; then
+  cmake --build "$BUILD_DIR" --target bench_engine -j "$(nproc 2>/dev/null || echo 4)"
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_guard.sh: no baseline at $BASELINE" >&2
+  echo "  create one with: $BUILD_DIR/bench/bench_engine --json > $BASELINE" >&2
+  exit 1
+fi
+
+# --repeat 3 takes the best of three runs per scenario, damping scheduler
+# noise on shared machines before the tolerance check.
+"$BUILD_DIR/bench/bench_engine" --repeat 3 --guard "$BASELINE" --tolerance "$TOLERANCE"
+
+echo "bench_guard.sh: no guarded rate regressed more than ${TOLERANCE} vs $BASELINE"

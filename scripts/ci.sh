@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full pre-merge pipeline: plain build + full test suite, the sanitizer
+# smoke gate (scripts/check.sh), and the engine performance guard
+# (scripts/bench_guard.sh). Any stage failing fails the run.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== ci.sh: build + full test suite ($BUILD_DIR) ==="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "=== ci.sh: sanitizer smoke gate ==="
+scripts/check.sh
+
+echo "=== ci.sh: engine performance guard ==="
+scripts/bench_guard.sh "$BUILD_DIR"
+
+echo "ci.sh: all gates passed"

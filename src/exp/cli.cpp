@@ -123,6 +123,14 @@ RunnerOptions BenchArgs::runner() const {
   return RunnerOptions{jobs, progress};
 }
 
+redcr::RunOptions BenchArgs::run_options() const {
+  redcr::RunOptions options;
+  options.jobs = jobs;
+  options.progress = progress;
+  options.log_level = log_level;
+  return options;
+}
+
 std::FILE* BenchArgs::text_out() const noexcept {
   return json ? stderr : stdout;
 }

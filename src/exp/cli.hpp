@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "redcr/run_options.hpp"
 #include "util/log.hpp"
 
 namespace redcr::exp {
@@ -50,8 +51,14 @@ struct BenchArgs {
   static std::optional<BenchArgs> try_parse(int argc, char** argv,
                                             std::string* error);
 
-  /// Runner options carrying the --jobs choice.
+  /// \deprecated Use run_options(); RunnerOptions survives only for old
+  /// call sites.
   [[nodiscard]] RunnerOptions runner() const;
+
+  /// The parsed execution knobs as the library-wide option block
+  /// (--jobs, --progress, --log-level). Export sinks stay empty: bench
+  /// binaries route output through ResultSink, not redcr::run_job.
+  [[nodiscard]] redcr::RunOptions run_options() const;
 
   /// Destination for human-readable commentary: stdout normally, stderr
   /// under --json (stdout then carries only NDJSON rows).

@@ -12,8 +12,13 @@
 #include <type_traits>
 #include <vector>
 
+#include "redcr/run_options.hpp"
+
 namespace redcr::exp {
 
+/// \deprecated Superseded by redcr::RunOptions, which carries the same two
+/// knobs plus log level and export sinks. Kept so existing call sites keep
+/// compiling; new code should construct SweepRunner from redcr::RunOptions.
 struct RunnerOptions {
   /// Worker count; <= 0 means std::thread::hardware_concurrency().
   int jobs = 0;
@@ -27,6 +32,12 @@ struct RunnerOptions {
 class SweepRunner {
  public:
   explicit SweepRunner(RunnerOptions options = {});
+
+  /// Preferred: construct from the library-wide option block. Only the
+  /// execution knobs (jobs, progress) apply to a sweep; the export sinks
+  /// are consumed by redcr::run_job.
+  explicit SweepRunner(const redcr::RunOptions& options)
+      : SweepRunner(RunnerOptions{options.jobs, options.progress}) {}
 
   /// The resolved worker count (>= 1).
   [[nodiscard]] int jobs() const noexcept { return jobs_; }

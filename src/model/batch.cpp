@@ -1,0 +1,104 @@
+#include "model/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace redcr::model {
+
+namespace {
+
+/// Below this size the thread spawn overhead exceeds the evaluation cost.
+constexpr std::size_t kParallelThreshold = 1024;
+
+/// A worker is only worth spawning with at least this many points to chew
+/// on: one model evaluation is a handful of transcendentals (~microseconds),
+/// while a thread spawn costs tens of them.
+constexpr std::size_t kMinPointsPerWorker = 512;
+
+int resolve_jobs(int jobs, std::size_t points) {
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const std::size_t worthwhile =
+      std::max<std::size_t>(points / kMinPointsPerWorker, 1);
+  return std::clamp<int>(jobs, 1,
+                         static_cast<int>(std::min<std::size_t>(
+                             worthwhile, std::max<std::size_t>(points, 1))));
+}
+
+Prediction evaluate_one(const BatchPoint& point, const BatchOptions& options,
+                        const SphereTermCache* cache) {
+  return options.simplified ? predict_simplified(point.config, point.r, cache)
+                            : predict(point.config, point.r, cache);
+}
+
+}  // namespace
+
+std::vector<Prediction> evaluate_batch(std::span<const BatchPoint> points,
+                                       const BatchOptions& options) {
+  std::vector<Prediction> out(points.size());
+  if (points.empty()) return out;
+
+  // Pass 1: warm the shared sphere-term cache. Each point needs the Eq. 9
+  // terms for (pf over t_Red, ⌊r⌋) and (pf, ⌈r⌉); across a grid most points
+  // alias a handful of unique (pf, degree) keys, each computed once here.
+  SphereTermCache cache;
+  for (const BatchPoint& point : points) {
+    const Partition partition =
+        partition_processes(point.config.app.num_procs, point.r);
+    const double t_red = redundant_time(point.config.app, point.r);
+    const double pf = node_failure_probability(
+        t_red, point.config.machine.node_mtbf, point.config.failure_model);
+    if (partition.n_floor_set > 0) cache.warm(pf, partition.floor_degree);
+    if (partition.n_ceil_set > 0) cache.warm(pf, partition.ceil_degree);
+  }
+
+  // Pass 2: evaluate against the read-only cache. Static slot partitioning:
+  // worker w owns points [w*n/jobs, (w+1)*n/jobs) and writes only its own
+  // output slots, so the merge is the identity and order never depends on
+  // scheduling.
+  const std::size_t n = points.size();
+  const int jobs = resolve_jobs(options.jobs, n);
+  if (jobs == 1 || n < kParallelThreshold) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = evaluate_one(points[i], options, &cache);
+    return out;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    const std::size_t begin = n * static_cast<std::size_t>(w) /
+                              static_cast<std::size_t>(jobs);
+    const std::size_t end = n * static_cast<std::size_t>(w + 1) /
+                            static_cast<std::size_t>(jobs);
+    workers.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = evaluate_one(points[i], options, &cache);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+std::vector<Prediction> evaluate_batch(const CombinedConfig& config,
+                                       std::span<const double> degrees,
+                                       const BatchOptions& options) {
+  std::vector<BatchPoint> points;
+  points.reserve(degrees.size());
+  for (const double r : degrees) points.push_back(BatchPoint{config, r});
+  return evaluate_batch(points, options);
+}
+
+}  // namespace redcr::model

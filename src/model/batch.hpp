@@ -1,0 +1,50 @@
+// Thread-pooled batch evaluation of the combined model.
+//
+// The paper's headline studies evaluate predict() over large (config, r)
+// grids — Figs. 13-14 sweep process counts per degree, Tables 4/5 sweep
+// r × MTBF. Point evaluations are independent and dominated by the Eq. 9
+// sphere-reliability pow/log pair, which repeats across every grid point
+// sharing (pf, degree). evaluate_batch() exploits both structures:
+//
+//   pass 1 (serial)   — warm a SphereTermCache with every (pf, degree)
+//                       term the batch needs; each unique term is computed
+//                       exactly once;
+//   pass 2 (parallel) — evaluate the points over a worker pool against the
+//                       now read-only cache, each worker writing its own
+//                       pre-assigned output slots.
+//
+// Determinism: results are bitwise identical to calling predict() in a
+// loop, for any worker count — the cache stores results of the exact same
+// expressions the scalar path evaluates, and output order is slot-indexed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/combined.hpp"
+
+namespace redcr::model {
+
+/// One grid point: a full model configuration plus the redundancy degree.
+struct BatchPoint {
+  CombinedConfig config;
+  double r = 1.0;
+};
+
+struct BatchOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Evaluate predict_simplified() (Section 6) instead of predict().
+  bool simplified = false;
+};
+
+/// Evaluates every point; out[i] corresponds to points[i].
+[[nodiscard]] std::vector<Prediction> evaluate_batch(
+    std::span<const BatchPoint> points, const BatchOptions& options = {});
+
+/// Convenience: one configuration swept over several redundancy degrees.
+[[nodiscard]] std::vector<Prediction> evaluate_batch(
+    const CombinedConfig& config, std::span<const double> degrees,
+    const BatchOptions& options = {});
+
+}  // namespace redcr::model

@@ -19,15 +19,16 @@ double choose_interval(const CombinedConfig& config, double system_mtbf) {
 
 }  // namespace
 
-Prediction predict(const CombinedConfig& config, double r) {
+Prediction predict(const CombinedConfig& config, double r,
+                   const SphereTermCache* cache) {
   assert(r >= 1.0);
   Prediction p;
   p.r = r;
   p.total_procs = partition_processes(config.app.num_procs, r).total_procs;
   p.redundant_time = redundant_time(config.app, r);
 
-  const SystemFailure sf =
-      system_failure(config.app, config.machine, r, config.failure_model);
+  const SystemFailure sf = system_failure(config.app, config.machine, r,
+                                          config.failure_model, cache);
   p.reliability = sf.reliability;
   p.failure_rate = sf.failure_rate;
   p.system_mtbf = sf.mtbf;
@@ -53,15 +54,16 @@ Prediction predict(const CombinedConfig& config, double r) {
   return p;
 }
 
-Prediction predict_simplified(const CombinedConfig& config, double r) {
+Prediction predict_simplified(const CombinedConfig& config, double r,
+                              const SphereTermCache* cache) {
   assert(r >= 1.0);
   Prediction p;
   p.r = r;
   p.total_procs = partition_processes(config.app.num_procs, r).total_procs;
   p.redundant_time = redundant_time(config.app, r);
 
-  const SystemFailure sf =
-      system_failure(config.app, config.machine, r, config.failure_model);
+  const SystemFailure sf = system_failure(config.app, config.machine, r,
+                                          config.failure_model, cache);
   p.reliability = sf.reliability;
   p.failure_rate = sf.failure_rate;
   p.system_mtbf = sf.mtbf;

@@ -44,8 +44,11 @@ struct Prediction {
   std::size_t total_procs = 0;   ///< N_total (Eq. 8)
 };
 
-/// Evaluates the full combined model at redundancy degree r.
-[[nodiscard]] Prediction predict(const CombinedConfig& config, double r);
+/// Evaluates the full combined model at redundancy degree r. `cache`
+/// (optional) memoizes the Eq. 9 sphere terms — the plumbing behind
+/// evaluate_batch(); results are bitwise-identical with or without it.
+[[nodiscard]] Prediction predict(const CombinedConfig& config, double r,
+                                 const SphereTermCache* cache = nullptr);
 
 /// Section 6's simplified model, matched to the experimental setup (failures
 /// are not injected during checkpoint or restart phases):
@@ -54,7 +57,9 @@ struct Prediction {
 /// the division by δ — dimensionally a typo; we use the consistent form,
 /// which matches the paper's own Fig. 11 magnitudes.)
 [[nodiscard]] Prediction predict_simplified(const CombinedConfig& config,
-                                            double r);
+                                            double r,
+                                            const SphereTermCache* cache =
+                                                nullptr);
 
 /// Evaluates `predict` over r in [r_begin, r_end] with the given step.
 [[nodiscard]] std::vector<Prediction> sweep_redundancy(

@@ -1,6 +1,7 @@
 #include "model/redundancy.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -48,22 +49,56 @@ double node_failure_probability(double t, double node_mtbf,
   return 1.0;
 }
 
+double log_sphere_survival(double pf, unsigned degree) noexcept {
+  // Eq. 4 per sphere: a degree-k sphere fails only if all k replicas fail.
+  const double sphere = 1.0 - std::pow(pf, degree);
+  if (sphere <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(sphere);
+}
+
+double SphereTermCache::warm(double pf, unsigned degree) {
+  if (degree > kMaxDegree) return log_sphere_survival(pf, degree);
+  Terms& terms = terms_[std::bit_cast<std::uint64_t>(pf)];
+  const std::uint32_t bit = std::uint32_t{1} << degree;
+  if ((terms.computed_mask & bit) == 0) {
+    terms.value[degree] = log_sphere_survival(pf, degree);
+    terms.computed_mask |= bit;
+  }
+  return terms.value[degree];
+}
+
+double SphereTermCache::lookup(double pf, unsigned degree) const noexcept {
+  if (degree <= kMaxDegree) {
+    const Terms* terms = terms_.find(std::bit_cast<std::uint64_t>(pf));
+    if (terms != nullptr &&
+        (terms->computed_mask & (std::uint32_t{1} << degree)) != 0)
+      return terms->value[degree];
+  }
+  return log_sphere_survival(pf, degree);
+}
+
 double log_system_reliability(std::size_t n, double r, double t,
-                              double node_mtbf, NodeFailureModel model) {
+                              double node_mtbf, NodeFailureModel model,
+                              const SphereTermCache* cache) {
   const Partition p = partition_processes(n, r);
   const double pf = node_failure_probability(t, node_mtbf, model);
-  // Eq. 4 per sphere: a degree-k sphere fails only if all k replicas fail.
+  const auto term = [&](unsigned degree) {
+    return cache != nullptr ? cache->lookup(pf, degree)
+                            : log_sphere_survival(pf, degree);
+  };
   // Eq. 9 across spheres: all N_⌊r⌋ + N_⌈r⌉ spheres must survive.
   double log_r = 0.0;
   if (p.n_floor_set > 0) {
-    const double sphere = 1.0 - std::pow(pf, p.floor_degree);
-    if (sphere <= 0.0) return -std::numeric_limits<double>::infinity();
-    log_r += static_cast<double>(p.n_floor_set) * std::log(sphere);
+    const double sphere_term = term(p.floor_degree);
+    if (std::isinf(sphere_term))
+      return -std::numeric_limits<double>::infinity();
+    log_r += static_cast<double>(p.n_floor_set) * sphere_term;
   }
   if (p.n_ceil_set > 0) {
-    const double sphere = 1.0 - std::pow(pf, p.ceil_degree);
-    if (sphere <= 0.0) return -std::numeric_limits<double>::infinity();
-    log_r += static_cast<double>(p.n_ceil_set) * std::log(sphere);
+    const double sphere_term = term(p.ceil_degree);
+    if (std::isinf(sphere_term))
+      return -std::numeric_limits<double>::infinity();
+    log_r += static_cast<double>(p.n_ceil_set) * sphere_term;
   }
   return log_r;
 }
@@ -74,11 +109,12 @@ double system_reliability(std::size_t n, double r, double t, double node_mtbf,
 }
 
 SystemFailure system_failure(const AppParams& app, const MachineParams& machine,
-                             double r, NodeFailureModel model) {
+                             double r, NodeFailureModel model,
+                             const SphereTermCache* cache) {
   SystemFailure sf;
   const double t_red = redundant_time(app, r);
   const double log_r = log_system_reliability(app.num_procs, r, t_red,
-                                              machine.node_mtbf, model);
+                                              machine.node_mtbf, model, cache);
   sf.reliability = std::exp(log_r);  // may underflow to 0; λ does not care
   if (!std::isfinite(log_r)) {
     // Certain failure within t_Red: rate is effectively unbounded.

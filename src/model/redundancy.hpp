@@ -2,9 +2,12 @@
 // approximation from Section 4.3.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 
 #include "model/params.hpp"
+#include "util/flat_map.hpp"
 
 namespace redcr::model {
 
@@ -38,13 +41,51 @@ struct Partition {
                                         double node_mtbf,
                                         NodeFailureModel model);
 
+/// The per-sphere log-survival term of Eq. 9: ln(1 - pf^degree), or
+/// -infinity when the sphere fails with certainty. The one expression both
+/// the scalar and the memoized evaluation paths share, so cached and
+/// uncached results are bitwise identical.
+[[nodiscard]] double log_sphere_survival(double pf, unsigned degree) noexcept;
+
+/// Memoization table for the Eq. 9 sphere terms ln(1 - pf^degree) — the
+/// pow/log pair that dominates every sweep point. Keyed by the exact bit
+/// pattern of pf (so distinct inputs never alias) with one slot per degree
+/// up to kMaxDegree; rarer higher degrees fall through to direct
+/// computation. Warm the cache serially (warm()), then share it read-only
+/// across worker threads (lookup() is const and never mutates).
+class SphereTermCache {
+ public:
+  static constexpr unsigned kMaxDegree = 16;
+
+  /// Computes and memoizes the term for (pf, degree). Not thread-safe.
+  double warm(double pf, unsigned degree);
+
+  /// Read-only lookup; recomputes directly on a miss, so a cold cache is a
+  /// correctness no-op. Safe from several threads once warming stopped.
+  [[nodiscard]] double lookup(double pf, unsigned degree) const noexcept;
+
+  /// Distinct pf values seen (grid diagnostics).
+  [[nodiscard]] std::size_t distinct_pf() const noexcept {
+    return terms_.size();
+  }
+
+ private:
+  struct Terms {
+    std::uint32_t computed_mask = 0;  // bit d set => value[d] valid
+    std::array<double, kMaxDegree + 1> value{};
+  };
+  util::FlatMap64<Terms> terms_;  // key: bit pattern of pf
+};
+
 /// ln of Eq. 9. R_sys underflows double precision already for modest N·t/θ
 /// (e.g. 10^5 nodes over 700 h is e^-1612), but the failure rate only needs
 /// the logarithm, so Eq. 10 is computed from this. Returns -infinity when
-/// some sphere fails with certainty within t.
-[[nodiscard]] double log_system_reliability(std::size_t n, double r, double t,
-                                            double node_mtbf,
-                                            NodeFailureModel model);
+/// some sphere fails with certainty within t. With a non-null `cache` the
+/// sphere terms are looked up instead of recomputed (bitwise-identical
+/// results either way).
+[[nodiscard]] double log_system_reliability(
+    std::size_t n, double r, double t, double node_mtbf,
+    NodeFailureModel model, const SphereTermCache* cache = nullptr);
 
 /// Failure characterization of the whole (partially) redundant system over
 /// the redundancy-dilated run time (Eq. 10).
@@ -55,9 +96,12 @@ struct SystemFailure {
 };
 
 /// Full redundancy-side pipeline: Eq. 1 then Eqs. 9-10 evaluated over t_Red.
+/// `cache` (optional) memoizes the Eq. 9 sphere terms across calls.
 [[nodiscard]] SystemFailure system_failure(const AppParams& app,
                                            const MachineParams& machine,
-                                           double r, NodeFailureModel model);
+                                           double r, NodeFailureModel model,
+                                           const SphereTermCache* cache =
+                                               nullptr);
 
 /// Section 4.3's "birthday problem" approximation as printed in the paper:
 /// p(n) ≈ 1 - ((n-2)/n)^{n(n-1)/2}. (Note: as printed this tends to 1, not

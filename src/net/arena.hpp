@@ -1,0 +1,68 @@
+// Slot arena for in-flight message objects.
+//
+// Every simulated send used to move its Message into a heap-allocated
+// std::function closure; under RedComm's r²-fold fan-out that is one
+// allocation+free per physical copy. The arena instead parks the message in
+// a recycled slot and lets the delivery event capture just the 32-bit slot
+// index — small enough for std::function's inline buffer, so the whole
+// delivery path stops touching the heap in steady state.
+//
+// Slots are chunked (pointer-stable growth, no element moves) and recycled
+// LIFO. Lifetime rule: acquire() hands out a default-reset slot; release()
+// resets it to T{} so payload buffers are dropped eagerly; slots owned by
+// never-fired events are reclaimed when the arena dies with its World.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace redcr::net {
+
+template <class T>
+class Arena {
+ public:
+  /// Claims a slot holding a default-constructed T.
+  std::uint32_t acquire() {
+    if (free_.empty()) grow();
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  [[nodiscard]] T& at(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  /// Returns the slot to the free list, resetting its contents.
+  void release(std::uint32_t slot) noexcept {
+    at(slot) = T{};
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return chunks_.size() * kChunkSize;
+  }
+  [[nodiscard]] std::size_t in_use() const noexcept {
+    return capacity() - free_.size();
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  void grow() {
+    const auto base =
+        static_cast<std::uint32_t>(chunks_.size()) * kChunkSize;
+    chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    // LIFO free list, lowest slot on top: recently-released (cache-warm)
+    // slots are preferred, and allocation order stays deterministic.
+    free_.reserve(free_.size() + kChunkSize);
+    for (std::uint32_t i = kChunkSize; i-- > 0;) free_.push_back(base + i);
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace redcr::net

@@ -34,15 +34,15 @@ Request PullComm::isend(Rank dst, int tag, Payload payload) {
   }
   // Pull model: the send is a local buffer append — it completes now.
   ++stats_.sends_buffered;
-  auto& buffer = out_buffers_[StreamKey{dst, tag}];
+  auto& buffer = out_buffers_[stream_key(dst, tag)];
   buffer.push_back(std::move(payload));
 
   // Serve any queued requests that just became satisfiable. Productions are
   // prefix-complete, so draining the queue head-first preserves per-
   // requester seq order.
-  auto waiting = waiting_requests_.find(StreamKey{dst, tag});
-  if (waiting != waiting_requests_.end()) {
-    auto& queue = waiting->second;
+  auto* waiting = waiting_requests_.find(stream_key(dst, tag));
+  if (waiting != nullptr) {
+    auto& queue = *waiting;
     while (!queue.empty() && queue.front().seq < buffer.size()) {
       const PendingRequest request = queue.front();
       queue.pop_front();
@@ -65,7 +65,7 @@ Request PullComm::irecv(Rank src, int tag) {
   if (src < 0 || src >= size())
     throw std::out_of_range("PullComm::irecv: virtual rank out of range");
   auto parent = std::make_shared<simmpi::RequestState>();
-  const std::uint64_t seq = recv_cursor_[StreamKey{src, tag}]++;
+  const std::uint64_t seq = recv_cursor_[stream_key(src, tag)]++;
   engine().spawn(drive_pull(src, tag, seq, parent));
   return parent;
 }
@@ -125,13 +125,13 @@ sim::Task PullComm::drive_pull(Rank src_virtual, int tag, std::uint64_t seq,
 
 void PullComm::serve_or_queue(Rank dst_virtual, int tag, std::uint64_t seq,
                               Rank requester) {
-  const auto buffer = out_buffers_.find(StreamKey{dst_virtual, tag});
-  if (buffer != out_buffers_.end() && seq < buffer->second.size()) {
+  const auto* buffer = out_buffers_.find(stream_key(dst_virtual, tag));
+  if (buffer != nullptr && seq < buffer->size()) {
     ++stats_.responses_served;
-    endpoint_->isend(requester, kDataTagOffset + tag, buffer->second[seq]);
+    endpoint_->isend(requester, kDataTagOffset + tag, (*buffer)[seq]);
     return;
   }
-  waiting_requests_[StreamKey{dst_virtual, tag}].push_back(
+  waiting_requests_[stream_key(dst_virtual, tag)].push_back(
       PendingRequest{requester, seq});
 }
 

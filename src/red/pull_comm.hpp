@@ -30,13 +30,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <vector>
 
 #include "red/replica_map.hpp"
 #include "red/red_comm.hpp"  // for Liveness
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
+#include "util/flat_map.hpp"
 
 namespace redcr::red {
 
@@ -82,11 +82,13 @@ class PullComm final : public simmpi::Comm {
   static constexpr int kRequestTag = 3 << 28;
   static constexpr int kDataTagOffset = (3 << 28) + (1 << 27);
 
-  struct StreamKey {
-    Rank dst_virtual;  // or src_virtual on the receive side
-    int tag;
-    friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
-  };
+  /// Stream identity (virtual peer rank, tag) packed for the flat tables.
+  /// Ranks and tags are non-negative, so the key never hits the ~0 sentinel.
+  static std::uint64_t stream_key(Rank rank, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
 
   struct PendingRequest {
     Rank requester_physical;
@@ -121,11 +123,11 @@ class PullComm final : public simmpi::Comm {
   PullStats stats_;
 
   /// Sender side: all payloads produced per stream, indexed by seq.
-  std::map<StreamKey, std::vector<simmpi::Payload>> out_buffers_;
+  util::FlatMap64<std::vector<simmpi::Payload>> out_buffers_;
   /// Requests for payloads not yet produced, per stream.
-  std::map<StreamKey, std::deque<PendingRequest>> waiting_requests_;
+  util::FlatMap64<std::deque<PendingRequest>> waiting_requests_;
   /// Receiver side: next seq to consume per stream.
-  std::map<StreamKey, std::uint64_t> recv_cursor_;
+  util::FlatMap64<std::uint64_t> recv_cursor_;
 };
 
 }  // namespace redcr::red

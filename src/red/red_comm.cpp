@@ -181,7 +181,8 @@ sim::Task RedComm::drive_wildcard(int tag, Request parent) {
     // steal the *duplicate* copy of the previous instance's message (every
     // sender replica posts a full copy under the application tag).
     auto my_turn_done = std::make_shared<sim::OneShotEvent>();
-    auto previous_turn = std::exchange(wildcard_turn_[tag], my_turn_done);
+    auto previous_turn = std::exchange(
+        wildcard_turn_[static_cast<std::uint64_t>(tag)], my_turn_done);
     if (previous_turn) co_await previous_turn->wait();
 
     // Step 1: only the sphere leader posts the physical wildcard receive.

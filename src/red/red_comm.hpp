@@ -24,12 +24,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <unordered_map>
 
 #include "obs/recorder.hpp"
 #include "red/replica_map.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/world.hpp"
+#include "util/flat_map.hpp"
 
 namespace redcr::red {
 
@@ -175,7 +175,7 @@ class RedComm final : public simmpi::Comm {
   /// ANY_SOURCE receive of instance k+1 may only be posted after instance k
   /// has posted its remaining-copy receives — otherwise instance k+1 could
   /// steal a duplicate copy of instance k's message (see drive_wildcard).
-  std::unordered_map<int, std::shared_ptr<sim::OneShotEvent>> wildcard_turn_;
+  util::FlatMap64<std::shared_ptr<sim::OneShotEvent>> wildcard_turn_;  // by tag
   /// In-flight copy-sets (stable iterators; erased as each one finishes).
   std::list<CopySet> copy_sets_;
 };

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -10,24 +11,181 @@
 
 namespace redcr::sim {
 
+Engine::Engine() : buckets_(kMinBuckets) {}
+
 Engine::~Engine() {
   // Drop pending callbacks first: they may capture coroutine handles that we
   // are about to destroy.
-  while (!queue_.empty()) queue_.pop();
+  for (Bucket& bucket : buckets_)
+    for (EventNode* node = bucket.head; node != nullptr; node = node->next)
+      node->callback = nullptr;
   for (void* frame : handles_)
     std::coroutine_handle<>::from_address(frame).destroy();
 }
 
+std::uint64_t Engine::global_slot(Time t) const noexcept {
+  const double q = t / width_;
+  // Saturate instead of hitting the UB of an out-of-range double->u64 cast;
+  // +inf (and anything astronomically far out) parks in the last ring slot
+  // reachable only through the direct-search path.
+  if (!(q < 9.0e18)) return std::uint64_t{9000000000000000000ull};
+  return static_cast<std::uint64_t>(q);
+}
+
+Engine::EventNode* Engine::acquire_node() {
+  if (free_head_ == nullptr) grow_pool();
+  EventNode* node = free_head_;
+  free_head_ = node->next;
+  node->prev = nullptr;
+  node->next = nullptr;
+  return node;
+}
+
+void Engine::grow_pool() {
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(slabs_.size()) * kSlabSize;
+  auto slab = std::make_unique<EventNode[]>(kSlabSize);
+  // Thread the new slab onto the free list in slot order (lowest first), so
+  // allocation order — and therefore nothing observable — is deterministic.
+  for (std::uint32_t i = kSlabSize; i-- > 0;) {
+    slab[i].slot = base + i;
+    slab[i].next = free_head_;
+    free_head_ = &slab[i];
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+void Engine::release_node(EventNode* node) noexcept {
+  node->callback = nullptr;  // free captured state eagerly
+  if (++node->gen == 0) node->gen = 1;
+  node->linked = false;
+  node->prev = nullptr;
+  node->next = free_head_;
+  free_head_ = node;
+}
+
+void Engine::bucket_insert(EventNode* node) noexcept {
+  Bucket& bucket = buckets_[global_slot(node->time) & bucket_mask_];
+  node->linked = true;
+  if (bucket.tail == nullptr) {
+    node->prev = nullptr;
+    node->next = nullptr;
+    bucket.head = bucket.tail = node;
+    return;
+  }
+  // Fast path: the common schedule patterns (same-time bursts, increasing
+  // timers) append at the tail.
+  if (!orders_before(*node, *bucket.tail)) {
+    node->prev = bucket.tail;
+    node->next = nullptr;
+    bucket.tail->next = node;
+    bucket.tail = node;
+    return;
+  }
+  // Otherwise scan from the head; near-now events sit near the front even
+  // when the bucket also holds far-future years.
+  EventNode* cur = bucket.head;
+  while (orders_before(*cur, *node)) cur = cur->next;  // tail check bounds it
+  node->next = cur;
+  node->prev = cur->prev;
+  if (cur->prev != nullptr)
+    cur->prev->next = node;
+  else
+    bucket.head = node;
+  cur->prev = node;
+}
+
+void Engine::bucket_unlink(EventNode* node) noexcept {
+  Bucket& bucket = buckets_[global_slot(node->time) & bucket_mask_];
+  if (node->prev != nullptr)
+    node->prev->next = node->next;
+  else
+    bucket.head = node->next;
+  if (node->next != nullptr)
+    node->next->prev = node->prev;
+  else
+    bucket.tail = node->prev;
+  node->prev = nullptr;
+  node->next = nullptr;
+  node->linked = false;
+}
+
+Engine::EventNode* Engine::find_min() noexcept {
+  if (pending_count_ == 0) return nullptr;
+  // Every pending event has time >= now(), hence a global slot >= now()'s,
+  // so scanning the ring upward from now() meets each event exactly at its
+  // own slot; the first hit is the (time, seq) minimum. (Events of the same
+  // timestamp share a slot and their bucket list is sorted, so the bucket
+  // head settles ties.)
+  std::uint64_t slot = global_slot(now_);
+  for (std::size_t i = 0; i < num_buckets_; ++i, ++slot) {
+    EventNode* head = buckets_[slot & bucket_mask_].head;
+    if (head != nullptr && global_slot(head->time) <= slot) return head;
+  }
+  // Nothing due within one full ring revolution of now(): the next event is
+  // more than buckets*width away. Direct min search over the bucket heads.
+  EventNode* best = nullptr;
+  for (const Bucket& bucket : buckets_) {
+    EventNode* head = bucket.head;
+    if (head != nullptr && (best == nullptr || orders_before(*head, *best)))
+      best = head;
+  }
+  return best;
+}
+
+void Engine::rebuild(std::size_t new_buckets) {
+  rebuild_scratch_.clear();
+  rebuild_scratch_.reserve(pending_count_);
+  for (Bucket& bucket : buckets_)
+    for (EventNode* node = bucket.head; node != nullptr; node = node->next)
+      rebuild_scratch_.push_back(node);
+  std::sort(rebuild_scratch_.begin(), rebuild_scratch_.end(),
+            [](const EventNode* a, const EventNode* b) {
+              return orders_before(*a, *b);
+            });
+
+  num_buckets_ = new_buckets;
+  bucket_mask_ = new_buckets - 1;
+  buckets_.assign(new_buckets, Bucket{});
+
+  // Width estimate: about two slots per pending event across the pending
+  // span, clamped so bucket arithmetic stays representable at the current
+  // time magnitude. Derived from the queue contents only — deterministic.
+  double width = 1.0;
+  if (rebuild_scratch_.size() >= 2 &&
+      std::isfinite(rebuild_scratch_.front()->time)) {
+    const double lo = rebuild_scratch_.front()->time;
+    double hi = lo;
+    for (const EventNode* node : rebuild_scratch_)
+      if (std::isfinite(node->time)) hi = node->time;  // sorted: last finite
+    const double span = hi - lo;
+    if (span > 0.0)
+      width = 2.0 * span / static_cast<double>(rebuild_scratch_.size());
+    width = std::max(width, std::max(std::abs(hi), 1.0) * 1e-12);
+  }
+  width_ = width;
+
+  // Scratch is sorted, so every insert takes the O(1) tail fast path.
+  for (EventNode* node : rebuild_scratch_) bucket_insert(node);
+  rebuild_scratch_.clear();
+}
+
+void Engine::maybe_shrink() {
+  if (num_buckets_ > kMinBuckets && pending_count_ < num_buckets_ / 2)
+    rebuild(num_buckets_ / 2);
+}
+
 EventId Engine::schedule_at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  QueueEntry entry;
-  entry.time = t;
-  entry.seq = next_seq_++;
-  entry.id = next_id_++;
-  entry.callback = std::move(cb);
-  const EventId id{entry.id};
-  pending_.insert(entry.id);
-  queue_.push(std::move(entry));
+  EventNode* node = acquire_node();
+  node->time = t;
+  node->seq = next_seq_++;
+  node->callback = std::move(cb);
+  bucket_insert(node);
+  ++pending_count_;
+  const EventId id{(static_cast<std::uint64_t>(node->slot) << 32) | node->gen};
+  if (pending_count_ > num_buckets_ * 2 && num_buckets_ < kMaxBuckets)
+    rebuild(num_buckets_ * 2);
   return id;
 }
 
@@ -37,13 +195,28 @@ EventId Engine::schedule_after(Time dt, Callback cb) {
 }
 
 void Engine::cancel(EventId id) {
-  // Only ids still in the queue may leave a tombstone; a stale (already
-  // fired) or unknown id is a no-op. Without the pending check, repeated
-  // stale cancels would grow cancelled_ without bound — only the pop path
-  // erases it.
-  if (pending_.erase(id.value) == 0) return;
-  cancelled_.insert(id.value);
+  if (id.value == 0) return;
+  const auto slot = static_cast<std::uint32_t>(id.value >> 32);
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  if (slot >= slabs_.size() * kSlabSize) return;
+  EventNode* node = &slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  // A stale id (event already fired, or cancelled and the slot reused) fails
+  // the generation check; a free slot additionally fails `linked`.
+  if (!node->linked || node->gen != gen) return;
+  bucket_unlink(node);
+  --pending_count_;
+  release_node(node);
   if (cancelled_counter_ != nullptr) cancelled_counter_->add();
+  maybe_shrink();
+}
+
+Engine::QueueStats Engine::queue_stats() const noexcept {
+  QueueStats stats;
+  stats.pending = pending_count_;
+  stats.buckets = num_buckets_;
+  stats.bucket_width = width_;
+  stats.pool_capacity = slabs_.size() * kSlabSize;
+  return stats;
 }
 
 void Engine::set_recorder(obs::Recorder* recorder) {
@@ -76,23 +249,19 @@ void Engine::note_exception(std::exception_ptr ep) noexcept {
 }
 
 bool Engine::step(Time limit) {
-  // Skip over cancelled entries.
-  while (!queue_.empty() &&
-         cancelled_.erase(queue_.top().id) > 0) {
-    queue_.pop();
-  }
-  if (queue_.empty() || stop_requested_) return false;
-  if (queue_.top().time > limit) return false;
-  // priority_queue::top() is const; the callback must be moved out, so pop
-  // via const_cast-free copy of the small fields and move of the callback.
-  QueueEntry entry = std::move(const_cast<QueueEntry&>(queue_.top()));
-  queue_.pop();
-  pending_.erase(entry.id);
-  assert(entry.time >= now_);
-  now_ = entry.time;
+  EventNode* node = find_min();
+  if (node == nullptr || stop_requested_) return false;
+  if (node->time > limit) return false;
+  bucket_unlink(node);
+  --pending_count_;
+  assert(node->time >= now_);
+  now_ = node->time;
   ++events_processed_;
   if (events_counter_ != nullptr) events_counter_->add();
-  entry.callback();
+  Callback callback = std::move(node->callback);
+  release_node(node);  // the node is reusable while its callback runs
+  maybe_shrink();
+  callback();
   if (pending_exception_) {
     auto ep = std::exchange(pending_exception_, nullptr);
     std::rethrow_exception(ep);

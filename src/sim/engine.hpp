@@ -5,6 +5,15 @@
 // scheduling order, so a run is a pure function of its inputs — the
 // reproducibility property the experiment harness depends on.
 //
+// Queue implementation: a bucketed calendar queue (Brown, CACM 1988) over
+// slab-pooled intrusive event nodes. Events hash into power-of-two time
+// buckets of width `width_`; each bucket keeps a doubly-linked list sorted
+// by (time, seq), so the dequeue order is exactly the (time, seq) min-heap
+// order of the previous std::priority_queue implementation — runs stay
+// bit-identical. Cancellation unlinks the node in place (O(1)) instead of
+// leaving a tombstone, and nodes are recycled through a free list, so the
+// steady-state hot path performs no heap allocation per event.
+//
 // Lifetime model: simulated processes are spawned into the engine and
 // destroyed either when they finish or when the engine is destroyed. An
 // experiment "episode" (run until job failure, then restart) is expressed by
@@ -17,7 +26,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -33,7 +42,9 @@ using Time = double;
 
 class Task;
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Encodes the pool
+/// slot plus a generation counter, so a stale id (already fired or already
+/// cancelled, slot since reused) is recognized and ignored.
 struct EventId {
   std::uint64_t value = 0;
 };
@@ -42,7 +53,7 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -57,7 +68,8 @@ class Engine {
   EventId schedule_after(Time dt, Callback cb);
 
   /// Cancels a pending event; cancelling an already-fired or unknown id is a
-  /// no-op (and leaves no residue — see cancelled_backlog()).
+  /// no-op. Cancellation is O(1): the node is unlinked from its bucket and
+  /// returned to the pool immediately — no tombstones, no residue.
   void cancel(EventId id);
 
   /// Registers a coroutine process and schedules its first step at now().
@@ -88,12 +100,24 @@ class Engine {
     return handles_.size();
   }
 
-  /// Cancelled-but-not-yet-popped events. Bounded by the queue size at all
-  /// times: cancel() of a fired or unknown id leaves no tombstone (the
-  /// regression guard for the former unbounded cancelled-set growth).
-  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
-    return cancelled_.size();
+  /// Events currently scheduled and not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return pending_count_;
   }
+
+  /// Cancelled-but-not-yet-reclaimed events. The calendar queue cancels in
+  /// place, so this is structurally zero at all times; the accessor remains
+  /// for the tombstone-era regression tests and dashboards.
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept { return 0; }
+
+  /// Calendar-queue / pool introspection for benches and tests.
+  struct QueueStats {
+    std::size_t pending = 0;        ///< events scheduled and live
+    std::size_t buckets = 0;        ///< current calendar size (power of two)
+    double bucket_width = 0.0;      ///< seconds of simulated time per bucket
+    std::size_t pool_capacity = 0;  ///< event nodes ever allocated
+  };
+  [[nodiscard]] QueueStats queue_stats() const noexcept;
 
   /// Attaches an observability recorder (nullptr detaches). The engine
   /// feeds the "sim.events" and "sim.cancelled" counters; one branch per
@@ -115,31 +139,75 @@ class Engine {
   void note_exception(std::exception_ptr ep) noexcept;
 
  private:
-  struct QueueEntry {
+  /// Pooled intrusive event node. Linked into its bucket while pending
+  /// (prev/next), or into the free list (next only) while idle. `gen`
+  /// advances every time the node is released, invalidating outstanding
+  /// EventIds that still point at the slot.
+  struct EventNode {
     Time time = 0.0;
     std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id = 0;
+    EventNode* prev = nullptr;
+    EventNode* next = nullptr;
+    std::uint32_t slot = 0;  // index into the slab pool
+    std::uint32_t gen = 1;   // never 0, so EventId{0} is always invalid
+    bool linked = false;     // in a bucket (pending) vs free/firing
     Callback callback;
-
-    // min-heap by (time, seq)
-    friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
   };
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  static constexpr std::uint32_t kSlabShift = 10;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;  // nodes/slab
+  static constexpr std::size_t kMinBuckets = 4;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
+  /// Strict (time, seq) order — the engine's one and only event order.
+  static bool orders_before(const EventNode& a, const EventNode& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Global bucket-ring slot for time `t` (year * buckets + bucket). Huge
+  /// and infinite times park in a saturated far-future slot.
+  [[nodiscard]] std::uint64_t global_slot(Time t) const noexcept;
+
+  EventNode* acquire_node();
+  void release_node(EventNode* node) noexcept;
+  void grow_pool();
+
+  void bucket_insert(EventNode* node) noexcept;
+  void bucket_unlink(EventNode* node) noexcept;
+
+  /// The pending event with the smallest (time, seq), or nullptr. Scans the
+  /// calendar ring from now()'s bucket; falls back to a direct search when
+  /// nothing is due within one full ring revolution.
+  [[nodiscard]] EventNode* find_min() noexcept;
+
+  /// Re-buckets every pending event into `new_buckets` buckets with a fresh
+  /// width estimate. Deterministic: depends only on the queue contents.
+  void rebuild(std::size_t new_buckets);
+  void maybe_shrink();
 
   /// Pops and executes one event; returns false if queue empty/stop.
   bool step(Time limit);
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue_;
-  std::unordered_set<std::uint64_t> pending_;    // ids still in queue_
-  std::unordered_set<std::uint64_t> cancelled_;  // subset of former pending_
+
+  std::vector<Bucket> buckets_;
+  std::size_t num_buckets_ = kMinBuckets;
+  std::size_t bucket_mask_ = kMinBuckets - 1;
+  double width_ = 1.0;
+  std::size_t pending_count_ = 0;
+
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  EventNode* free_head_ = nullptr;
+  std::vector<EventNode*> rebuild_scratch_;
+
   std::unordered_set<void*> handles_;  // live process coroutine frames
   std::exception_ptr pending_exception_;
   obs::Counter* events_counter_ = nullptr;     // cached registry handles

@@ -137,7 +137,11 @@ Endpoint& World::endpoint(Rank rank) {
 Request World::inject(Rank src, Rank dst, int tag, Payload payload) {
   ++stats_.messages_sent;
 
-  Message message;
+  // Park the message in the arena so the delivery closure below captures a
+  // 32-bit slot instead of the Message (stays in std::function's inline
+  // buffer — no heap allocation per message).
+  const std::uint32_t slot = message_arena_.acquire();
+  Message& message = message_arena_.at(slot);
   message.envelope = Envelope{src, dst, tag};
   message.payload = std::move(payload);
   message.seq = next_seq_++;
@@ -152,24 +156,37 @@ Request World::inject(Rank src, Rank dst, int tag, Payload payload) {
   const std::uint64_t channel =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
       static_cast<std::uint32_t>(dst);
-  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
-  if (!inserted) {
-    arrival = std::max(arrival, it->second);
-    it->second = arrival;
-  }
+  sim::Time& last_arrival = channel_last_arrival_[channel];
+  arrival = std::max(arrival, last_arrival);
+  last_arrival = arrival;
 
   // Send request: the buffer is considered handed off after the sender-side
-  // busy time (eager protocol).
+  // busy time (eager protocol). The busy time is one network-wide constant,
+  // so completions fire in issue order and the FIFO supplies the request —
+  // the closure needs no captured state beyond `this`.
   auto send_request = std::make_shared<RequestState>();
-  engine_->schedule_after(network_->send_busy_time(), [send_request, this] {
-    complete_request(*send_request, *engine_);
-  });
+  pending_sends_.push_back(send_request);
+  engine_->schedule_after(network_->send_busy_time(),
+                          [this] { complete_next_send(); });
 
-  Endpoint* destination = endpoints_[static_cast<std::size_t>(dst)].get();
-  engine_->schedule_at(arrival, [destination, msg = std::move(message)]() mutable {
-    destination->deliver(std::move(msg));
-  });
+  engine_->schedule_at(
+      arrival, [this, dst32 = static_cast<std::uint32_t>(dst), slot] {
+        deliver_from_arena(dst32, slot);
+      });
   return send_request;
+}
+
+void World::complete_next_send() {
+  assert(!pending_sends_.empty());
+  const Request request = std::move(pending_sends_.front());
+  pending_sends_.pop_front();
+  complete_request(*request, *engine_);
+}
+
+void World::deliver_from_arena(std::uint32_t dst, std::uint32_t slot) {
+  Message message = std::move(message_arena_.at(slot));
+  message_arena_.release(slot);  // before deliver(): it may send recursively
+  endpoints_[dst]->deliver(std::move(message));
 }
 
 }  // namespace redcr::simmpi

@@ -11,12 +11,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/network.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace redcr::simmpi {
 
@@ -115,12 +116,28 @@ class World {
   /// schedules mailbox delivery. Returns the send request.
   Request inject(Rank src, Rank dst, int tag, Payload payload);
 
+  /// Completes the oldest pending send request. All sends share one
+  /// constant busy time (Network::send_busy_time()), so their completion
+  /// events fire in issue order and a FIFO needs no per-send closure state.
+  void complete_next_send();
+
+  /// Delivery event body: moves the message out of its arena slot, recycles
+  /// the slot, and hands the message to the destination mailbox.
+  void deliver_from_arena(std::uint32_t dst, std::uint32_t slot);
+
   sim::Engine* engine_;
   net::Network* network_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<net::NodeId> rank_to_node_;
+  /// In-flight messages, parked between inject and delivery. Event closures
+  /// capture the 32-bit slot instead of the Message itself, keeping them
+  /// inside std::function's inline buffer (no per-message heap traffic).
+  net::Arena<Message> message_arena_;
   /// Per (src,dst) channel: last scheduled arrival time, for non-overtaking.
-  std::unordered_map<std::uint64_t, sim::Time> channel_last_arrival_;
+  util::FlatMap64<sim::Time> channel_last_arrival_;
+  /// Send requests awaiting their sender-side busy-time completion, in
+  /// issue order (see complete_next_send()).
+  std::deque<Request> pending_sends_;
   std::uint64_t next_seq_ = 1;
   WorldStats stats_;
 };

@@ -11,7 +11,9 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
 }
 
 std::string CsvWriter::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // \r matters too: an unquoted bare CR resynchronizes as a row break in
+  // RFC-4180 readers, silently splitting the record.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string quoted = "\"";
   for (char ch : field) {
     if (ch == '"') quoted += '"';

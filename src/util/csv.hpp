@@ -23,9 +23,12 @@ class CsvWriter {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
- private:
-  static std::string escape(const std::string& field);
+  /// RFC-4180 conditional quoting: a field is quoted only when it contains
+  /// a comma, quote, CR or LF; embedded quotes are doubled. Exposed so the
+  /// round-trip tests can check the policy without touching the filesystem.
+  [[nodiscard]] static std::string escape(const std::string& field);
 
+ private:
   std::string path_;
   std::ofstream out_;
 };

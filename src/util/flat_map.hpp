@@ -1,0 +1,107 @@
+// FlatMap64: a small open-addressed hash map from 64-bit keys to values.
+//
+// Purpose-built for the simulator's hot per-message lookups (channel
+// non-overtaking state, pull-model stream tables, wildcard turn locks),
+// where std::unordered_map's node allocation per insert and pointer chase
+// per find dominate. Linear probing over a power-of-two flat slot array
+// keeps both operations a handful of cache lines with zero allocation off
+// the growth path.
+//
+// Constraints (by design, asserted): the key ~0ull is reserved as the empty
+// sentinel — every key space used here (src<<32|dst channels, non-negative
+// tags, (rank,tag) stream keys) stays clear of it. Erase is not provided;
+// the simulator's tables only grow within an episode and die with it.
+// Iteration order is unspecified — callers must not derive observable
+// output from it (all current callers do keyed lookups only).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace redcr::util {
+
+template <class V>
+class FlatMap64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatMap64() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Returns the value for `key`, default-constructing it on first use.
+  V& operator[](std::uint64_t key) {
+    assert(key != kEmptyKey && "~0 is the reserved empty sentinel");
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t idx = probe(key);
+    Slot& slot = slots_[idx];
+    if (slot.key == kEmptyKey) {
+      slot.key = key;
+      ++size_;
+    }
+    return slot.value;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) return nullptr;
+    Slot& slot = slots_[probe(key)];
+    return slot.key == key ? &slot.value : nullptr;
+  }
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  void clear() noexcept {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  /// SplitMix64 finalizer: full-avalanche spread of structured keys
+  /// (rank<<32|tag patterns collide badly under identity hashing).
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// First slot holding `key` or the first empty slot of its probe chain.
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(mix(key)) & mask;
+    while (slots_[idx].key != key && slots_[idx].key != kEmptyKey)
+      idx = (idx + 1) & mask;
+    return idx;
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    for (Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t idx = static_cast<std::size_t>(mix(slot.key)) & mask;
+      while (slots_[idx].key != kEmptyKey) idx = (idx + 1) & mask;
+      slots_[idx].key = slot.key;
+      slots_[idx].value = std::move(slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace redcr::util

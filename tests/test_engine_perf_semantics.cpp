@@ -1,0 +1,377 @@
+// Semantics guard for the hot-path engine overhaul.
+//
+// The calendar-queue scheduler, the slab pool, the open-addressed tables and
+// the batch model evaluator all promise the same thing: faster, but
+// bit-identical. These tests pin that promise:
+//
+//   * randomized schedule/cancel/run scripts executed in lockstep on
+//     sim::Engine and on an in-test reference scheduler (a (time, seq)
+//     min-heap with tombstone cancellation — the pre-overhaul queue),
+//     asserting identical firing order at every step;
+//   * model::evaluate_batch compared bitwise against the scalar predict()
+//     loop over the paper's Table 4 grid, serial and threaded;
+//   * unit tests for the supporting containers (util::FlatMap64,
+//     net::Arena).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/batch.hpp"
+#include "net/arena.hpp"
+#include "sim/engine.hpp"
+#include "util/flat_map.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace redcr;
+
+// ---------------------------------------------------------------------------
+// Reference scheduler: (time, seq) min-heap + tombstone set. This is the
+// engine's pre-calendar-queue event queue, reduced to its ordering contract.
+
+class RefScheduler {
+ public:
+  std::uint64_t schedule_at(double t, std::function<void()> cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Item{t, seq});
+    callbacks_.push_back(std::move(cb));
+    return seq;
+  }
+  void cancel(std::uint64_t seq) {
+    if (seq < callbacks_.size()) cancelled_.insert(seq);
+  }
+  /// Runs events with time <= limit; afterwards now() == limit.
+  void run_until(double limit) {
+    while (!heap_.empty() && heap_.top().time <= limit) {
+      const Item top = heap_.top();
+      heap_.pop();
+      if (cancelled_.erase(top.seq) > 0) continue;
+      now_ = top.time;
+      callbacks_[top.seq]();
+    }
+    if (std::isfinite(limit) && limit > now_) now_ = limit;
+  }
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::vector<std::function<void()>> callbacks_;  // by seq
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+// Deterministic PRNG (SplitMix64) so every test failure reproduces.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// Drives sim::Engine and RefScheduler through one identical randomized
+/// script of schedules (with same-time bursts), cancels (live, stale and
+/// unknown) and staged run_until advances; asserts the firing sequences
+/// match exactly and the calendar queue leaves no cancellation residue.
+void run_lockstep_script(std::uint64_t seed) {
+  Rng rng{seed};
+  sim::Engine engine;
+  RefScheduler ref;
+  std::vector<int> engine_fired, ref_fired;
+  std::vector<sim::EventId> engine_ids;
+  std::vector<std::uint64_t> ref_ids;
+  int label = 0;
+
+  const auto schedule_one = [&](double t) {
+    const int id = label++;
+    engine_ids.push_back(
+        engine.schedule_at(t, [&, id] { engine_fired.push_back(id); }));
+    ref_ids.push_back(
+        ref.schedule_at(t, [&, id] { ref_fired.push_back(id); }));
+  };
+
+  double horizon = 0.0;
+  for (int stage = 0; stage < 12; ++stage) {
+    const int scheduled = 40 + static_cast<int>(rng.below(120));
+    for (int i = 0; i < scheduled; ++i) {
+      // Mix of spread-out times, same-time bursts (integer grid) and a few
+      // far-future outliers that land beyond the calendar's dense range.
+      double t = horizon + rng.uniform() * 50.0;
+      const std::uint64_t kind = rng.below(10);
+      if (kind < 3) t = horizon + static_cast<double>(rng.below(8));
+      if (kind == 9) t = horizon + 1e7 + rng.uniform() * 1e3;
+      schedule_one(t);
+    }
+    // Cancel a random subset: indices may be pending, already fired (stale)
+    // or repeated — all must be no-ops past the first effective cancel.
+    const int cancels = static_cast<int>(rng.below(60));
+    for (int i = 0; i < cancels; ++i) {
+      const std::size_t pick = rng.below(engine_ids.size());
+      engine.cancel(engine_ids[pick]);
+      ref.cancel(ref_ids[pick]);
+    }
+    // Unknown ids never registered with the engine are ignored too.
+    engine.cancel(sim::EventId{0});
+    engine.cancel(sim::EventId{rng.next() | (1ull << 63)});
+
+    horizon += rng.uniform() * 40.0;
+    engine.run_until(horizon);
+    ref.run_until(horizon);
+    ASSERT_EQ(engine_fired, ref_fired) << "diverged at stage " << stage
+                                       << " (seed " << seed << ")";
+    ASSERT_DOUBLE_EQ(engine.now(), ref.now());
+    ASSERT_EQ(engine.cancelled_backlog(), 0u);
+  }
+  // Drain everything, far-future outliers included.
+  engine.run_until(std::numeric_limits<double>::infinity());
+  ref.run_until(std::numeric_limits<double>::infinity());
+  ASSERT_EQ(engine_fired, ref_fired) << "diverged at drain (seed " << seed
+                                     << ")";
+  ASSERT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(EnginePerfSemantics, MatchesReferenceHeapAcrossRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) run_lockstep_script(seed);
+}
+
+TEST(EnginePerfSemantics, SameTimeBurstsFireInScheduleOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i)
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EnginePerfSemantics, CallbackSchedulingDuringRunKeepsOrder) {
+  // Events scheduled from inside callbacks (the dominant pattern in the
+  // simulator) must interleave exactly like the reference heap.
+  sim::Engine engine;
+  RefScheduler ref;
+  std::vector<int> engine_fired, ref_fired;
+  std::function<void(double, int)> engine_chain = [&](double t, int depth) {
+    engine.schedule_at(t, [&, t, depth] {
+      engine_fired.push_back(depth);
+      if (depth < 400) {
+        engine_chain(t + 0.25, depth + 1);
+        engine_chain(t + 0.25, depth + 1000);  // same-time sibling
+      }
+    });
+  };
+  std::function<void(double, int)> ref_chain = [&](double t, int depth) {
+    ref.schedule_at(t, [&, t, depth] {
+      ref_fired.push_back(depth);
+      if (depth < 400) {
+        ref_chain(t + 0.25, depth + 1);
+        ref_chain(t + 0.25, depth + 1000);
+      }
+    });
+  };
+  engine_chain(0.0, 0);
+  ref_chain(0.0, 0);
+  engine.run();
+  ref.run_until(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(engine_fired, ref_fired);
+}
+
+TEST(EnginePerfSemantics, QueueStatsTrackPendingAndPool) {
+  sim::Engine engine;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 3000; ++i)
+    ids.push_back(engine.schedule_at(static_cast<double>(i), [] {}));
+  const sim::Engine::QueueStats full = engine.queue_stats();
+  EXPECT_EQ(full.pending, 3000u);
+  EXPECT_GE(full.pool_capacity, 3000u);
+  EXPECT_GE(full.buckets, 4u);
+  for (int i = 0; i < 3000; i += 2) engine.cancel(ids[i]);
+  EXPECT_EQ(engine.queue_stats().pending, 1500u);
+  engine.run();
+  EXPECT_EQ(engine.queue_stats().pending, 0u);
+  EXPECT_EQ(engine.events_processed(), 1500u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch evaluator vs scalar predict over the paper's Table 4 grid.
+
+std::vector<model::BatchPoint> table4_grid(double r_step) {
+  std::vector<model::BatchPoint> points;
+  for (const double mtbf_hours : {6.0, 12.0, 18.0, 24.0, 30.0}) {
+    for (const auto failure_model : {model::NodeFailureModel::kLinearized,
+                                     model::NodeFailureModel::kExactExponential}) {
+      model::CombinedConfig cfg;
+      cfg.app.base_time = util::minutes(46);
+      cfg.app.comm_fraction = 0.2;
+      cfg.app.num_procs = 128;
+      cfg.machine.node_mtbf = util::hours(mtbf_hours);
+      cfg.machine.checkpoint_cost = 120.0;
+      cfg.machine.restart_cost = 500.0;
+      cfg.failure_model = failure_model;
+      for (double r = 1.0; r <= 3.0 + 1e-9; r += r_step)
+        points.push_back(model::BatchPoint{cfg, std::min(r, 3.0)});
+    }
+  }
+  return points;
+}
+
+void expect_bitwise_equal(const model::Prediction& a,
+                          const model::Prediction& b) {
+  // memcmp over the double prefix: bitwise, so -0.0 vs 0.0 or differently
+  // rounded last bits fail loudly.
+  EXPECT_EQ(std::memcmp(&a, &b, offsetof(model::Prediction, total_procs)), 0);
+  EXPECT_EQ(a.total_procs, b.total_procs);
+}
+
+TEST(BatchEvaluator, BitwiseEqualToScalarPredictOnTable4Grid) {
+  const std::vector<model::BatchPoint> points = table4_grid(0.25);
+  model::BatchOptions serial;
+  serial.jobs = 1;
+  const std::vector<model::Prediction> batch =
+      model::evaluate_batch(points, serial);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    expect_bitwise_equal(batch[i], model::predict(points[i].config,
+                                                  points[i].r));
+}
+
+TEST(BatchEvaluator, ThreadedMatchesSerialOnDenseGrid) {
+  // Dense grid so the worker pool actually engages (the evaluator refuses
+  // to spawn threads for tiny batches).
+  const std::vector<model::BatchPoint> points = table4_grid(0.002);
+  ASSERT_GE(points.size(), 2048u);
+  model::BatchOptions serial;
+  serial.jobs = 1;
+  model::BatchOptions threaded;
+  threaded.jobs = 4;
+  const std::vector<model::Prediction> a =
+      model::evaluate_batch(points, serial);
+  const std::vector<model::Prediction> b =
+      model::evaluate_batch(points, threaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_bitwise_equal(a[i], b[i]);
+}
+
+TEST(BatchEvaluator, SimplifiedModeMatchesScalar) {
+  const std::vector<model::BatchPoint> points = table4_grid(0.25);
+  model::BatchOptions options;
+  options.jobs = 1;
+  options.simplified = true;
+  const std::vector<model::Prediction> batch =
+      model::evaluate_batch(points, options);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    expect_bitwise_equal(batch[i], model::predict_simplified(points[i].config,
+                                                             points[i].r));
+}
+
+TEST(BatchEvaluator, DegreeConvenienceOverloadMatches) {
+  model::CombinedConfig cfg;
+  cfg.app.num_procs = 1000;
+  const std::vector<double> degrees = {1.0, 1.25, 1.5, 2.0, 2.75, 3.0};
+  const std::vector<model::Prediction> batch =
+      model::evaluate_batch(cfg, degrees);
+  ASSERT_EQ(batch.size(), degrees.size());
+  for (std::size_t i = 0; i < degrees.size(); ++i)
+    expect_bitwise_equal(batch[i], model::predict(cfg, degrees[i]));
+}
+
+TEST(BatchEvaluator, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(model::evaluate_batch(std::vector<model::BatchPoint>{}).empty());
+}
+
+TEST(SphereTermCache, WarmThenLookupIsBitwiseStable) {
+  model::SphereTermCache cache;
+  const double pf = 0.0123456789;
+  const double warmed = cache.warm(pf, 2);
+  EXPECT_EQ(warmed, model::log_sphere_survival(pf, 2));
+  EXPECT_EQ(cache.lookup(pf, 2), warmed);
+  // Uncached (pf, degree) pairs fall through to the direct computation.
+  EXPECT_EQ(cache.lookup(0.5, 3), model::log_sphere_survival(0.5, 3));
+  // Degrees beyond the cache ceiling are computed directly, not cached.
+  EXPECT_EQ(cache.warm(pf, 60), model::log_sphere_survival(pf, 60));
+  EXPECT_EQ(cache.distinct_pf(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Supporting containers.
+
+TEST(FlatMap64, InsertFindGrowAndDefault) {
+  util::FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  // operator[] default-constructs; keys survive growth.
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k * 0x9e3779b97f4a7c15ull] = static_cast<int>(k);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const int* v = map.find(k * 0x9e3779b97f4a7c15ull);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  EXPECT_EQ(map.find(0xdeadbeefcafef00dull), nullptr);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), nullptr);
+}
+
+TEST(FlatMap64, HandlesAdversarialKeys) {
+  // Keys that collide modulo small powers of two must still resolve.
+  util::FlatMap64<std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 256; ++k) map[k << 32] = k;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const std::uint64_t* v = map.find(k << 32);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+  // Key 0 is a valid key (the empty sentinel is ~0).
+  map[0] = 777;
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 777u);
+}
+
+TEST(Arena, AcquireReleaseReuseAndStability) {
+  net::Arena<std::string> arena;
+  const std::uint32_t a = arena.acquire();
+  const std::uint32_t b = arena.acquire();
+  arena.at(a) = "alpha";
+  arena.at(b) = "beta";
+  std::string* pa = &arena.at(a);
+  // Growing the arena must not move existing slots (chunked storage).
+  std::vector<std::uint32_t> more;
+  for (int i = 0; i < 2000; ++i) more.push_back(arena.acquire());
+  EXPECT_EQ(&arena.at(a), pa);
+  EXPECT_EQ(arena.at(a), "alpha");
+  EXPECT_EQ(arena.in_use(), 2002u);
+  // Release resets the slot to a default-constructed value and recycles it.
+  arena.release(b);
+  const std::uint32_t reused = arena.acquire();
+  EXPECT_EQ(reused, b);  // LIFO free list
+  EXPECT_TRUE(arena.at(reused).empty());
+  for (const std::uint32_t slot : more) arena.release(slot);
+  arena.release(a);
+  arena.release(reused);
+  EXPECT_EQ(arena.in_use(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Tests for the redcr/ facade: ScenarioBuilder, RunOptions and run_job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "apps/synthetic.hpp"
+#include "redcr/redcr.hpp"
+
+namespace {
+
+using namespace redcr;
+
+TEST(ScenarioBuilder, BuildsSameConfigAsAggregateInit) {
+  model::CombinedConfig aggregate;
+  aggregate.app.base_time = util::hours(128);
+  aggregate.app.comm_fraction = 0.2;
+  aggregate.app.num_procs = 50000;
+  aggregate.machine.node_mtbf = util::years(5);
+  aggregate.machine.checkpoint_cost = 600.0;
+  aggregate.machine.restart_cost = 1800.0;
+
+  const model::CombinedConfig built = scenario()
+                                          .node_mtbf(util::years(5))
+                                          .checkpoint_cost(600.0)
+                                          .restart_cost(1800.0)
+                                          .base_time(util::hours(128))
+                                          .comm_fraction(0.2)
+                                          .processes(50000)
+                                          .build();
+
+  EXPECT_EQ(built.app.base_time, aggregate.app.base_time);
+  EXPECT_EQ(built.app.comm_fraction, aggregate.app.comm_fraction);
+  EXPECT_EQ(built.app.num_procs, aggregate.app.num_procs);
+  EXPECT_EQ(built.machine.node_mtbf, aggregate.machine.node_mtbf);
+  EXPECT_EQ(built.machine.checkpoint_cost, aggregate.machine.checkpoint_cost);
+  EXPECT_EQ(built.machine.restart_cost, aggregate.machine.restart_cost);
+  EXPECT_EQ(built.failure_model, aggregate.failure_model);
+  EXPECT_EQ(built.restart_model, aggregate.restart_model);
+  EXPECT_EQ(built.fixed_interval, aggregate.fixed_interval);
+  EXPECT_EQ(built.use_young_interval, aggregate.use_young_interval);
+
+  // Same bits in -> same prediction out: the builder is pure plumbing.
+  const model::Prediction pa = model::predict(aggregate, 2.0);
+  const model::Prediction pb = model::predict(built, 2.0);
+  EXPECT_EQ(pa.total_time, pb.total_time);
+}
+
+TEST(ScenarioBuilder, DefaultsMatchAggregateDefaults) {
+  const model::CombinedConfig built = scenario().build();
+  const model::CombinedConfig aggregate;
+  EXPECT_EQ(built.app.num_procs, aggregate.app.num_procs);
+  EXPECT_EQ(built.machine.node_mtbf, aggregate.machine.node_mtbf);
+  EXPECT_EQ(built.failure_model, aggregate.failure_model);
+}
+
+TEST(ScenarioBuilder, IntervalPoliciesAreMutuallyExclusive) {
+  const model::CombinedConfig young = scenario().young_interval().build();
+  EXPECT_TRUE(young.use_young_interval);
+  EXPECT_FALSE(young.fixed_interval.has_value());
+
+  const model::CombinedConfig fixed =
+      scenario().young_interval().fixed_interval(900.0).build();
+  EXPECT_FALSE(fixed.use_young_interval);
+  ASSERT_TRUE(fixed.fixed_interval.has_value());
+  EXPECT_EQ(*fixed.fixed_interval, 900.0);
+
+  const model::CombinedConfig daly =
+      scenario().fixed_interval(900.0).daly_interval().build();
+  EXPECT_FALSE(daly.use_young_interval);
+  EXPECT_FALSE(daly.fixed_interval.has_value());
+}
+
+TEST(ScenarioBuilder, ValidatesOnBuild) {
+  EXPECT_THROW((void)scenario().processes(0).build(), std::invalid_argument);
+  EXPECT_THROW((void)scenario().base_time(0.0).build(), std::invalid_argument);
+  EXPECT_THROW((void)scenario().base_time(-5.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().comm_fraction(-0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().comm_fraction(1.5).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().node_mtbf(0.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().checkpoint_cost(-1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().restart_cost(-1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)scenario().fixed_interval(0.0).build(),
+               std::invalid_argument);
+  // Edge values that must be accepted.
+  EXPECT_NO_THROW((void)scenario().comm_fraction(0.0).build());
+  EXPECT_NO_THROW((void)scenario().comm_fraction(1.0).build());
+  EXPECT_NO_THROW((void)scenario().checkpoint_cost(0.0).build());
+  EXPECT_NO_THROW((void)scenario().processes(1).build());
+}
+
+TEST(RunOptions, RecordingWantedOnlyWithSinks) {
+  RunOptions options;
+  EXPECT_FALSE(options.wants_recording());
+  options.trace_out = "t.json";
+  EXPECT_TRUE(options.wants_recording());
+  options.trace_out.clear();
+  options.metrics_out = "-";
+  EXPECT_TRUE(options.wants_recording());
+}
+
+TEST(RunOptions, BenchArgsMapOntoRunOptions) {
+  const char* argv[] = {"bench", "--jobs", "3", "--progress"};
+  std::string error;
+  const auto args =
+      exp::BenchArgs::try_parse(4, const_cast<char**>(argv), &error);
+  ASSERT_TRUE(args.has_value()) << error;
+  const RunOptions options = args->run_options();
+  EXPECT_EQ(options.jobs, 3);
+  EXPECT_TRUE(options.progress);
+  EXPECT_FALSE(options.log_level.has_value());
+  EXPECT_FALSE(options.wants_recording());
+  // The deprecated RunnerOptions path and the conversion ctor agree.
+  const exp::SweepRunner via_runner(args->runner());
+  const exp::SweepRunner via_options(options);
+  EXPECT_EQ(via_runner.jobs(), via_options.jobs());
+  EXPECT_EQ(via_runner.progress(), via_options.progress());
+}
+
+runtime::WorkloadFactory tiny_workload() {
+  apps::SyntheticSpec spec;
+  spec.iterations = 4;
+  spec.compute_per_iteration = 1.0;
+  spec.halo_bytes = 1e3;
+  return [spec](int, int) {
+    return std::make_unique<apps::SyntheticWorkload>(spec);
+  };
+}
+
+runtime::JobConfig tiny_job() {
+  runtime::JobConfig cfg;
+  cfg.num_virtual = 4;
+  cfg.redundancy = 2.0;
+  cfg.inject_failures = false;
+  cfg.checkpoint_interval = 60.0;
+  return cfg;
+}
+
+TEST(RunJob, RunsAndWritesExports) {
+  const auto dir = std::filesystem::temp_directory_path();
+  RunOptions options;
+  options.trace_out = (dir / "redcr_facade_trace.json").string();
+  options.metrics_out = (dir / "redcr_facade_metrics.ndjson").string();
+
+  const runtime::JobReport report =
+      run_job(tiny_job(), tiny_workload(), options);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.wallclock, 0.0);
+
+  std::ifstream trace(options.trace_out);
+  ASSERT_TRUE(trace.good());
+  std::string first_line;
+  std::getline(trace, first_line);
+  EXPECT_NE(first_line.find("traceEvents"), std::string::npos);
+  std::ifstream metrics(options.metrics_out);
+  ASSERT_TRUE(metrics.good());
+  std::getline(metrics, first_line);
+  EXPECT_EQ(first_line.front(), '{');
+
+  std::filesystem::remove(options.trace_out);
+  std::filesystem::remove(options.metrics_out);
+}
+
+TEST(RunJob, NoSinksMeansNoRecorderAndSameReport) {
+  const runtime::JobReport plain = run_job(tiny_job(), tiny_workload());
+  RunOptions options;
+  options.trace_out =
+      (std::filesystem::temp_directory_path() / "redcr_facade_t2.json")
+          .string();
+  const runtime::JobReport recorded =
+      run_job(tiny_job(), tiny_workload(), options);
+  // Recording must not perturb the simulation: identical reports.
+  EXPECT_EQ(plain.wallclock, recorded.wallclock);
+  EXPECT_EQ(plain.messages, recorded.messages);
+  EXPECT_EQ(plain.engine_events, recorded.engine_events);
+  std::filesystem::remove(options.trace_out);
+}
+
+TEST(RunJob, ThrowsOnUnwritableExportPath) {
+  RunOptions options;
+  options.trace_out = "/nonexistent-dir-xyz/trace.json";
+  EXPECT_THROW(run_job(tiny_job(), tiny_workload(), options),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -216,9 +216,10 @@ TEST(Engine, TeardownDestroysSuspendedProcesses) {
 }
 
 TEST(Engine, StaleCancelsLeaveNoTombstones) {
-  // Regression: cancel() used to insert a tombstone unconditionally, so
+  // Regression: cancel() once inserted a tombstone unconditionally, so
   // cancelling already-fired or unknown ids (the failure injector does this
   // every checkpoint) grew the cancelled set without bound over a long run.
+  // The calendar queue cancels in place, so no residue exists at any point.
   Engine engine;
   const EventId fired = engine.schedule_at(1.0, [] {});
   engine.run();
@@ -228,14 +229,32 @@ TEST(Engine, StaleCancelsLeaveNoTombstones) {
   }
   EXPECT_EQ(engine.cancelled_backlog(), 0u);
 
-  // A genuinely pending cancel keeps exactly one tombstone (idempotently)
-  // until the queue pops past it.
+  // A genuinely pending cancel reclaims the event immediately (idempotently):
+  // it leaves the pending queue at once rather than waiting to be popped.
   const EventId pending = engine.schedule_at(2.0, [] {});
+  EXPECT_EQ(engine.pending_events(), 1u);
   engine.cancel(pending);
   for (int i = 0; i < 100; ++i) engine.cancel(pending);
-  EXPECT_EQ(engine.cancelled_backlog(), 1u);
+  EXPECT_EQ(engine.cancelled_backlog(), 0u);
+  EXPECT_EQ(engine.pending_events(), 0u);
   engine.run();
   EXPECT_EQ(engine.cancelled_backlog(), 0u);
+}
+
+TEST(Engine, PooledIdsAreNotConfusedAcrossReuse) {
+  // An id whose pool slot has been recycled must stay a no-op: the
+  // generation tag distinguishes the old tenant from the new one.
+  Engine engine;
+  bool first_ran = false;
+  const EventId first = engine.schedule_at(1.0, [&] { first_ran = true; });
+  engine.run();
+  EXPECT_TRUE(first_ran);
+  // The new event almost certainly reuses the slot `first` lived in.
+  bool second_ran = false;
+  engine.schedule_at(2.0, [&] { second_ran = true; });
+  engine.cancel(first);  // stale id: must not kill the new tenant
+  engine.run();
+  EXPECT_TRUE(second_ran);
 }
 
 TEST(Engine, CancelledEventDoesNotRun) {

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include "util/csv.hpp"
@@ -230,6 +232,80 @@ TEST(Csv, WritesAndEscapes) {
 TEST(Csv, ThrowsOnBadPath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
                std::runtime_error);
+}
+
+// --- CSV round trip ----------------------------------------------------------
+
+// Minimal RFC-4180 reader: parses one whole file into rows of fields.
+// Understands quoted fields with doubled quotes and embedded , " \n \r.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += ch;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("1.5"), "1.5");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvWriter::escape("bare\rcr"), "\"bare\rcr\"");
+  EXPECT_EQ(CsvWriter::escape("crlf\r\n"), "\"crlf\r\n\"");
+}
+
+TEST(Csv, RoundTripsAwkwardFields) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "cr\rfield", "crlf\r\nboth"},
+      {"", "\"\"", ",\",\n\r"},
+  };
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "redcr_csv_roundtrip.csv")
+          .string();
+  {
+    CsvWriter csv(path);
+    for (const auto& row : rows) csv.write_row(row);
+  }
+  std::ifstream in(path, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(parse_csv(text), rows);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -26,14 +26,8 @@
 #include "apps/spectral.hpp"
 #include "apps/stencil.hpp"
 #include "apps/synthetic.hpp"
-#include "exp/exp.hpp"
-#include "model/combined.hpp"
-#include "model/extensions.hpp"
-#include "obs/obs.hpp"
-#include "runtime/executor.hpp"
-#include "util/log.hpp"
+#include "redcr/redcr.hpp"
 #include "util/table.hpp"
-#include "util/units.hpp"
 
 namespace {
 
@@ -77,15 +71,14 @@ class Flags {
 };
 
 model::CombinedConfig model_config(const Flags& flags) {
-  model::CombinedConfig cfg;
-  cfg.app.num_procs =
-      static_cast<std::size_t>(flags.number("procs", 50000));
-  cfg.app.base_time = util::hours(flags.number("hours", 128));
-  cfg.app.comm_fraction = flags.number("alpha", 0.2);
-  cfg.machine.node_mtbf = util::years(flags.number("mtbf-years", 5));
-  cfg.machine.checkpoint_cost = flags.number("ckpt-sec", 600);
-  cfg.machine.restart_cost = flags.number("restart-sec", 1800);
-  return cfg;
+  return redcr::scenario()
+      .node_mtbf(util::years(flags.number("mtbf-years", 5)))
+      .checkpoint_cost(flags.number("ckpt-sec", 600))
+      .restart_cost(flags.number("restart-sec", 1800))
+      .base_time(util::hours(flags.number("hours", 128)))
+      .comm_fraction(flags.number("alpha", 0.2))
+      .processes(static_cast<std::size_t>(flags.number("procs", 50000)))
+      .build();
 }
 
 void print_prediction(const model::Prediction& p) {
@@ -140,11 +133,16 @@ int cmd_sweep(const Flags& flags) {
     std::fprintf(stderr, "redcr_cli sweep: %s\n", e.what());
     return 2;
   }
-  const exp::SweepRunner runner(args.runner());
+  // The whole sweep shares one config, so it maps straight onto the batch
+  // evaluator: the Eq. 9 sphere terms are memoized across degrees and the
+  // points run on the worker pool. Bitwise-identical to predict() per trial.
+  std::vector<double> degrees;
+  degrees.reserve(trials.size());
+  for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
+  model::BatchOptions batch;
+  batch.jobs = args.run_options().jobs;
   const std::vector<model::Prediction> preds =
-      runner.map(trials, [&](const exp::Trial& trial) {
-        return model::predict(cfg, trial.at("r"));
-      });
+      model::evaluate_batch(cfg, degrees, batch);
 
   exp::ResultSink t("sweep", {{"r"},
                               {"T_total [h]", "total_h"},
@@ -228,23 +226,6 @@ runtime::WorkloadFactory make_workload(const std::string& name,
   };
 }
 
-/// Writes `text` to `path` ("-" = stdout); returns false on I/O failure.
-bool write_file(const std::string& path, const std::string& text) {
-  if (path == "-") {
-    std::fwrite(text.data(), 1, text.size(), stdout);
-    return true;
-  }
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "redcr_cli: cannot open '%s' for writing\n",
-                 path.c_str());
-    return false;
-  }
-  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
-  std::fclose(out);
-  return ok;
-}
-
 int cmd_simulate(const Flags& flags) {
   runtime::JobConfig cfg;
   cfg.num_virtual = static_cast<std::size_t>(flags.number("virtual", 32));
@@ -271,23 +252,21 @@ int cmd_simulate(const Flags& flags) {
   cfg.ckpt_forked = flags.flag("forked-checkpoint");
   cfg.ckpt_incremental_fraction = flags.number("incremental-fraction", 1.0);
 
-  // Observability: record when any sink is requested (recording costs a
-  // little; a run without --trace-out/--metrics-out pays only null checks).
-  const std::string trace_out = flags.text("trace-out", "");
-  const std::string metrics_out = flags.text("metrics-out", "");
-  obs::Recorder recorder;
-  if (!trace_out.empty() || !metrics_out.empty()) cfg.recorder = &recorder;
-
-  runtime::JobExecutor executor(
-      cfg, make_workload(flags.text("workload", "synthetic"), flags));
-  const runtime::JobReport report = executor.run();
-
-  if (!trace_out.empty() &&
-      !write_file(trace_out, recorder.trace().chrome_json()))
+  // run_job attaches the observability recorder when a sink is requested
+  // and writes the exports after the run; main() already applied the log
+  // level, so the option block carries only the sinks here.
+  redcr::RunOptions options;
+  options.trace_out = flags.text("trace-out", "");
+  options.metrics_out = flags.text("metrics-out", "");
+  runtime::JobReport report;
+  try {
+    report = redcr::run_job(
+        cfg, make_workload(flags.text("workload", "synthetic"), flags),
+        options);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "redcr_cli: %s\n", e.what());
     return 1;
-  if (!metrics_out.empty() &&
-      !write_file(metrics_out, recorder.metrics().ndjson()))
-    return 1;
+  }
 
   std::printf("outcome          : %s\n",
               report.completed ? "completed" : "GAVE UP (max episodes)");
