@@ -23,6 +23,11 @@ struct RunOptions {
   /// output) and stderr may be a log file under CI.
   bool progress = false;
 
+  /// Sweeps: record a cell that throws (or ends in a JobAbort) as a failed
+  /// cell with its error string instead of aborting the whole sweep. Off by
+  /// default (fail-fast), matching the historical behavior.
+  bool keep_going = false;
+
   /// Log level to apply before running; unset leaves the process level
   /// (REDCR_LOG_LEVEL env or earlier configuration) untouched.
   std::optional<util::LogLevel> log_level;

@@ -22,6 +22,7 @@
 //       .build();
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -109,18 +110,27 @@ class ScenarioBuilder {
     const auto fail = [](const std::string& what) {
       throw std::invalid_argument("redcr::ScenarioBuilder: " + what);
     };
+    // The `!(x > 0)` form rejects NaN along with out-of-range values; the
+    // explicit isfinite calls additionally reject infinities, which would
+    // otherwise silently propagate through every downstream equation.
     if (config_.app.num_procs < 1) fail("processes() must be >= 1");
-    if (!(config_.app.base_time > 0.0)) fail("base_time() must be > 0");
+    if (!(config_.app.base_time > 0.0) || !std::isfinite(config_.app.base_time))
+      fail("base_time() must be finite and > 0");
     if (!(config_.app.comm_fraction >= 0.0 &&
           config_.app.comm_fraction <= 1.0))
       fail("comm_fraction() must be in [0, 1]");
-    if (!(config_.machine.node_mtbf > 0.0)) fail("node_mtbf() must be > 0");
-    if (!(config_.machine.checkpoint_cost >= 0.0))
-      fail("checkpoint_cost() must be >= 0");
-    if (!(config_.machine.restart_cost >= 0.0))
-      fail("restart_cost() must be >= 0");
-    if (config_.fixed_interval && !(*config_.fixed_interval > 0.0))
-      fail("fixed_interval() must be > 0");
+    if (!(config_.machine.node_mtbf > 0.0) ||
+        !std::isfinite(config_.machine.node_mtbf))
+      fail("node_mtbf() must be finite and > 0");
+    if (!(config_.machine.checkpoint_cost >= 0.0) ||
+        !std::isfinite(config_.machine.checkpoint_cost))
+      fail("checkpoint_cost() must be finite and >= 0");
+    if (!(config_.machine.restart_cost >= 0.0) ||
+        !std::isfinite(config_.machine.restart_cost))
+      fail("restart_cost() must be finite and >= 0");
+    if (config_.fixed_interval && (!(*config_.fixed_interval > 0.0) ||
+                                   !std::isfinite(*config_.fixed_interval)))
+      fail("fixed_interval() must be finite and > 0");
     return config_;
   }
 

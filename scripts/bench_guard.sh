@@ -2,9 +2,11 @@
 # Performance-regression gate for the hot-path engine.
 #
 # Runs bench_engine and compares the guarded rates (event_throughput,
-# batch_eval) against the committed baseline, failing on a >15% regression.
-# The comparison runs inside bench_engine itself (--guard), so no external
-# JSON tooling is needed.
+# batch_eval) against the committed baseline, failing on a >15% regression;
+# then runs bench_faults' zero-cost scenario (faults_off_sim), which fails
+# when the disabled fault hooks slow the executor fast path. The comparison
+# runs inside the benches themselves (--guard), so no external JSON tooling
+# is needed.
 #
 # Usage: scripts/bench_guard.sh [build-dir] [baseline]
 #   build-dir  default: build
@@ -19,8 +21,9 @@ BUILD_DIR="${1:-build}"
 BASELINE="${2:-BENCH_baseline.json}"
 TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.15}"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_engine" ]]; then
-  cmake --build "$BUILD_DIR" --target bench_engine -j "$(nproc 2>/dev/null || echo 4)"
+if [[ ! -x "$BUILD_DIR/bench/bench_engine" || ! -x "$BUILD_DIR/bench/bench_faults" ]]; then
+  cmake --build "$BUILD_DIR" --target bench_engine --target bench_faults \
+    -j "$(nproc 2>/dev/null || echo 4)"
 fi
 if [[ ! -f "$BASELINE" ]]; then
   echo "bench_guard.sh: no baseline at $BASELINE" >&2
@@ -31,5 +34,11 @@ fi
 # --repeat 3 takes the best of three runs per scenario, damping scheduler
 # noise on shared machines before the tolerance check.
 "$BUILD_DIR/bench/bench_engine" --repeat 3 --guard "$BASELINE" --tolerance "$TOLERANCE"
+
+# Zero-cost check: the executor with every fault probability at zero and
+# retention 1 must run at the pre-fault rate (--quick keeps the grid small;
+# the guarded scenario itself always runs at full size).
+"$BUILD_DIR/bench/bench_faults" --quick --seeds 1 --repeat 3 \
+  --guard "$BASELINE" --tolerance "$TOLERANCE"
 
 echo "bench_guard.sh: no guarded rate regressed more than ${TOLERANCE} vs $BASELINE"

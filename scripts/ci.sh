@@ -18,6 +18,33 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "=== ci.sh: sanitizer smoke gate ==="
 scripts/check.sh
 
+echo "=== ci.sh: fault-matrix smoke (ASan/UBSan) ==="
+# Drive the unreliable-C/R pipeline end to end under the sanitizer build
+# that check.sh just produced: a small grid over corruption/write-failure
+# probability x retention depth. Both exit codes 0 (completed) and 1
+# (structured JobAbort) are legitimate outcomes; anything else — including
+# a sanitizer report, which aborts the process — fails the gate.
+FAULT_CLI="build-san/tools/redcr_cli"
+for corr in 0 0.05 1; do
+  for wfail in 0 0.2; do
+    for retention in 1 3; do
+      echo "--- faults: corruption=$corr write-failure=$wfail retention=$retention"
+      set +e
+      "$FAULT_CLI" run --virtual 8 --redundancy 1 --mtbf-hours 0.1 \
+        --iterations 30 --compute-sec 5 --interval-sec 60 \
+        --ckpt-corruption-prob "$corr" --ckpt-write-failure-prob "$wfail" \
+        --restart-failure-prob 0.2 --ckpt-retention "$retention" \
+        --seed 7 --faults-seed 11 --log-level error >/dev/null
+      status=$?
+      set -e
+      if [[ "$status" -ne 0 && "$status" -ne 1 ]]; then
+        echo "ci.sh: fault-matrix cell crashed (exit $status)" >&2
+        exit 1
+      fi
+    done
+  done
+done
+
 echo "=== ci.sh: engine performance guard ==="
 scripts/bench_guard.sh "$BUILD_DIR"
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
+#include "ckpt/store.hpp"
 #include "sim/task.hpp"
+#include "util/log.hpp"
 
 namespace redcr::ckpt {
 
@@ -20,6 +23,7 @@ CheckpointController::CheckpointController(sim::Engine& engine,
     throw std::invalid_argument("CheckpointController: empty world");
   if (config_.interval <= 0.0)
     throw std::invalid_argument("CheckpointController: interval must be > 0");
+  config_.write_retry.validate("CkptConfig.write_retry");
 }
 
 void CheckpointController::arm() {
@@ -48,8 +52,13 @@ sim::CoTask<bool> CheckpointController::maybe_checkpoint(
 
 sim::CoTask<void> CheckpointController::run_checkpoint(
     simmpi::Endpoint& endpoint, long iteration, int epoch) {
-  // First rank in marks the epoch's entry time.
-  if (entered_count_ == 0) epoch_entry_time_ = engine_.now();
+  // First rank in marks the epoch's entry time and resets the epoch's
+  // image-validity state.
+  if (entered_count_ == 0) {
+    epoch_entry_time_ = engine_.now();
+    epoch_image_ok_.assign(static_cast<std::size_t>(num_physical_), 1);
+    epoch_write_exhausted_ = false;
+  }
   ++entered_count_;
   const int pid = obs::rank_pid(endpoint.rank());
   const sim::Time t_enter = engine_.now();
@@ -69,15 +78,61 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   // 2. Write this process's image to stable storage; writers serialize on
   //    the device, which is what makes `c` grow with the process count.
   //    Incremental mode shrinks every image after the run's first one.
+  //    Unreliable mode: a visibly failed write consumes its device slot but
+  //    writes nothing; blocking mode retries it with capped exponential
+  //    backoff (the backoff runs inside the checkpoint span, so the wasted
+  //    time lands in checkpoint_time, where it belongs).
   const util::Bytes image =
       epoch == 1 ? config_.image_bytes
                  : config_.image_bytes * config_.incremental_fraction;
-  const sim::Time durable_at = storage_.write_completion(image);
   if (config_.forked) {
     // Forked mode: pay only the fork pause; the write drains in background.
+    // A failed write cannot be retried synchronously (the application has
+    // already resumed), so it degrades to a latently invalid image that
+    // restore-time validation will reject.
+    const auto res = storage_.write_attempt(image, config_.episode, epoch,
+                                            endpoint.rank(), /*attempt=*/0);
+    if (!res.ok) {
+      epoch_image_ok_[static_cast<std::size_t>(endpoint.rank())] = 0;
+      ++write_failures_;
+      if (recorder_ != nullptr) {
+        recorder_->instant("ckpt-write-failed", "ckpt", pid, engine_.now());
+        recorder_->add("ckpt.write_failures");
+        recorder_->add("time.ckpt_wasted_write", res.device_time);
+      }
+    }
     co_await sim::delay(engine_, config_.fork_cost);
   } else {
-    co_await sim::delay(engine_, durable_at - engine_.now());
+    bool written = false;
+    for (int attempt = 0; attempt < config_.write_retry.max_attempts;
+         ++attempt) {
+      const double backoff = config_.write_retry.delay_before(attempt);
+      if (backoff > 0.0) co_await sim::delay(engine_, backoff);
+      const auto res = storage_.write_attempt(image, config_.episode, epoch,
+                                              endpoint.rank(), attempt);
+      co_await sim::delay(engine_, res.completion - engine_.now());
+      if (res.ok) {
+        written = true;
+        break;
+      }
+      ++write_failures_;
+      if (recorder_ != nullptr) {
+        recorder_->instant("ckpt-write-failed", "ckpt", pid, engine_.now());
+        recorder_->add("ckpt.write_failures");
+        recorder_->add("time.ckpt_wasted_write", res.device_time);
+      }
+    }
+    if (!written) {
+      // Retries exhausted: this rank has no durable image, so the whole
+      // epoch cannot publish. Still proceed to the barrier (abandoning it
+      // here would deadlock the collective).
+      epoch_image_ok_[static_cast<std::size_t>(endpoint.rank())] = 0;
+      epoch_write_exhausted_ = true;
+      REDCR_LOG_WARN << "ckpt: rank " << endpoint.rank() << " exhausted "
+                     << config_.write_retry.max_attempts
+                     << " write attempts for epoch " << epoch
+                     << "; abandoning the epoch";
+    }
   }
   const sim::Time t_written = engine_.now();
   if (recorder_ != nullptr)
@@ -97,6 +152,8 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   if (endpoint.rank() == 0) {
     ++completed_epochs_;
     assert(completed_epochs_ == epoch);
+    const bool abandoned = epoch_write_exhausted_;
+    if (abandoned) ++failed_epochs_;
     total_checkpoint_time_ += engine_.now() - epoch_entry_time_;
     const double work_elapsed = engine_.now() - total_checkpoint_time_;
     if (recorder_ != nullptr) {
@@ -105,7 +162,13 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
       recorder_->span("checkpoint", "ckpt", obs::kJobPid, epoch_entry_time_,
                       engine_.now());
       obs::Registry& metrics = recorder_->metrics();
-      metrics.add("ckpt.completed");
+      if (abandoned) {
+        metrics.add("ckpt.failed_epochs");
+        recorder_->instant("ckpt-epoch-abandoned", "ckpt", obs::kJobPid,
+                           engine_.now());
+      } else {
+        metrics.add("ckpt.completed");
+      }
       metrics.add("time.ckpt_quiesce", t_quiesced - t_enter);
       metrics.add("time.ckpt_write", t_written - t_quiesced);
       metrics.add("time.ckpt_barrier", engine_.now() - t_written);
@@ -116,20 +179,41 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     }
     entered_count_ = 0;
     engine_.schedule_after(config_.interval, [this] { ++requested_epochs_; });
-    auto publish = [this, iteration, epoch, work_elapsed] {
-      snapshot_.valid = true;
-      snapshot_.iteration = iteration;
-      snapshot_.completed_at = engine_.now();
-      snapshot_.epoch = epoch;
-      snapshot_.work_elapsed = work_elapsed;
-    };
-    if (config_.forked) {
-      // The snapshot is restorable only once the slowest background write
-      // has drained; a failure before that falls back to the previous one.
-      const sim::Time all_durable = storage_.busy_until();
-      engine_.schedule_at(std::max(all_durable, engine_.now()), publish);
-    } else {
-      publish();
+    if (!abandoned) {
+      // Latent corruption is decided now (it is a pure function of the
+      // image coordinates) but only consulted at restore-time validation.
+      if (config_.faults != nullptr) {
+        for (std::size_t r = 0; r < epoch_image_ok_.size(); ++r) {
+          if (config_.faults->image_corrupts(config_.episode, epoch,
+                                             static_cast<int>(r)))
+            epoch_image_ok_[r] = 0;
+        }
+      }
+      auto publish = [this, iteration, epoch, work_elapsed,
+                      image_ok = epoch_image_ok_] {
+        snapshot_.valid = true;
+        snapshot_.iteration = iteration;
+        snapshot_.completed_at = engine_.now();
+        snapshot_.epoch = epoch;
+        snapshot_.work_elapsed = work_elapsed;
+        if (config_.store != nullptr) {
+          Generation gen;
+          gen.snapshot = snapshot_;
+          gen.episode = config_.episode;
+          gen.cumulative_useful = config_.useful_work_base + work_elapsed;
+          gen.image_ok = image_ok;
+          gen.checksum = generation_checksum(config_.episode, epoch, iteration);
+          config_.store->commit(std::move(gen));
+        }
+      };
+      if (config_.forked) {
+        // The snapshot is restorable only once the slowest background write
+        // has drained; a failure before that falls back to the previous one.
+        const sim::Time all_durable = storage_.busy_until();
+        engine_.schedule_at(std::max(all_durable, engine_.now()), publish);
+      } else {
+        publish();
+      }
     }
   }
 }

@@ -25,11 +25,14 @@
 
 #include "ckpt/quiesce.hpp"
 #include "ckpt/storage.hpp"
+#include "failure/faults.hpp"
 #include "obs/recorder.hpp"
 #include "sim/cotask.hpp"
 #include "simmpi/world.hpp"
 
 namespace redcr::ckpt {
+
+class CheckpointStore;
 
 struct CkptConfig {
   /// δ: delay from checkpoint completion (or episode start) to the next
@@ -56,6 +59,25 @@ struct CkptConfig {
   bool forked = false;
   /// Pause charged to every rank for the fork + copy-on-write setup.
   util::Seconds fork_cost = 0.5;
+
+  // --- Unreliable C/R (defaults reproduce the reliable pipeline) ----------
+
+  /// Fault oracle for write failures / latent corruption (not owned; null =
+  /// reliable storage). The same pointer should be attached to the
+  /// StableStorage so write attempts consult it.
+  const failure::FaultProcess* faults = nullptr;
+  /// Retry/backoff policy for failed image writes (blocking mode only; a
+  /// forked-mode write failure degrades to a latently invalid image since
+  /// the application has already resumed).
+  failure::RetryPolicy write_retry;
+  /// Multi-generation retention store (not owned; null = publish the
+  /// in-controller snapshot only, the original single-snapshot behavior).
+  CheckpointStore* store = nullptr;
+  /// Episode index, salt of the per-epoch fault streams.
+  std::uint64_t episode = 0;
+  /// Job-lifetime useful work at episode start; committed generations carry
+  /// useful_work_base + work_elapsed as the executor's restore target.
+  double useful_work_base = 0.0;
 };
 
 /// The latest durable coordinated snapshot.
@@ -84,8 +106,16 @@ class CheckpointController {
                                      long iteration);
 
   [[nodiscard]] const Snapshot& snapshot() const noexcept { return snapshot_; }
+  /// Checkpoints that actually published a snapshot (epochs abandoned after
+  /// exhausted write retries do not count).
   [[nodiscard]] int checkpoints_completed() const noexcept {
-    return completed_epochs_;
+    return completed_epochs_ - failed_epochs_;
+  }
+  /// Epochs whose image write exhausted its retries (no snapshot published).
+  [[nodiscard]] int failed_epochs() const noexcept { return failed_epochs_; }
+  /// Image-write attempts that failed visibly this episode.
+  [[nodiscard]] std::uint64_t write_failures() const noexcept {
+    return write_failures_;
   }
   /// Total wallclock spent inside checkpoints so far this episode (spans
   /// from first-rank entry to barrier completion, rank-0 measured).
@@ -131,7 +161,11 @@ class CheckpointController {
   int num_physical_;
   int requested_epochs_ = 0;
   int completed_epochs_ = 0;
+  int failed_epochs_ = 0;         // epochs with an exhausted image write
+  std::uint64_t write_failures_ = 0;
   std::vector<int> done_epoch_;   // per physical rank
+  std::vector<char> epoch_image_ok_;  // per rank, reset each epoch
+  bool epoch_write_exhausted_ = false;
   Snapshot snapshot_;
   sim::Time epoch_entry_time_ = 0.0;  // first-rank entry of current epoch
   int entered_count_ = 0;             // ranks inside the current checkpoint

@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "failure/faults.hpp"
 
 namespace redcr::ckpt {
 
+void StorageParams::validate() const {
+  // !(x > 0) also catches NaN.
+  if (!(bandwidth > 0.0)) {
+    throw std::invalid_argument(
+        "redcr::ckpt::StorageParams: bandwidth must be > 0 bytes/s, got " +
+        std::to_string(bandwidth));
+  }
+  if (!(base_latency >= 0.0)) {
+    throw std::invalid_argument(
+        "redcr::ckpt::StorageParams: base_latency must be >= 0 s, got " +
+        std::to_string(base_latency));
+  }
+}
+
 StableStorage::StableStorage(sim::Engine& engine, StorageParams params)
     : engine_(engine), params_(params) {
-  assert(params_.bandwidth > 0.0);
-  assert(params_.base_latency >= 0.0);
+  params_.validate();
 }
 
 sim::Time StableStorage::write_completion(util::Bytes size) {
@@ -18,6 +35,25 @@ sim::Time StableStorage::write_completion(util::Bytes size) {
   const sim::Time start = std::max(engine_.now(), device_free_);
   device_free_ = start + params_.base_latency + size / params_.bandwidth;
   return device_free_;
+}
+
+StableStorage::WriteResult StableStorage::write_attempt(util::Bytes size,
+                                                        std::uint64_t episode,
+                                                        int epoch, int rank,
+                                                        int attempt) {
+  assert(size >= 0.0);
+  const double cost = params_.base_latency + size / params_.bandwidth;
+  const bool fails = faults_ != nullptr &&
+                     faults_->write_fails(episode, epoch, rank, attempt);
+  if (fails) {
+    // The device slot is consumed either way; a failed write buys nothing.
+    const sim::Time start = std::max(engine_.now(), device_free_);
+    device_free_ = start + cost;
+    ++failed_writes_;
+    wasted_seconds_ += cost;
+    return {device_free_, cost, false};
+  }
+  return {write_completion(size), cost, true};
 }
 
 }  // namespace redcr::ckpt

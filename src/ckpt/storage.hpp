@@ -6,12 +6,22 @@
 // coordinated checkpoint of P processes with image size S completes in
 // roughly base_latency + P·S/bandwidth — which is how experiment harnesses
 // calibrate an effective `c`.
+//
+// Unreliable mode: an attached failure::FaultProcess makes individual write
+// attempts fail visibly (device time is still consumed — a failed write
+// wastes its slot). The CheckpointController retries failed writes with
+// capped exponential backoff; latent image corruption is drawn separately
+// at snapshot publish and only surfaces at restart-time validation.
 #pragma once
 
 #include <cstdint>
 
 #include "sim/engine.hpp"
 #include "util/units.hpp"
+
+namespace redcr::failure {
+class FaultProcess;
+}
 
 namespace redcr::ckpt {
 
@@ -20,6 +30,10 @@ struct StorageParams {
   double bandwidth = 1.0e9;
   /// Per-write setup latency (metadata, open, sync), seconds.
   util::Seconds base_latency = 0.05;
+
+  /// Rejects NaN/non-positive bandwidth and NaN/negative latency with a
+  /// one-line std::invalid_argument.
+  void validate() const;
 };
 
 class StableStorage {
@@ -30,8 +44,34 @@ class StableStorage {
   /// than now; returns the absolute completion time.
   sim::Time write_completion(util::Bytes size);
 
+  /// One image-write attempt of the unreliable pipeline. Device time is
+  /// reserved exactly as write_completion does; whether the attempt
+  /// succeeds is decided by the attached fault process (always succeeds
+  /// when none is attached). A failed attempt consumes its device time but
+  /// writes nothing durable.
+  struct WriteResult {
+    sim::Time completion = 0.0;  ///< absolute time the device frees up
+    double device_time = 0.0;    ///< seconds of device time consumed
+    bool ok = true;
+  };
+  WriteResult write_attempt(util::Bytes size, std::uint64_t episode, int epoch,
+                            int rank, int attempt);
+
+  /// Attaches the write-failure oracle (nullptr detaches; not owned).
+  void set_fault_process(const failure::FaultProcess* faults) noexcept {
+    faults_ = faults;
+  }
+
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] double bytes_written() const noexcept { return bytes_; }
+  /// Write attempts that failed visibly (unreliable mode only).
+  [[nodiscard]] std::uint64_t failed_writes() const noexcept {
+    return failed_writes_;
+  }
+  /// Device seconds consumed by failed write attempts.
+  [[nodiscard]] double wasted_write_seconds() const noexcept {
+    return wasted_seconds_;
+  }
   [[nodiscard]] const StorageParams& params() const noexcept { return params_; }
   /// Time at which all writes reserved so far will have completed; used by
   /// forked checkpointing to know when a whole image set becomes durable.
@@ -40,9 +80,12 @@ class StableStorage {
  private:
   sim::Engine& engine_;
   StorageParams params_;
+  const failure::FaultProcess* faults_ = nullptr;  // optional, not owned
   sim::Time device_free_ = 0.0;
   std::uint64_t writes_ = 0;
+  std::uint64_t failed_writes_ = 0;
   double bytes_ = 0.0;
+  double wasted_seconds_ = 0.0;
 };
 
 }  // namespace redcr::ckpt

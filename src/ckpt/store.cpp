@@ -1,0 +1,59 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace redcr::ckpt {
+
+bool Generation::valid() const noexcept {
+  return std::all_of(image_ok.begin(), image_ok.end(),
+                     [](char ok) { return ok != 0; });
+}
+
+std::uint64_t generation_checksum(std::uint64_t episode, int epoch,
+                                  long iteration) noexcept {
+  util::SplitMix64 mix(episode ^ 0x9e3779b97f4a7c15ULL);
+  std::uint64_t h = mix.next();
+  h ^= util::SplitMix64(static_cast<std::uint64_t>(epoch)).next();
+  h ^= util::SplitMix64(static_cast<std::uint64_t>(iteration)).next() << 1;
+  return h;
+}
+
+CheckpointStore::CheckpointStore(int retention_depth)
+    : retention_(retention_depth) {
+  if (retention_depth < 1) {
+    throw std::invalid_argument(
+        "redcr::ckpt::CheckpointStore: retention depth must be >= 1, got " +
+        std::to_string(retention_depth));
+  }
+}
+
+void CheckpointStore::commit(Generation gen) {
+  generations_.push_back(std::move(gen));
+  ++commits_;
+  while (generations_.size() > static_cast<std::size_t>(retention_)) {
+    generations_.pop_front();
+    ++evictions_;
+  }
+}
+
+RestoreResult CheckpointStore::restore() {
+  RestoreResult res;
+  res.had_generations = !generations_.empty();
+  while (!generations_.empty()) {
+    if (generations_.back().valid()) {
+      res.found = true;
+      res.generation = generations_.back();
+      return res;
+    }
+    generations_.pop_back();
+    ++res.fallback_depth;
+  }
+  return res;
+}
+
+}  // namespace redcr::ckpt

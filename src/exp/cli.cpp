@@ -16,7 +16,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n"
     "          [--jobs N] [--json] [--filter AXIS=V[,AXIS=V...]]\n"
-    "          [--progress] [--log-level debug|info|warn|error|off]\n";
+    "          [--progress] [--keep-going]\n"
+    "          [--log-level debug|info|warn|error|off]\n";
 
 /// Strict positive-integer parse; std::atoi's silent 0 on garbage is exactly
 /// the bug class this replaces.
@@ -76,6 +77,8 @@ std::optional<BenchArgs> BenchArgs::try_parse(int argc, char** argv,
       args.json = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
       args.progress = true;
+    } else if (std::strcmp(arg, "--keep-going") == 0) {
+      args.keep_going = true;
     } else if (std::strcmp(arg, "--log-level") == 0) {
       const char* v = value("--log-level");
       if (!v) return fail("--log-level requires a value");
@@ -120,13 +123,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
 }
 
 RunnerOptions BenchArgs::runner() const {
-  return RunnerOptions{jobs, progress};
+  return RunnerOptions{jobs, progress, keep_going};
 }
 
 redcr::RunOptions BenchArgs::run_options() const {
   redcr::RunOptions options;
   options.jobs = jobs;
   options.progress = progress;
+  options.keep_going = keep_going;
   options.log_level = log_level;
   return options;
 }

@@ -9,6 +9,8 @@
 //   --json           newline-delimited JSON rows on stdout instead of tables
 //   --filter SPEC    run a subset of grid cells, e.g. "mtbf=6,r=2"
 //   --progress       live trial-count/ETA line on stderr while sweeping
+//   --keep-going     record failing cells (exceptions, job aborts) with a
+//                    status column instead of aborting the sweep
 //   --log-level L    debug|info|warn|error|off (default: REDCR_LOG_LEVEL
 //                    env if set and valid, else warn)
 //
@@ -34,6 +36,7 @@ struct BenchArgs {
   int jobs = 0;           ///< --jobs: worker threads; 0 = all cores
   bool json = false;      ///< --json: NDJSON rows on stdout
   bool progress = false;  ///< --progress: live ETA line on stderr
+  bool keep_going = false;  ///< --keep-going: record failed cells, continue
   std::string filter;     ///< --filter: grid-cell subset spec (empty = all)
   std::optional<std::string> csv_dir;
   /// --log-level: parsed but not applied by try_parse (parse() applies it,

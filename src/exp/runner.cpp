@@ -62,7 +62,8 @@ class ProgressMeter {
 
 }  // namespace
 
-SweepRunner::SweepRunner(RunnerOptions options) : progress_(options.progress) {
+SweepRunner::SweepRunner(RunnerOptions options)
+    : progress_(options.progress), keep_going_(options.keep_going) {
   if (options.jobs > 0) {
     jobs_ = options.jobs;
   } else {

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -27,6 +29,18 @@ struct RunnerOptions {
   /// (so never part of the deterministic output contract) and stderr may be
   /// a log file under CI. Enable with --progress.
   bool progress = false;
+  /// Record failed cells instead of failing the sweep (see
+  /// redcr::RunOptions::keep_going).
+  bool keep_going = false;
+};
+
+/// One sweep cell's result under keep-going execution: either the value or
+/// the error string of the exception the cell threw.
+template <class R>
+struct CellOutcome {
+  R value{};          ///< default-constructed when the cell failed
+  std::string error;  ///< empty = cell succeeded
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
 class SweepRunner {
@@ -37,11 +51,14 @@ class SweepRunner {
   /// execution knobs (jobs, progress) apply to a sweep; the export sinks
   /// are consumed by redcr::run_job.
   explicit SweepRunner(const redcr::RunOptions& options)
-      : SweepRunner(RunnerOptions{options.jobs, options.progress}) {}
+      : SweepRunner(
+            RunnerOptions{options.jobs, options.progress, options.keep_going}) {
+  }
 
   /// The resolved worker count (>= 1).
   [[nodiscard]] int jobs() const noexcept { return jobs_; }
   [[nodiscard]] bool progress() const noexcept { return progress_; }
+  [[nodiscard]] bool keep_going() const noexcept { return keep_going_; }
 
   /// Applies `fn` to every item concurrently and returns the results in
   /// item order. `fn` must be safe to call from several threads on distinct
@@ -59,6 +76,31 @@ class SweepRunner {
     return out;
   }
 
+  /// Keep-going variant of map(): a cell that throws becomes a failed
+  /// CellOutcome carrying the exception's what() instead of killing the
+  /// sweep. Results stay in item order (each outcome lands in its
+  /// pre-allocated slot), so output remains deterministic and independent
+  /// of the worker count — failures included.
+  template <class T, class F>
+  auto map_outcomes(const std::vector<T>& items, F&& fn) const {
+    using R = std::invoke_result_t<F&, const T&>;
+    static_assert(
+        std::is_default_constructible_v<R>,
+        "SweepRunner::map_outcomes result type must be default-constructible");
+    std::vector<CellOutcome<R>> out(items.size());
+    run_indexed(items.size(), [&](std::size_t i) {
+      try {
+        out[i].value = fn(items[i]);
+      } catch (const std::exception& e) {
+        out[i].error = e.what();
+        if (out[i].error.empty()) out[i].error = "unknown error";
+      } catch (...) {
+        out[i].error = "unknown error";
+      }
+    });
+    return out;
+  }
+
  private:
   /// Executes fn(0..n-1), each index exactly once, across the pool.
   void run_indexed(std::size_t n,
@@ -66,6 +108,7 @@ class SweepRunner {
 
   int jobs_ = 1;
   bool progress_ = false;
+  bool keep_going_ = false;
 };
 
 }  // namespace redcr::exp

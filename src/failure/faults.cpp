@@ -1,0 +1,97 @@
+#include "failure/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace redcr::failure {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("redcr::failure: " + what);
+}
+
+void check_prob(double p, const char* name) {
+  // !(p >= 0 && p <= 1) also catches NaN.
+  if (!(p >= 0.0 && p <= 1.0)) {
+    reject(std::string(name) + " must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
+void CkptFaultParams::validate() const {
+  check_prob(write_failure_prob, "write_failure_prob");
+  check_prob(corruption_prob, "corruption_prob");
+  check_prob(restart_failure_prob, "restart_failure_prob");
+}
+
+double RetryPolicy::delay_before(int attempt) const noexcept {
+  if (attempt <= 0) return 0.0;
+  // backoff_base * 2^(attempt-1), capped; ldexp avoids overflow for the
+  // doubling itself (the min() clamps long before it matters).
+  double raw = std::ldexp(backoff_base, std::min(attempt - 1, 60));
+  return std::min(raw, backoff_cap);
+}
+
+void RetryPolicy::validate(const char* what) const {
+  if (max_attempts < 1) {
+    reject(std::string(what) + ".max_attempts must be >= 1, got " +
+           std::to_string(max_attempts));
+  }
+  if (!(backoff_base >= 0.0)) {
+    reject(std::string(what) + ".backoff_base must be >= 0, got " +
+           std::to_string(backoff_base));
+  }
+  if (!(backoff_cap >= 0.0)) {
+    reject(std::string(what) + ".backoff_cap must be >= 0, got " +
+           std::to_string(backoff_cap));
+  }
+}
+
+FaultProcess::FaultProcess(CkptFaultParams params) : params_(params) {
+  params_.validate();
+}
+
+double FaultProcess::draw(FaultClass cls, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) const noexcept {
+  return util::Xoshiro256ss(params_.seed)
+      .split(static_cast<std::uint64_t>(cls))
+      .split(a)
+      .split(b)
+      .split(c)
+      .uniform01();
+}
+
+bool FaultProcess::write_fails(std::uint64_t episode, int epoch, int rank,
+                               int attempt) const noexcept {
+  if (params_.write_failure_prob <= 0.0) return false;
+  // Fold (rank, attempt) into one salt so each attempt has a fresh stream.
+  std::uint64_t who = (static_cast<std::uint64_t>(rank) << 16) |
+                      static_cast<std::uint64_t>(attempt & 0xFFFF);
+  return draw(FaultClass::kWriteFailure, episode,
+              static_cast<std::uint64_t>(epoch), who) <
+         params_.write_failure_prob;
+}
+
+bool FaultProcess::image_corrupts(std::uint64_t episode, int epoch,
+                                  int rank) const noexcept {
+  if (params_.corruption_prob <= 0.0) return false;
+  return draw(FaultClass::kImageCorruption, episode,
+              static_cast<std::uint64_t>(epoch),
+              static_cast<std::uint64_t>(rank)) < params_.corruption_prob;
+}
+
+bool FaultProcess::restart_fails(std::uint64_t restart_index,
+                                 int attempt) const noexcept {
+  if (params_.restart_failure_prob <= 0.0) return false;
+  return draw(FaultClass::kRestartFailure, restart_index,
+              static_cast<std::uint64_t>(attempt), 0) <
+         params_.restart_failure_prob;
+}
+
+}  // namespace redcr::failure

@@ -1,0 +1,108 @@
+// Checkpoint/restart fault taxonomy (beyond the paper's fail-stop nodes).
+//
+// The paper's model assumes the C/R pipeline itself is perfect: every image
+// write succeeds, the latest checkpoint always restores, and restart phases
+// never fail. Production systems (LLNL's SCR is the blueprint) see three
+// more fault classes, modeled here:
+//
+//   kWriteFailure     an image write to stable storage fails and the writer
+//                     notices immediately (I/O error) — retried with capped
+//                     exponential backoff by the CheckpointController
+//   kImageCorruption  an image is written "successfully" but is corrupt;
+//                     detected only at restart-time validation — the
+//                     CheckpointStore then falls back to generation N-1,
+//                     N-2, ... (the motivation for retention depth > 1)
+//   kRestartFailure   the restart phase itself fails (relaunch/process
+//                     failure) — retried by the JobExecutor; exhausted
+//                     retries end the job in a structured JobAbort
+//
+// Determinism: FaultProcess is a pure oracle. Every query derives a fresh
+// RNG stream from (seed, fault class, indices) via Xoshiro splits, so the
+// answer is a function of the coordinates alone — independent of call
+// order, engine interleaving, and sweep worker count (`--jobs`).
+#pragma once
+
+#include <cstdint>
+
+namespace redcr::failure {
+
+/// The unreliable-C/R fault classes (see file comment).
+enum class FaultClass : std::uint64_t {
+  kWriteFailure = 1,
+  kImageCorruption = 2,
+  kRestartFailure = 3,
+};
+
+/// Probabilities of the three C/R fault classes. All default to 0, which is
+/// bit-identical to the reliable pre-fault pipeline.
+struct CkptFaultParams {
+  /// Probability one image-write *attempt* fails visibly (per rank, per
+  /// checkpoint epoch, per attempt).
+  double write_failure_prob = 0.0;
+  /// Probability a committed image is latently corrupt (per rank per
+  /// checkpoint epoch; detected only at restart-time validation).
+  double corruption_prob = 0.0;
+  /// Probability one restart *attempt* fails (per job failure, per attempt).
+  double restart_failure_prob = 0.0;
+  /// Root seed of the fault streams; independent of FailureParams::seed so
+  /// the node-failure schedule is unchanged when faults are enabled.
+  std::uint64_t seed = 1097;
+
+  /// True when any fault class can actually fire.
+  [[nodiscard]] bool enabled() const noexcept {
+    return write_failure_prob > 0.0 || corruption_prob > 0.0 ||
+           restart_failure_prob > 0.0;
+  }
+
+  /// Rejects NaN and out-of-range probabilities with a one-line
+  /// std::invalid_argument naming the offending knob.
+  void validate() const;
+};
+
+/// Capped exponential backoff: attempt 0 runs immediately, attempt k waits
+/// min(backoff_base * 2^(k-1), backoff_cap) seconds first.
+struct RetryPolicy {
+  int max_attempts = 4;       ///< total attempts, including the first
+  double backoff_base = 1.0;  ///< delay before the second attempt, seconds
+  double backoff_cap = 60.0;  ///< upper bound on any single backoff delay
+
+  /// Backoff delay inserted before the given attempt (0 for the first).
+  [[nodiscard]] double delay_before(int attempt) const noexcept;
+
+  /// Rejects non-positive attempt counts and NaN/negative delays; `what`
+  /// names the policy in the error message (e.g. "ckpt_write_retry").
+  void validate(const char* what) const;
+};
+
+/// Deterministic fault oracle over CkptFaultParams (see file comment).
+class FaultProcess {
+ public:
+  /// Validates `params` (throws std::invalid_argument).
+  explicit FaultProcess(CkptFaultParams params);
+
+  /// Does this image-write attempt fail visibly?
+  [[nodiscard]] bool write_fails(std::uint64_t episode, int epoch, int rank,
+                                 int attempt) const noexcept;
+
+  /// Is this committed image latently corrupt?
+  [[nodiscard]] bool image_corrupts(std::uint64_t episode, int epoch,
+                                    int rank) const noexcept;
+
+  /// Does this restart attempt fail?
+  [[nodiscard]] bool restart_fails(std::uint64_t restart_index,
+                                   int attempt) const noexcept;
+
+  [[nodiscard]] const CkptFaultParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return params_.enabled(); }
+
+ private:
+  /// Uniform [0,1) draw from the stream (seed, cls, a, b, c).
+  [[nodiscard]] double draw(FaultClass cls, std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) const noexcept;
+
+  CkptFaultParams params_;
+};
+
+}  // namespace redcr::failure

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace redcr::failure {
 
@@ -46,13 +47,22 @@ bool SphereMonitor::sphere_dead(Rank virtual_rank) const {
   return alive_in_sphere_[static_cast<std::size_t>(virtual_rank)] == 0;
 }
 
+void FailureParams::validate() const {
+  // !(x > 0) also catches NaN.
+  if (!(node_mtbf > 0.0))
+    throw std::invalid_argument(
+        "redcr::failure::FailureParams: node_mtbf must be > 0 s, got " +
+        std::to_string(node_mtbf));
+  if (!(weibull_shape > 0.0))
+    throw std::invalid_argument(
+        "redcr::failure::FailureParams: weibull_shape must be > 0, got " +
+        std::to_string(weibull_shape));
+}
+
 FailureInjector::FailureInjector(const red::ReplicaMap& map,
                                  FailureParams params)
     : map_(&map), params_(params) {
-  if (!(params_.node_mtbf > 0.0))
-    throw std::invalid_argument("FailureInjector: node MTBF must be > 0");
-  if (!(params_.weibull_shape > 0.0))
-    throw std::invalid_argument("FailureInjector: Weibull shape must be > 0");
+  params_.validate();
 }
 
 std::vector<sim::Time> FailureInjector::draw_failure_times(

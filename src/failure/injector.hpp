@@ -44,6 +44,10 @@ struct FailureParams {
   /// assumption; k < 1 models infant mortality, k > 1 wear-out (the
   /// "other failure distributions" of related work [3]).
   double weibull_shape = 1.0;
+
+  /// Rejects NaN/non-positive MTBF and Weibull shape with a one-line
+  /// std::invalid_argument naming the offending knob.
+  void validate() const;
 };
 
 /// Tracks which physical processes are dead and whether any sphere (virtual

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "model/checkpoint.hpp"
 
@@ -149,6 +151,79 @@ double elasticity(const CombinedConfig& config, double r, double base_value,
 }
 
 }  // namespace
+
+void UnreliableCkptParams::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("redcr::model::UnreliableCkptParams: " + what);
+  };
+  if (!(ckpt_validity >= 0.0 && ckpt_validity <= 1.0))
+    fail("ckpt_validity must be in [0, 1]");
+  if (!(restart_success >= 0.0 && restart_success <= 1.0))
+    fail("restart_success must be in [0, 1]");
+  if (retention_depth < 1) fail("retention_depth must be >= 1");
+  if (max_restart_attempts < 1) fail("max_restart_attempts must be >= 1");
+}
+
+UnreliablePrediction predict_unreliable(const CombinedConfig& config, double r,
+                                        const UnreliableCkptParams& u) {
+  u.validate();
+  UnreliablePrediction out;
+  out.base = predict(config, r);
+
+  const double s = u.restart_success;
+  const double q = 1.0 - u.ckpt_validity;  // P(a generation is corrupt)
+  const int a_max = u.max_restart_attempts;
+  const int d = u.retention_depth;
+
+  // Truncated geometric restart attempts: P(K = k) ∝ (1-s)^(k-1)·s for
+  // k ≤ A, conditioned on success within A attempts.
+  const double p_all_restarts_fail = std::pow(1.0 - s, a_max);
+  if (s > 0.0) {
+    double num = 0.0;
+    for (int k = 1; k <= a_max; ++k)
+      num += k * std::pow(1.0 - s, k - 1) * s;
+    out.expected_restart_attempts = num / (1.0 - p_all_restarts_fail);
+  } else {
+    out.expected_restart_attempts = static_cast<double>(a_max);
+  }
+
+  // Fallback depth over d retained generations, newest-first, conditioned
+  // on at least one validating: P(depth = k) ∝ q^k·p_v for k < d.
+  const double p_no_valid_generation = std::pow(q, d);
+  if (u.ckpt_validity > 0.0 && p_no_valid_generation < 1.0) {
+    double num = 0.0;
+    for (int k = 0; k < d; ++k)
+      num += k * std::pow(q, k) * u.ckpt_validity;
+    out.expected_fallback_depth = num / (1.0 - p_no_valid_generation);
+  }
+
+  // Extra cost per failure: extra restart attempts at R each, plus one
+  // checkpoint period (δ + c) of re-done progress per generation fallen
+  // back. Backoff delays are deliberately left out — they are an
+  // implementation knob, small against R by construction.
+  out.per_failure_overhead =
+      (out.expected_restart_attempts - 1.0) * config.machine.restart_cost +
+      out.expected_fallback_depth *
+          (out.base.interval + config.machine.checkpoint_cost);
+
+  // One recovery aborts if all A attempts fail, or (having restarted) all d
+  // retained generations are corrupt.
+  out.abort_probability_per_failure =
+      p_all_restarts_fail +
+      (1.0 - p_all_restarts_fail) * p_no_valid_generation;
+  const double n_f = out.base.expected_failures;
+  out.abort_probability =
+      std::isfinite(n_f)
+          ? 1.0 - std::pow(1.0 - out.abort_probability_per_failure, n_f)
+          : 1.0;
+  if (out.abort_probability_per_failure == 0.0) out.abort_probability = 0.0;
+
+  out.total_time =
+      std::isfinite(out.base.total_time) && std::isfinite(n_f)
+          ? out.base.total_time + n_f * out.per_failure_overhead
+          : std::numeric_limits<double>::infinity();
+  return out;
+}
 
 Sensitivity sensitivity_at(const CombinedConfig& config, double r) {
   Sensitivity s;

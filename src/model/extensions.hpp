@@ -55,4 +55,59 @@ struct Sensitivity {
 [[nodiscard]] Sensitivity sensitivity_at(const CombinedConfig& config,
                                          double r);
 
+// --- Unreliable checkpoint/restart term --------------------------------------
+//
+// The paper's T_total (Eq. 14) assumes every checkpoint restores and every
+// restart succeeds. The unreliable-C/R extension (cf. "On the Combination of
+// Silent Error Detection and Checkpointing") adds two probabilities:
+//
+//   p_v  probability a committed checkpoint generation passes restart-time
+//        validation (for a per-image corruption probability p_c over P
+//        images, p_v = (1 - p_c)^P);
+//   s    probability one restart attempt succeeds.
+//
+// Each of the n_f expected failures then costs extra recovery time:
+//   - failed restart attempts: the attempt count is truncated-geometric in s
+//     with at most A attempts, so E[attempts] - 1 extra restarts of cost R;
+//   - fallback: validation walks the d retained generations newest-first;
+//     each generation fallen back re-does about one checkpoint period of
+//     work (δ + c), so E[fallback depth]·(δ + c) extra rework.
+// A recovery *aborts* when all A attempts fail or all d generations are
+// corrupt; the job-level abort probability compounds over n_f failures.
+//
+// With p_v = s = 1 every derived quantity collapses to the reliable model.
+
+/// Model-side knobs of the unreliable C/R pipeline (simulation
+/// counterparts: failure::CkptFaultParams, failure::RetryPolicy and
+/// runtime::JobConfig::ckpt_retention).
+struct UnreliableCkptParams {
+  double ckpt_validity = 1.0;    ///< p_v ∈ [0, 1]
+  double restart_success = 1.0;  ///< s ∈ [0, 1]
+  int retention_depth = 1;       ///< d ≥ 1 generations retained
+  int max_restart_attempts = 1;  ///< A ≥ 1 attempts per recovery
+  /// Throws std::invalid_argument on NaN/out-of-range values.
+  void validate() const;
+};
+
+/// The reliable prediction plus the expected unreliable-pipeline overheads.
+struct UnreliablePrediction {
+  Prediction base;  ///< reliable-pipeline prediction at the same (config, r)
+  /// E[restart attempts per recovery | recovery succeeds] ∈ [1, A].
+  double expected_restart_attempts = 1.0;
+  /// E[generations discarded per recovery | some generation validates].
+  double expected_fallback_depth = 0.0;
+  /// Expected extra recovery time per failure, seconds.
+  double per_failure_overhead = 0.0;
+  /// Probability one recovery aborts (restarts exhausted or no valid
+  /// generation among the d retained).
+  double abort_probability_per_failure = 0.0;
+  /// Probability the job aborts at least once over its n_f failures.
+  double abort_probability = 0.0;
+  /// T_total + n_f · per_failure_overhead.
+  double total_time = 0.0;
+};
+
+[[nodiscard]] UnreliablePrediction predict_unreliable(
+    const CombinedConfig& config, double r, const UnreliableCkptParams& u);
+
 }  // namespace redcr::model

@@ -1,5 +1,6 @@
 #include "runtime/executor.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -54,10 +55,29 @@ sim::Task rank_main(sim::Engine& engine, apps::Workload& workload,
 
 }  // namespace
 
+std::string JobAbort::describe() const {
+  const std::string what =
+      reason == Reason::kRestartRetriesExhausted
+          ? "restart retries exhausted after " +
+                std::to_string(restart_attempts) + " attempt(s)"
+          : "no retained checkpoint generation passed validation";
+  return "job aborted (episode " + std::to_string(episode) + ", wallclock " +
+         std::to_string(time) + "s): " + what;
+}
+
 JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
     : config_(std::move(config)),
       map_(config_.num_virtual, config_.redundancy) {
   if (!factory) throw std::invalid_argument("JobExecutor: null factory");
+  config_.fail.validate();
+  config_.storage.validate();
+  config_.ckpt_faults.validate();
+  config_.ckpt_write_retry.validate("JobConfig.ckpt_write_retry");
+  config_.restart_retry.validate("JobConfig.restart_retry");
+  if (config_.ckpt_retention < 1)
+    throw std::invalid_argument(
+        "JobExecutor: ckpt_retention must be >= 1, got " +
+        std::to_string(config_.ckpt_retention));
   if (config_.checkpoint_enabled && config_.checkpoint_interval <= 0.0)
     throw std::invalid_argument(
         "JobExecutor: checkpointing enabled but no interval given "
@@ -78,7 +98,9 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
 }
 
 JobExecutor::EpisodeResult JobExecutor::run_episode(
-    long start_iteration, std::uint64_t episode_index) {
+    long start_iteration, std::uint64_t episode_index,
+    ckpt::CheckpointStore& store, const failure::FaultProcess* faults,
+    double useful_work_base) {
   sim::Engine engine;
   engine.set_recorder(config_.recorder);
   net::Network network(engine, map_.num_physical(), config_.network);
@@ -86,6 +108,7 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   simmpi::World world(engine, network,
                       static_cast<int>(map_.num_physical()));
   ckpt::StableStorage storage(engine, config_.storage);
+  storage.set_fault_process(faults);
 
   ckpt::CkptConfig ckpt_config;
   ckpt_config.interval =
@@ -95,6 +118,11 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   ckpt_config.enabled = config_.checkpoint_enabled;
   ckpt_config.incremental_fraction = config_.ckpt_incremental_fraction;
   ckpt_config.forked = config_.ckpt_forked;
+  ckpt_config.faults = faults;
+  ckpt_config.write_retry = config_.ckpt_write_retry;
+  ckpt_config.store = &store;
+  ckpt_config.episode = episode_index;
+  ckpt_config.useful_work_base = useful_work_base;
   ckpt::CheckpointController controller(engine, storage, ckpt_config,
                                         static_cast<int>(map_.num_physical()));
   controller.set_recorder(config_.recorder);
@@ -175,6 +203,9 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   }
   result.snapshot = controller.snapshot();
   result.checkpoints = controller.checkpoints_completed();
+  result.failed_checkpoints = controller.failed_epochs();
+  result.write_failures = controller.write_failures();
+  result.wasted_write_time = storage.wasted_write_seconds();
   result.physical_failures = monitor.dead_processes();
   result.messages = world.stats().messages_sent;
   result.events = engine.events_processed();
@@ -191,6 +222,19 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
 JobReport JobExecutor::run() {
   JobReport report;
   report.num_physical = map_.num_physical();
+
+  // Unreliable-C/R state lives at job scope: checkpoint generations persist
+  // across episodes, and one fault oracle is shared by storage, controller
+  // and the restart loop. With the default config (no faults, retention 1)
+  // everything below reproduces the reliable pipeline bit for bit; the new
+  // metrics are gated on `unreliable` so reliable-mode exports are
+  // unchanged byte for byte as well.
+  ckpt::CheckpointStore store(config_.ckpt_retention);
+  std::optional<failure::FaultProcess> fault_process;
+  if (config_.ckpt_faults.enabled()) fault_process.emplace(config_.ckpt_faults);
+  const failure::FaultProcess* faults =
+      fault_process ? &*fault_process : nullptr;
+  const bool unreliable = faults != nullptr || config_.ckpt_retention > 1;
 
   obs::Recorder* rec = config_.recorder;
   if (rec != nullptr) {
@@ -209,7 +253,8 @@ JobReport JobExecutor::run() {
     REDCR_LOG_INFO << "job: episode " << episode << " begin at wallclock "
                    << report.wallclock << "s, iteration " << start_iteration;
     const EpisodeResult res =
-        run_episode(start_iteration, static_cast<std::uint64_t>(episode));
+        run_episode(start_iteration, static_cast<std::uint64_t>(episode),
+                    store, faults, report.useful_work);
 
     EpisodeTrace ep;
     ep.index = episode;
@@ -228,6 +273,9 @@ JobReport JobExecutor::run() {
 
     ++report.episodes;
     report.checkpoints += res.checkpoints;
+    report.failed_checkpoints += res.failed_checkpoints;
+    report.ckpt_write_failures += res.write_failures;
+    report.wasted_write_time += res.wasted_write_time;
     report.physical_failures += static_cast<int>(res.physical_failures);
     report.messages += res.messages;
     report.engine_events += res.events;
@@ -265,26 +313,142 @@ JobReport JobExecutor::run() {
       return report;
     }
 
-    // Sphere death: pay the restart and resume from the last snapshot.
+    // Sphere death: pay the restart (with retries under unreliable C/R)
+    // and resume from the newest checkpoint generation that validates.
     ++report.job_failures;
-    report.wallclock += res.elapsed + config_.restart_cost;
-    report.restart_time += config_.restart_cost;
-    double retained = 0.0;
-    if (res.snapshot.valid) {
-      retained = res.snapshot.work_elapsed;
-      start_iteration = res.snapshot.iteration;
+    const auto restart_index =
+        static_cast<std::uint64_t>(report.job_failures - 1);
+    bool restarted = false;
+    int attempts = 0;
+    double span_begin = res.elapsed;  // episode-local time for the recorder
+    // The killed episode's elapsed time is charged together with the first
+    // attempt as one `elapsed + cost` addition — the reliable pipeline's
+    // historical association, which keeps its exports bit-identical.
+    double pending = res.elapsed;
+    while (attempts < config_.restart_retry.max_attempts) {
+      const double cost = config_.restart_retry.delay_before(attempts) +
+                          config_.restart_cost;
+      report.wallclock += pending + cost;
+      pending = 0.0;
+      report.restart_time += cost;
+      const bool failed =
+          faults != nullptr && faults->restart_fails(restart_index, attempts);
+      ++attempts;
+      if (rec != nullptr) {
+        // Every attempt is its own "restart" span so the restart spans keep
+        // tiling time.restart exactly, retries and backoff included.
+        rec->span("restart", "restart", obs::kJobPid, span_begin,
+                  span_begin + cost);
+        rec->add("time.restart", cost);
+        if (unreliable) rec->add("restart.attempts");
+      }
+      span_begin += cost;
+      if (!failed) {
+        restarted = true;
+        break;
+      }
+      ++report.failed_restarts;
+      if (rec != nullptr) {
+        rec->instant("restart-failed", "restart", obs::kJobPid, span_begin);
+        rec->add("restart.failures");
+      }
+      REDCR_LOG_WARN << "job: restart attempt " << attempts
+                     << " after episode " << episode << " failed";
     }
-    // Without a snapshot this episode, everything it did is lost and the
-    // next episode restarts from the same iteration as this one did.
-    report.useful_work += retained;
-    report.rework_time += work_this_episode - retained;
+    report.restart_attempts += attempts;
+    report.trace.back().restart_attempts = attempts;
+
+    if (!restarted) {
+      // Every restart attempt failed: structured abort. The episode's work
+      // is lost (rework); the attempts were already charged to restart.
+      report.rework_time += work_this_episode;
+      JobAbort abort;
+      abort.reason = JobAbort::Reason::kRestartRetriesExhausted;
+      abort.time = report.wallclock;
+      abort.episode = episode;
+      abort.restart_attempts = attempts;
+      report.abort = abort;
+      report.trace.back().end = EpisodeTrace::End::kAborted;
+      if (rec != nullptr) {
+        rec->add("time.rework", work_this_episode);
+        rec->add("job.aborts");
+        rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
+      }
+      REDCR_LOG_WARN << "job: " << abort.describe();
+      return report;
+    }
+
+    // Restart-time validation: restore the newest generation whose image
+    // set validates, falling back to N-1, N-2, ... past corrupt ones.
+    const ckpt::RestoreResult restore = store.restore();
+    if (!restore.found && restore.had_generations) {
+      // Every retained generation failed validation: nothing to restart
+      // from. (With no generations at all we restart from scratch instead —
+      // nothing was ever checkpointed, so nothing was lost.)
+      report.rework_time += work_this_episode;
+      JobAbort abort;
+      abort.reason = JobAbort::Reason::kNoValidCheckpoint;
+      abort.time = report.wallclock;
+      abort.episode = episode;
+      abort.restart_attempts = attempts;
+      report.abort = abort;
+      report.trace.back().end = EpisodeTrace::End::kAborted;
+      if (rec != nullptr) {
+        rec->add("time.rework", work_this_episode);
+        rec->add("job.aborts");
+        rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
+      }
+      REDCR_LOG_WARN << "job: " << abort.describe();
+      return report;
+    }
+
+    double credit = 0.0;
+    double excess = 0.0;
+    if (restore.found) {
+      const ckpt::Generation& gen = restore.generation;
+      start_iteration = gen.snapshot.iteration;
+      // Keep the trace's "restart point" truthful under fallback (equal to
+      // the episode snapshot in the reliable pipeline).
+      report.trace.back().snapshot_iteration = start_iteration;
+      // The job's credited useful work snaps to what the generation banked:
+      // work this episode up to its snapshot is newly credited, and work
+      // credited beyond a fallen-back generation moves back to rework. A
+      // same-episode generation credits its snapshot's in-episode work
+      // directly (not `cumulative - useful_work`, whose rounding would
+      // perturb the reliable pipeline's bit-identical sums).
+      if (gen.episode == static_cast<std::uint64_t>(episode)) {
+        credit = gen.snapshot.work_elapsed;
+      } else {
+        excess = std::max(0.0, report.useful_work - gen.cumulative_useful);
+      }
+      report.trace.back().fallback_depth = restore.fallback_depth;
+      if (restore.fallback_depth > 0) {
+        ++report.fallback_restores;
+        if (rec != nullptr)
+          rec->instant("fallback-restore", "restart", obs::kJobPid,
+                       span_begin);
+        REDCR_LOG_WARN << "job: newest checkpoint failed validation; fell "
+                          "back "
+                       << restore.fallback_depth << " generation(s) to epoch "
+                       << gen.snapshot.epoch << " (episode " << gen.episode
+                       << ", checksum " << gen.checksum << "), discarding "
+                       << excess << "s of credited work";
+      }
+      if (rec != nullptr && unreliable) {
+        rec->metrics()
+            .histogram("restore.fallback_depth", {0.0, 1.0, 2.0, 4.0, 8.0})
+            .observe(restore.fallback_depth);
+        if (excess > 0.0) rec->add("restore.invalidated_work", excess);
+      }
+    }
+    // Without any usable generation the next episode restarts from the same
+    // iteration as this one did, and everything this episode did is rework.
+    report.useful_work += credit - excess;
+    report.rework_time += work_this_episode - credit + excess;
     if (rec != nullptr) {
-      rec->span("restart", "restart", obs::kJobPid, res.elapsed,
-                res.elapsed + config_.restart_cost);
       obs::Registry& metrics = rec->metrics();
-      metrics.add("time.useful_work", retained);
-      metrics.add("time.rework", work_this_episode - retained);
-      metrics.add("time.restart", config_.restart_cost);
+      metrics.add("time.useful_work", credit - excess);
+      metrics.add("time.rework", work_this_episode - credit + excess);
     }
     REDCR_LOG_INFO << "job: episode " << episode << " killed at "
                    << res.elapsed << "s"

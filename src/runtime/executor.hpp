@@ -19,9 +19,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "apps/workload.hpp"
 #include "ckpt/coordinator.hpp"
+#include "ckpt/store.hpp"
+#include "failure/faults.hpp"
 #include "failure/injector.hpp"
 #include "net/network.hpp"
 #include "obs/recorder.hpp"
@@ -64,6 +67,19 @@ struct JobConfig {
   double restart_cost = 500.0;
   failure::FailureParams fail;
   bool inject_failures = true;
+  // --- Unreliable C/R (defaults reproduce the reliable pipeline) ----------
+  /// Checkpoint-pipeline fault probabilities (write failure, latent image
+  /// corruption, restart failure). All zero by default.
+  failure::CkptFaultParams ckpt_faults;
+  /// Checkpoint generations retained for fallback (SCR-style). 1 = newest
+  /// only, the original behavior.
+  int ckpt_retention = 1;
+  /// Retry/backoff for visibly failed image writes (blocking mode).
+  failure::RetryPolicy ckpt_write_retry;
+  /// Retry/backoff for failed restart phases. Every attempt — including
+  /// the first — charges restart_cost; retries additionally pay the
+  /// backoff. Exhausting it ends the job in a JobAbort.
+  failure::RetryPolicy restart_retry;
   /// Live failure semantics (rMPI-style degradation): survivors stop
   /// exchanging with dead replicas and dead replicas freeze, instead of the
   /// paper's bookkeeping-only injection. Requires checkpoint_enabled ==
@@ -82,8 +98,29 @@ struct JobConfig {
   obs::Recorder* recorder = nullptr;
 };
 
+/// Structured end-of-job outcome when the unreliable C/R pipeline gives up:
+/// the job did not complete and *cannot make progress* — either the restart
+/// phase kept failing, or no retained checkpoint generation validated.
+struct JobAbort {
+  enum class Reason {
+    kRestartRetriesExhausted,  ///< every restart attempt failed
+    kNoValidCheckpoint,        ///< all retained generations failed validation
+  };
+  Reason reason = Reason::kRestartRetriesExhausted;
+  /// Job wallclock at which the abort was declared, seconds.
+  double time = 0.0;
+  /// Episode whose failure triggered the abort.
+  int episode = 0;
+  /// Restart attempts paid for the fatal failure.
+  int restart_attempts = 0;
+  /// One-line human-readable description.
+  [[nodiscard]] std::string describe() const;
+};
+
 struct JobReport {
   bool completed = false;
+  /// Set when the job ended in a structured abort (implies !completed).
+  std::optional<JobAbort> abort;
   /// Total wallclock including all restarts, seconds.
   double wallclock = 0.0;
   double useful_work = 0.0;
@@ -100,6 +137,13 @@ struct JobReport {
   double network_contention_wait = 0.0;
   std::uint64_t red_mismatches_detected = 0;
   std::uint64_t red_mismatches_corrected = 0;
+  // --- Unreliable C/R (all zero under the reliable pipeline) --------------
+  int restart_attempts = 0;    ///< restart attempts paid (>= job_failures)
+  int failed_restarts = 0;     ///< restart attempts that failed
+  int failed_checkpoints = 0;  ///< epochs abandoned after write retries
+  int fallback_restores = 0;   ///< restores that fell back past the newest
+  std::uint64_t ckpt_write_failures = 0;  ///< image-write attempts that failed
+  double wasted_write_time = 0.0;  ///< device seconds burned by failed writes
   /// Per-episode timeline (render with runtime::render_trace).
   std::vector<EpisodeTrace> trace;
 };
@@ -135,6 +179,9 @@ class JobExecutor {
     ckpt::Snapshot snapshot;                     // last durable snapshot
     std::optional<failure::JobFailure> failure;  // set when a sphere died
     int checkpoints = 0;
+    int failed_checkpoints = 0;                  // write-exhausted epochs
+    std::uint64_t write_failures = 0;
+    double wasted_write_time = 0.0;
     std::size_t physical_failures = 0;
     std::uint64_t messages = 0;
     std::uint64_t events = 0;
@@ -143,7 +190,10 @@ class JobExecutor {
     std::uint64_t mismatches_corrected = 0;
   };
 
-  EpisodeResult run_episode(long start_iteration, std::uint64_t episode_index);
+  EpisodeResult run_episode(long start_iteration, std::uint64_t episode_index,
+                            ckpt::CheckpointStore& store,
+                            const failure::FaultProcess* faults,
+                            double useful_work_base);
 
   JobConfig config_;
   red::ReplicaMap map_;

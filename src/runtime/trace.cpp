@@ -9,12 +9,16 @@ std::string render_trace(const std::vector<EpisodeTrace>& trace) {
   char line[160];
   for (const EpisodeTrace& ep : trace) {
     const char* outcome = "completed";
-    char death[48];
+    char death[64];
     if (ep.end == EpisodeTrace::End::kSphereDeath) {
       std::snprintf(death, sizeof death, "sphere %d died", ep.dead_sphere);
       outcome = death;
     } else if (ep.end == EpisodeTrace::End::kAbandoned) {
       outcome = "abandoned";
+    } else if (ep.end == EpisodeTrace::End::kAborted) {
+      std::snprintf(death, sizeof death, "sphere %d died; job aborted",
+                    ep.dead_sphere);
+      outcome = death;
     }
     char progress[40];
     if (ep.end == EpisodeTrace::End::kCompleted) {
@@ -25,10 +29,23 @@ std::string render_trace(const std::vector<EpisodeTrace>& trace) {
                     ep.start_iteration, ep.snapshot_iteration);
     }
     std::snprintf(line, sizeof line,
-                  "  #%-3d %9.1fs %+10.1fs  %-14s %2d ckpt  %2d deaths  %s\n",
+                  "  #%-3d %9.1fs %+10.1fs  %-14s %2d ckpt  %2d deaths  %s",
                   ep.index, ep.start_wallclock, ep.elapsed, progress,
                   ep.checkpoints, ep.replica_deaths, outcome);
     out += line;
+    // Unreliable-C/R annotations; absent in the reliable pipeline so the
+    // rendered trace is unchanged at zero fault probabilities.
+    if (ep.restart_attempts > 1) {
+      std::snprintf(line, sizeof line, "  [%d restart attempts]",
+                    ep.restart_attempts);
+      out += line;
+    }
+    if (ep.fallback_depth > 0) {
+      std::snprintf(line, sizeof line, "  [fell back %d generation%s]",
+                    ep.fallback_depth, ep.fallback_depth == 1 ? "" : "s");
+      out += line;
+    }
+    out += '\n';
   }
   return out;
 }

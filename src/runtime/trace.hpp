@@ -17,8 +17,13 @@ struct EpisodeTrace {
   util::Seconds start_wallclock = 0.0;
   /// Simulated time this episode ran before completing or dying.
   util::Seconds elapsed = 0.0;
-  enum class End { kCompleted, kSphereDeath, kAbandoned } end = End::kCompleted;
-  /// Virtual rank whose sphere died (End::kSphereDeath only).
+  enum class End {
+    kCompleted,
+    kSphereDeath,
+    kAbandoned,
+    kAborted,  ///< structured JobAbort (exhausted restarts / no valid ckpt)
+  } end = End::kCompleted;
+  /// Virtual rank whose sphere died (End::kSphereDeath / kAborted).
   int dead_sphere = -1;
   /// Application iteration the episode started from.
   long start_iteration = 0;
@@ -26,6 +31,12 @@ struct EpisodeTrace {
   long snapshot_iteration = 0;
   int checkpoints = 0;
   int replica_deaths = 0;
+  /// Restart attempts paid after this episode (1 = first try succeeded;
+  /// 0 for completed/abandoned episodes).
+  int restart_attempts = 0;
+  /// Checkpoint generations discarded by restore-time validation before one
+  /// passed (0 = restored the newest generation).
+  int fallback_depth = 0;
 };
 
 /// Renders a compact per-episode timeline, e.g.

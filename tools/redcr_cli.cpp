@@ -123,6 +123,7 @@ int cmd_sweep(const Flags& flags) {
   args.json = flags.flag("json");
   args.filter = flags.text("filter", "");
   args.csv_dir = flags.text("csv", "");
+  args.keep_going = flags.flag("keep-going");
 
   exp::ParamGrid grid;
   grid.axis("r", exp::ParamGrid::range(1.0, 3.0, step));
@@ -133,43 +134,89 @@ int cmd_sweep(const Flags& flags) {
     std::fprintf(stderr, "redcr_cli sweep: %s\n", e.what());
     return 2;
   }
-  // The whole sweep shares one config, so it maps straight onto the batch
-  // evaluator: the Eq. 9 sphere terms are memoized across degrees and the
-  // points run on the worker pool. Bitwise-identical to predict() per trial.
-  std::vector<double> degrees;
-  degrees.reserve(trials.size());
-  for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
-  model::BatchOptions batch;
-  batch.jobs = args.run_options().jobs;
-  const std::vector<model::Prediction> preds =
-      model::evaluate_batch(cfg, degrees, batch);
 
-  exp::ResultSink t("sweep", {{"r"},
-                              {"T_total [h]", "total_h"},
-                              {"nodes"},
-                              {"Theta_sys [h]", "theta_sys_h"},
-                              {"delta [min]", "delta_min"},
-                              {"E[failures]", "expected_failures"}});
+  std::vector<exp::Column> columns = {{"r"},
+                                      {"T_total [h]", "total_h"},
+                                      {"nodes"},
+                                      {"Theta_sys [h]", "theta_sys_h"},
+                                      {"delta [min]", "delta_min"},
+                                      {"E[failures]", "expected_failures"}};
+  // Under --keep-going the schema grows a status column; the default schema
+  // stays byte-identical to the historical output.
+  if (args.keep_going) columns.push_back({"status"});
+  exp::ResultSink t("sweep", columns);
   t.set_title("Redundancy sweep");
   double best_r = 1.0, best_t = 1e300;
   std::size_t best_row = 0;
-  for (std::size_t i = 0; i < trials.size(); ++i) {
-    const model::Prediction& p = preds[i];
-    t.add_row({{trials[i].at("r"), 2},
-               {util::to_hours(p.total_time), 1},
-               exp::Cell::count(static_cast<long long>(p.total_procs)),
-               {util::to_hours(p.system_mtbf), 1},
-               {util::to_minutes(p.interval), 1},
-               {p.expected_failures, 1}});
-    if (p.total_time < best_t) {
-      best_t = p.total_time;
-      best_r = trials[i].at("r");
-      best_row = i;
+  bool any_ok = false;
+  std::size_t failed_cells = 0;
+
+  if (args.keep_going) {
+    // Per-cell evaluation so one bad point (e.g. a degree the model rejects)
+    // becomes a failed row instead of killing the sweep. predict() is
+    // bitwise-identical per cell to the memoized batch path below.
+    const exp::SweepRunner runner(args.run_options());
+    const auto outcomes =
+        runner.map_outcomes(trials, [&](const exp::Trial& trial) {
+          return model::predict(cfg, trial.at("r"));
+        });
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (!outcomes[i].ok()) {
+        ++failed_cells;
+        t.add_row({{trials[i].at("r"), 2}, "-", "-", "-", "-", "-",
+                   "failed: " + outcomes[i].error});
+        continue;
+      }
+      const model::Prediction& p = outcomes[i].value;
+      t.add_row({{trials[i].at("r"), 2},
+                 {util::to_hours(p.total_time), 1},
+                 exp::Cell::count(static_cast<long long>(p.total_procs)),
+                 {util::to_hours(p.system_mtbf), 1},
+                 {util::to_minutes(p.interval), 1},
+                 {p.expected_failures, 1},
+                 "ok"});
+      if (!any_ok || p.total_time < best_t) {
+        best_t = p.total_time;
+        best_r = trials[i].at("r");
+        best_row = i;
+        any_ok = true;
+      }
     }
+  } else {
+    // The whole sweep shares one config, so it maps straight onto the batch
+    // evaluator: the Eq. 9 sphere terms are memoized across degrees and the
+    // points run on the worker pool. Bitwise-identical to predict() per
+    // trial.
+    std::vector<double> degrees;
+    degrees.reserve(trials.size());
+    for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
+    model::BatchOptions batch;
+    batch.jobs = args.run_options().jobs;
+    const std::vector<model::Prediction> preds =
+        model::evaluate_batch(cfg, degrees, batch);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      const model::Prediction& p = preds[i];
+      t.add_row({{trials[i].at("r"), 2},
+                 {util::to_hours(p.total_time), 1},
+                 exp::Cell::count(static_cast<long long>(p.total_procs)),
+                 {util::to_hours(p.system_mtbf), 1},
+                 {util::to_minutes(p.interval), 1},
+                 {p.expected_failures, 1}});
+      if (p.total_time < best_t) {
+        best_t = p.total_time;
+        best_r = trials[i].at("r");
+        best_row = i;
+      }
+    }
+    any_ok = !trials.empty();
   }
-  if (!trials.empty()) t.emphasize_row(best_row, 1);
+  if (any_ok) t.emphasize_row(best_row, 1);
   t.emit(args);
-  args.say("best degree: %.2fx\n\n", best_r);
+  if (failed_cells > 0)
+    args.say("%zu of %zu cells failed (kept going)\n", failed_cells,
+             trials.size());
+  if (!args.keep_going || any_ok)
+    args.say("best degree: %.2fx\n\n", best_r);
 
   model::CombinedConfig probe = cfg;
   const auto x12 = model::crossover_procs(probe, 1.0, 2.0, 100, 5000000);
@@ -252,6 +299,34 @@ int cmd_simulate(const Flags& flags) {
   cfg.ckpt_forked = flags.flag("forked-checkpoint");
   cfg.ckpt_incremental_fraction = flags.number("incremental-fraction", 1.0);
 
+  // Unreliable-C/R knobs. Defaults keep every probability at zero and the
+  // retention depth at one, which is byte-identical to the pre-fault
+  // pipeline (no extra events, no extra metrics, same stdout).
+  cfg.ckpt_faults.write_failure_prob =
+      flags.number("ckpt-write-failure-prob", 0.0);
+  cfg.ckpt_faults.corruption_prob = flags.number("ckpt-corruption-prob", 0.0);
+  cfg.ckpt_faults.restart_failure_prob =
+      flags.number("restart-failure-prob", 0.0);
+  cfg.ckpt_faults.seed = static_cast<std::uint64_t>(
+      flags.number("faults-seed", static_cast<double>(cfg.ckpt_faults.seed)));
+  cfg.ckpt_retention = static_cast<int>(flags.number("ckpt-retention", 1));
+  cfg.ckpt_write_retry.max_attempts = static_cast<int>(
+      flags.number("write-retries", cfg.ckpt_write_retry.max_attempts));
+  cfg.restart_retry.max_attempts = static_cast<int>(
+      flags.number("restart-retries", cfg.restart_retry.max_attempts));
+  // Presence-gated so an explicit bad value (negative, NaN) reaches
+  // RetryPolicy::validate instead of being mistaken for "not given".
+  if (flags.flag("retry-backoff")) {
+    const double backoff = flags.number("retry-backoff", 0.0);
+    cfg.ckpt_write_retry.backoff_base = backoff;
+    cfg.restart_retry.backoff_base = backoff;
+  }
+  if (flags.flag("retry-backoff-cap")) {
+    const double backoff_cap = flags.number("retry-backoff-cap", 0.0);
+    cfg.ckpt_write_retry.backoff_cap = backoff_cap;
+    cfg.restart_retry.backoff_cap = backoff_cap;
+  }
+
   // run_job attaches the observability recorder when a sink is requested
   // and writes the exports after the run; main() already applied the log
   // level, so the option block carries only the sinks here.
@@ -263,13 +338,17 @@ int cmd_simulate(const Flags& flags) {
     report = redcr::run_job(
         cfg, make_workload(flags.text("workload", "synthetic"), flags),
         options);
-  } catch (const std::runtime_error& e) {
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "redcr_cli: %s\n", e.what());
     return 1;
   }
 
-  std::printf("outcome          : %s\n",
-              report.completed ? "completed" : "GAVE UP (max episodes)");
+  const bool unreliable =
+      cfg.ckpt_faults.enabled() || cfg.ckpt_retention > 1;
+  const char* outcome = report.completed ? "completed"
+                        : report.abort   ? "ABORTED"
+                                         : "GAVE UP (max episodes)";
+  std::printf("outcome          : %s\n", outcome);
   std::printf("wallclock        : %.1f min\n", util::to_minutes(report.wallclock));
   std::printf("  useful work    : %.1f min\n", util::to_minutes(report.useful_work));
   std::printf("  checkpoints    : %.1f min (%d taken)\n",
@@ -277,6 +356,21 @@ int cmd_simulate(const Flags& flags) {
   std::printf("  rework         : %.1f min\n", util::to_minutes(report.rework_time));
   std::printf("  restarts       : %.1f min (%d job failures)\n",
               util::to_minutes(report.restart_time), report.job_failures);
+  // Fault-pipeline accounting only appears when the pipeline can actually
+  // fail; zero-fault retention-1 stdout stays byte-identical to pre-fault
+  // builds.
+  if (unreliable) {
+    std::printf("  ckpt writes    : %llu failed, %d epochs abandoned, "
+                "%.1f min wasted\n",
+                static_cast<unsigned long long>(report.ckpt_write_failures),
+                report.failed_checkpoints,
+                util::to_minutes(report.wasted_write_time));
+    std::printf("  restart tries  : %d (%d failed, %d fallback restores)\n",
+                report.restart_attempts, report.failed_restarts,
+                report.fallback_restores);
+    if (report.abort)
+      std::printf("abort            : %s\n", report.abort->describe().c_str());
+  }
   std::printf("replica deaths   : %d\n", report.physical_failures);
   std::printf("physical procs   : %zu\n", report.num_physical);
   std::printf("messages         : %s\n",
@@ -296,14 +390,27 @@ void usage() {
       "                     --ckpt-sec C --restart-sec R (--r R | --optimize)\n"
       "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N]\n"
       "                     [--json] [--filter 'r=2'] [--csv DIR]\n"
+      "                     [--keep-going]\n"
       "  redcr_cli run      --virtual N --redundancy R --mtbf-hours H\n"
       "                     [--workload synthetic|cg|stencil|spectral|masterworker]\n"
       "                     [--protocol push|pull] [--msg-plus-hash] [--live]\n"
       "                     [--no-checkpoint] [--no-failures] [--seed S]\n"
       "                     [--forked-checkpoint] [--incremental-fraction F]\n"
       "                     [--weibull-shape K] [--interval-sec D]\n"
+      "                     [--ckpt-write-failure-prob P] [--ckpt-corruption-prob P]\n"
+      "                     [--restart-failure-prob P] [--faults-seed S]\n"
+      "                     [--ckpt-retention D] [--write-retries N]\n"
+      "                     [--restart-retries N] [--retry-backoff B]\n"
+      "                     [--retry-backoff-cap C]\n"
       "                     [--trace-out FILE] [--metrics-out FILE]\n"
       "                     (alias: simulate)\n\n"
+      "Unreliable C/R: checkpoint writes fail with probability P and are\n"
+      "retried with capped exponential backoff; images silently corrupt with\n"
+      "probability P and are detected at restart-time validation, falling\n"
+      "back through --ckpt-retention generations; restart attempts fail with\n"
+      "probability P. Exhausted retries or no valid generation aborts the\n"
+      "job (exit 1) with a structured reason. All draws derive from\n"
+      "--faults-seed, so reruns are bit-identical at any --jobs level.\n\n"
       "Global: [--log-level debug|info|warn|error|off]  (or REDCR_LOG_LEVEL\n"
       "env var; the flag wins). --trace-out writes Chrome trace-event JSON\n"
       "(open in Perfetto or chrome://tracing); --metrics-out writes one\n"
