@@ -28,6 +28,7 @@
 #include <string>
 
 #include "model/combined.hpp"
+#include "model/extensions.hpp"
 #include "util/units.hpp"
 
 namespace redcr {
@@ -104,6 +105,60 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- unreliable C/R + storage hierarchy (model::predict_unreliable) -----
+
+  /// p_v: probability a committed generation passes restart validation.
+  ScenarioBuilder& ckpt_validity(double p) {
+    unreliable_.ckpt_validity = p;
+    return *this;
+  }
+  /// s: probability one restart attempt succeeds.
+  ScenarioBuilder& restart_success(double s) {
+    unreliable_.restart_success = s;
+    return *this;
+  }
+  /// d: generations retained for newest-first fallback.
+  ScenarioBuilder& ckpt_retention(int depth) {
+    unreliable_.retention_depth = depth;
+    return *this;
+  }
+  /// A: restart attempts per recovery before aborting.
+  ScenarioBuilder& restart_attempts(int attempts) {
+    unreliable_.max_restart_attempts = attempts;
+    return *this;
+  }
+  /// Appends one storage level (fastest first): its probability of serving
+  /// a recovery, its fetch cost in seconds, and its expected staleness in
+  /// checkpoint periods. See UnreliableCkptParams::LevelRecovery.
+  ScenarioBuilder& storage_level(double recovery_prob,
+                                 util::Seconds fetch_cost,
+                                 double staleness_periods = 0.0) {
+    unreliable_.levels.push_back(
+        {recovery_prob, fetch_cost, staleness_periods});
+    return *this;
+  }
+  /// PFS drain: `cost` seconds every `period` checkpoint epochs.
+  ScenarioBuilder& pfs_flush(util::Seconds cost, double period = 1.0) {
+    unreliable_.flush_cost = cost;
+    unreliable_.flush_period = period;
+    return *this;
+  }
+  /// Async flush: only `exposed_fraction` of each drain stays on the
+  /// critical path.
+  ScenarioBuilder& async_flush(double exposed_fraction = 0.0) {
+    unreliable_.async_flush = true;
+    unreliable_.async_exposed_fraction = exposed_fraction;
+    return *this;
+  }
+
+  /// Validates and returns the unreliable-C/R parameters accumulated by the
+  /// calls above (all defaults = the reliable pipeline). Throws
+  /// std::invalid_argument naming the offending knob.
+  [[nodiscard]] model::UnreliableCkptParams build_unreliable() const {
+    unreliable_.validate();
+    return unreliable_;
+  }
+
   /// Validates and returns the finished configuration. Throws
   /// std::invalid_argument naming the offending knob.
   [[nodiscard]] model::CombinedConfig build() const {
@@ -136,6 +191,7 @@ class ScenarioBuilder {
 
  private:
   model::CombinedConfig config_;
+  model::UnreliableCkptParams unreliable_;
 };
 
 /// Entry point: `redcr::scenario().node_mtbf(...)...build()`.

@@ -4,9 +4,13 @@
 # Runs bench_engine and compares the guarded rates (event_throughput,
 # batch_eval) against the committed baseline, failing on a >15% regression;
 # then runs bench_faults' zero-cost scenario (faults_off_sim), which fails
-# when the disabled fault hooks slow the executor fast path. The comparison
-# runs inside the benches themselves (--guard), so no external JSON tooling
-# is needed.
+# when the disabled fault hooks slow the executor fast path; then runs
+# bench_multilevel's hierarchy scenario (multilevel_sim), which guards the
+# three-level async-flush executor path. The comparison runs inside the
+# benches themselves (--guard), so no external JSON tooling is needed; on a
+# breach each bench prints the scenario name with the observed and baseline
+# rates ("<name> : <observed> vs baseline <base> -> REGRESSION"), and this
+# script names the bench that tripped.
 #
 # Usage: scripts/bench_guard.sh [build-dir] [baseline]
 #   build-dir  default: build
@@ -14,6 +18,8 @@
 #
 # Refresh the baseline after an intentional perf change:
 #   build/bench/bench_engine --json > BENCH_baseline.json
+#   build/bench/bench_faults --quick --seeds 1 --json | tail -1   # append
+#   build/bench/bench_multilevel --quick --seeds 1 --json | tail -1
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,9 +27,10 @@ BUILD_DIR="${1:-build}"
 BASELINE="${2:-BENCH_baseline.json}"
 TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.15}"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_engine" || ! -x "$BUILD_DIR/bench/bench_faults" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/bench_engine" || ! -x "$BUILD_DIR/bench/bench_faults" \
+      || ! -x "$BUILD_DIR/bench/bench_multilevel" ]]; then
   cmake --build "$BUILD_DIR" --target bench_engine --target bench_faults \
-    -j "$(nproc 2>/dev/null || echo 4)"
+    --target bench_multilevel -j "$(nproc 2>/dev/null || echo 4)"
 fi
 if [[ ! -f "$BASELINE" ]]; then
   echo "bench_guard.sh: no baseline at $BASELINE" >&2
@@ -31,14 +38,29 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 1
 fi
 
+# Runs one bench under the guard; on a breach the bench has already printed
+# the scenario name with observed-vs-baseline rates, so just attribute it.
+guarded() {
+  local bench="$1"; shift
+  if ! "$BUILD_DIR/bench/$bench" "$@" --guard "$BASELINE" \
+       --tolerance "$TOLERANCE"; then
+    echo "bench_guard.sh: $bench breached the ${TOLERANCE} tolerance vs" \
+         "$BASELINE (scenario and rates printed above)" >&2
+    exit 1
+  fi
+}
+
 # --repeat 3 takes the best of three runs per scenario, damping scheduler
 # noise on shared machines before the tolerance check.
-"$BUILD_DIR/bench/bench_engine" --repeat 3 --guard "$BASELINE" --tolerance "$TOLERANCE"
+guarded bench_engine --repeat 3
 
 # Zero-cost check: the executor with every fault probability at zero and
 # retention 1 must run at the pre-fault rate (--quick keeps the grid small;
 # the guarded scenario itself always runs at full size).
-"$BUILD_DIR/bench/bench_faults" --quick --seeds 1 --repeat 3 \
-  --guard "$BASELINE" --tolerance "$TOLERANCE"
+guarded bench_faults --quick --seeds 1 --repeat 3
+
+# Hierarchy check: the three-level async-flush executor path must hold its
+# committed event rate.
+guarded bench_multilevel --quick --seeds 1 --repeat 3
 
 echo "bench_guard.sh: no guarded rate regressed more than ${TOLERANCE} vs $BASELINE"

@@ -45,6 +45,30 @@ for corr in 0 0.05 1; do
   done
 done
 
+echo "=== ci.sh: multilevel fault-matrix smoke (ASan/UBSan) ==="
+# Same gate for the storage hierarchy: a two-level sync cell and a
+# three-level async-flush cell (XOR corruption + write failures + a slow
+# PFS), each under the sanitizer build. Exit 0/1 are legitimate; anything
+# else is a crash or sanitizer report.
+LEVELS_2="local,bw=1e10,lat=0.01,rbw=1e10;pfs,bw=5e8,interval=4,ret=2"
+LEVELS_3="local,bw=1e10,lat=0.01,rbw=1e10;xor,bw=1e10,lat=0.01,rbw=1e10,group=4,k=1,interval=2,ret=2,corr=0.05,wfail=0.1;pfs,bw=5e8,interval=4,ret=2,corr=0.02"
+run_multilevel_cell() {
+  echo "--- multilevel: $1"
+  shift
+  set +e
+  "$FAULT_CLI" run --virtual 8 --redundancy 1 --mtbf-hours 0.2 \
+    --iterations 30 --compute-sec 5 --interval-sec 60 \
+    --seed 7 --faults-seed 11 --log-level error "$@" >/dev/null
+  status=$?
+  set -e
+  if [[ "$status" -ne 0 && "$status" -ne 1 ]]; then
+    echo "ci.sh: multilevel cell crashed (exit $status)" >&2
+    exit 1
+  fi
+}
+run_multilevel_cell "2-level sync" --ckpt-levels "$LEVELS_2"
+run_multilevel_cell "3-level async flush" --ckpt-levels "$LEVELS_3" --async-flush
+
 echo "=== ci.sh: engine performance guard ==="
 scripts/bench_guard.sh "$BUILD_DIR"
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ckpt/hierarchy.hpp"
 #include "ckpt/store.hpp"
 #include "sim/task.hpp"
 #include "util/log.hpp"
@@ -16,7 +17,7 @@ CheckpointController::CheckpointController(sim::Engine& engine,
                                            CkptConfig config, int num_physical)
     : engine_(engine),
       storage_(storage),
-      config_(config),
+      config_(std::move(config)),
       num_physical_(num_physical),
       done_epoch_(static_cast<std::size_t>(num_physical), 0) {
   if (num_physical <= 0)
@@ -24,7 +25,28 @@ CheckpointController::CheckpointController(sim::Engine& engine,
   if (config_.interval <= 0.0)
     throw std::invalid_argument("CheckpointController: interval must be > 0");
   config_.write_retry.validate("CkptConfig.write_retry");
+  if (config_.hierarchy != nullptr) {
+    if (config_.forked) {
+      throw std::invalid_argument(
+          "CheckpointController: forked checkpointing is not supported with "
+          "a storage hierarchy (the hierarchy's async flush is the "
+          "overlapped-drain mechanism)");
+    }
+    if (static_cast<int>(config_.level_devices.size()) !=
+        config_.hierarchy->num_levels()) {
+      throw std::invalid_argument(
+          "CheckpointController: level_devices must hold one device per "
+          "hierarchy level");
+    }
+    for (const auto* dev : config_.level_devices) {
+      if (dev == nullptr)
+        throw std::invalid_argument(
+            "CheckpointController: null device in level_devices");
+    }
+  }
 }
+
+CheckpointController::~CheckpointController() = default;
 
 void CheckpointController::arm() {
   if (!config_.enabled) return;
@@ -58,6 +80,14 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     epoch_entry_time_ = engine_.now();
     epoch_image_ok_.assign(static_cast<std::size_t>(num_physical_), 1);
     epoch_write_exhausted_ = false;
+    if (config_.hierarchy != nullptr) {
+      const auto levels =
+          static_cast<std::size_t>(config_.hierarchy->num_levels());
+      epoch_level_ok_.assign(
+          levels,
+          std::vector<char>(static_cast<std::size_t>(num_physical_), 1));
+      epoch_level_exhausted_.assign(levels, 0);
+    }
   }
   ++entered_count_;
   const int pid = obs::rank_pid(endpoint.rank());
@@ -85,7 +115,20 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   const util::Bytes image =
       epoch == 1 ? config_.image_bytes
                  : config_.image_bytes * config_.incremental_fraction;
-  if (config_.forked) {
+  if (config_.hierarchy != nullptr) {
+    // Hierarchy routing: blocking write to the due cache level, plus a
+    // blocking PFS drain when one is due and async flush is off (the async
+    // launch happens at rank-0 publish, after the barrier).
+    StorageHierarchy& hier = *config_.hierarchy;
+    const int global_epoch = config_.epoch_base + epoch;
+    const int cache = hier.cache_level_for(global_epoch);
+    if (cache >= 0) {
+      co_await write_level_blocking(endpoint, cache, epoch, image);
+    }
+    if (hier.pfs_due(global_epoch) && !hier.params().async_flush) {
+      co_await write_level_blocking(endpoint, hier.pfs_level(), epoch, image);
+    }
+  } else if (config_.forked) {
     // Forked mode: pay only the fork pause; the write drains in background.
     // A failed write cannot be retried synchronously (the application has
     // already resumed), so it degrades to a latently invalid image that
@@ -152,7 +195,27 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   if (endpoint.rank() == 0) {
     ++completed_epochs_;
     assert(completed_epochs_ == epoch);
-    const bool abandoned = epoch_write_exhausted_;
+    bool abandoned = epoch_write_exhausted_;
+    if (config_.hierarchy != nullptr) {
+      // The epoch is abandoned only when *no* due level can publish: every
+      // due blocking level exhausted its retries and no async flush will
+      // launch (the flush drains the in-memory image, so it launches even
+      // when the cache write failed).
+      StorageHierarchy& hier = *config_.hierarchy;
+      const int global_epoch = config_.epoch_base + epoch;
+      const int cache = hier.cache_level_for(global_epoch);
+      const bool pfs_sync = hier.pfs_due(global_epoch) &&
+                            !hier.params().async_flush;
+      const bool pfs_async = hier.pfs_due(global_epoch) &&
+                             hier.params().async_flush;
+      const bool cache_ok =
+          cache >= 0 &&
+          !epoch_level_exhausted_[static_cast<std::size_t>(cache)];
+      const bool pfs_ok =
+          pfs_sync && !epoch_level_exhausted_[static_cast<std::size_t>(
+                          hier.pfs_level())];
+      abandoned = !cache_ok && !pfs_ok && !pfs_async;
+    }
     if (abandoned) ++failed_epochs_;
     total_checkpoint_time_ += engine_.now() - epoch_entry_time_;
     const double work_elapsed = engine_.now() - total_checkpoint_time_;
@@ -179,7 +242,9 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     }
     entered_count_ = 0;
     engine_.schedule_after(config_.interval, [this] { ++requested_epochs_; });
-    if (!abandoned) {
+    if (!abandoned && config_.hierarchy != nullptr) {
+      publish_hierarchy(iteration, epoch, work_elapsed);
+    } else if (!abandoned) {
       // Latent corruption is decided now (it is a pure function of the
       // image coordinates) but only consulted at restore-time validation.
       if (config_.faults != nullptr) {
@@ -216,6 +281,215 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
       }
     }
   }
+}
+
+sim::CoTask<void> CheckpointController::write_level_blocking(
+    simmpi::Endpoint& endpoint, int level, int epoch, util::Bytes image) {
+  StorageHierarchy& hier = *config_.hierarchy;
+  const LevelParams& lp = hier.level(level).params;
+  StableStorage& dev = *config_.level_devices[static_cast<std::size_t>(level)];
+  const util::Bytes size = image * lp.write_factor(num_physical_);
+  const int pid = obs::rank_pid(endpoint.rank());
+  bool written = false;
+  for (int attempt = 0; attempt < config_.write_retry.max_attempts;
+       ++attempt) {
+    const double backoff = config_.write_retry.delay_before(attempt);
+    if (backoff > 0.0) co_await sim::delay(engine_, backoff);
+    // The level carries its own failure probability, so the draw happens
+    // here rather than inside the device's attached flat oracle.
+    const bool fails =
+        config_.faults != nullptr &&
+        config_.faults->level_write_fails(level, lp.write_failure_prob,
+                                          config_.episode, epoch,
+                                          endpoint.rank(), attempt);
+    StableStorage::WriteResult res;
+    if (fails) {
+      res = dev.charge_failed_write(size);
+    } else {
+      res.completion = dev.write_completion(size);
+      res.ok = true;
+    }
+    co_await sim::delay(engine_, res.completion - engine_.now());
+    if (res.ok) {
+      written = true;
+      break;
+    }
+    ++write_failures_;
+    if (recorder_ != nullptr) {
+      recorder_->instant("ckpt-write-failed", "ckpt", pid, engine_.now());
+      recorder_->add("ckpt.write_failures");
+      recorder_->add("time.ckpt_wasted_write", res.device_time);
+      recorder_->add("ckpt.level" + std::to_string(level) + ".write_failures");
+    }
+  }
+  if (!written) {
+    epoch_level_ok_[static_cast<std::size_t>(level)]
+                   [static_cast<std::size_t>(endpoint.rank())] = 0;
+    epoch_level_exhausted_[static_cast<std::size_t>(level)] = 1;
+    REDCR_LOG_WARN << "ckpt: rank " << endpoint.rank() << " exhausted "
+                   << config_.write_retry.max_attempts
+                   << " write attempts at level " << level << " ("
+                   << level_kind_name(lp.kind) << ") for epoch " << epoch
+                   << "; the level skips this epoch";
+  }
+}
+
+void CheckpointController::publish_hierarchy(long iteration, int epoch,
+                                             double work_elapsed) {
+  StorageHierarchy& hier = *config_.hierarchy;
+  const int global_epoch = config_.epoch_base + epoch;
+  const int cache = hier.cache_level_for(global_epoch);
+  const bool pfs_due = hier.pfs_due(global_epoch);
+  const int pfs = hier.pfs_level();
+
+  Snapshot snap;
+  snap.valid = true;
+  snap.iteration = iteration;
+  snap.completed_at = engine_.now();
+  snap.epoch = epoch;
+  snap.work_elapsed = work_elapsed;
+  snapshot_ = snap;
+
+  const std::uint64_t checksum =
+      generation_checksum(config_.episode, epoch, iteration);
+  const double cumulative = config_.useful_work_base + work_elapsed;
+
+  auto make_generation = [&](std::vector<char> image_ok) {
+    Generation gen;
+    gen.snapshot = snap;
+    gen.episode = config_.episode;
+    gen.cumulative_useful = cumulative;
+    gen.image_ok = std::move(image_ok);
+    gen.checksum = checksum;
+    return gen;
+  };
+
+  auto commit_blocking = [&](int level) {
+    if (epoch_level_exhausted_[static_cast<std::size_t>(level)]) return;
+    // Latent corruption is decided now (pure function of the coordinates)
+    // but only consulted at restore-time validation — per level, each with
+    // its own probability and stream.
+    auto image_ok = epoch_level_ok_[static_cast<std::size_t>(level)];
+    const double corr = hier.level(level).params.corruption_prob;
+    if (config_.faults != nullptr && corr > 0.0) {
+      for (std::size_t r = 0; r < image_ok.size(); ++r) {
+        if (config_.faults->level_image_corrupts(level, corr, config_.episode,
+                                                 epoch, static_cast<int>(r)))
+          image_ok[r] = 0;
+      }
+    }
+    hier.commit(level, make_generation(std::move(image_ok)));
+    if (recorder_ != nullptr) {
+      recorder_->metrics().add("ckpt.level" + std::to_string(level) +
+                               ".commits");
+    }
+  };
+
+  if (cache >= 0) commit_blocking(cache);
+  if (pfs_due && !hier.params().async_flush) commit_blocking(pfs);
+
+  if (pfs_due && hier.params().async_flush) {
+    // Launch the background drain: reserve one serialized device write per
+    // rank on the PFS now, overlap it with post-checkpoint useful work, and
+    // commit the generation only when the last image lands. Background
+    // writes cannot be retried synchronously, so a visible write failure
+    // degrades to an invalid image (same semantics as a forked-mode write
+    // failure); validity is pre-drawn here — it is a pure function of the
+    // image coordinates.
+    const LevelParams& lp = hier.level(pfs).params;
+    StableStorage& dev = *config_.level_devices[static_cast<std::size_t>(pfs)];
+    const util::Bytes image =
+        (epoch == 1 ? config_.image_bytes
+                    : config_.image_bytes * config_.incremental_fraction) *
+        lp.write_factor(num_physical_);
+    std::vector<char> ok(static_cast<std::size_t>(num_physical_), 1);
+    sim::Time ready = engine_.now();
+    for (int r = 0; r < num_physical_; ++r) {
+      const bool wfail =
+          config_.faults != nullptr &&
+          config_.faults->level_write_fails(pfs, lp.write_failure_prob,
+                                            config_.episode, epoch, r,
+                                            /*attempt=*/0);
+      if (wfail) {
+        const auto res = dev.charge_failed_write(image);
+        ready = res.completion;
+        ok[static_cast<std::size_t>(r)] = 0;
+        ++write_failures_;
+        if (recorder_ != nullptr) {
+          recorder_->add("ckpt.write_failures");
+          recorder_->add("ckpt.level" + std::to_string(pfs) +
+                         ".write_failures");
+          recorder_->add("time.ckpt_wasted_write", res.device_time);
+        }
+      } else {
+        ready = dev.write_completion(image);
+        if (config_.faults != nullptr &&
+            config_.faults->level_image_corrupts(pfs, lp.corruption_prob,
+                                                 config_.episode, epoch, r)) {
+          ok[static_cast<std::size_t>(r)] = 0;
+        }
+      }
+    }
+    PendingFlush pf;
+    pf.start = engine_.now();
+    pf.ready_at = ready;
+    pf.level = pfs;
+    pf.gen = make_generation(std::move(ok));
+    pending_flushes_.push_back(std::move(pf));
+    const std::size_t idx = pending_flushes_.size() - 1;
+    if (recorder_ != nullptr) {
+      recorder_->instant("flush-launch", "ckpt", obs::kJobPid, engine_.now());
+      recorder_->metrics().add("ckpt.flush.launched");
+    }
+    engine_.schedule_at(ready, [this, idx] { commit_flush(idx); });
+  }
+}
+
+void CheckpointController::commit_flush(std::size_t idx) {
+  PendingFlush& pf = pending_flushes_[idx];
+  if (pf.committed) return;
+  pf.committed = true;
+  config_.hierarchy->commit(pf.level, pf.gen);
+  ++flushes_completed_;
+  if (recorder_ != nullptr) {
+    recorder_->span("flush", "ckpt", obs::kJobPid, pf.start, pf.ready_at);
+    recorder_->metrics().add("ckpt.flush.completed");
+    recorder_->metrics().add("ckpt.level" + std::to_string(pf.level) +
+                             ".commits");
+  }
+}
+
+void CheckpointController::commit_ready_flushes(sim::Time now) {
+  for (std::size_t i = 0; i < pending_flushes_.size(); ++i) {
+    if (!pending_flushes_[i].committed && pending_flushes_[i].ready_at <= now)
+      commit_flush(i);
+  }
+}
+
+double CheckpointController::drain_remaining_flushes(sim::Time now) {
+  double last = now;
+  for (std::size_t i = 0; i < pending_flushes_.size(); ++i) {
+    PendingFlush& pf = pending_flushes_[i];
+    if (pf.committed) continue;
+    last = std::max(last, pf.ready_at);
+    commit_flush(i);
+  }
+  return last - now;
+}
+
+int CheckpointController::drop_remaining_flushes() {
+  int lost = 0;
+  for (auto& pf : pending_flushes_) {
+    if (pf.committed) continue;
+    pf.committed = true;  // dropped: the kill destroyed the in-flight images
+    ++lost;
+  }
+  flushes_lost_ += lost;
+  if (recorder_ != nullptr && lost > 0) {
+    recorder_->metrics().add("ckpt.flush.lost", static_cast<double>(lost));
+    recorder_->instant("flush-lost", "ckpt", obs::kJobPid, engine_.now());
+  }
+  return lost;
 }
 
 }  // namespace redcr::ckpt

@@ -33,6 +33,8 @@
 namespace redcr::ckpt {
 
 class CheckpointStore;
+class StorageHierarchy;
+struct PendingFlush;
 
 struct CkptConfig {
   /// δ: delay from checkpoint completion (or episode start) to the next
@@ -78,6 +80,23 @@ struct CkptConfig {
   /// Job-lifetime useful work at episode start; committed generations carry
   /// useful_work_base + work_elapsed as the executor's restore target.
   double useful_work_base = 0.0;
+
+  // --- Multi-level storage hierarchy (null = flat single-device) ----------
+
+  /// Job-scope storage hierarchy (not owned). When set, `store` is ignored
+  /// and image writes route to per-level devices instead of `storage_`:
+  /// every epoch writes (blocking, with retry) to the slowest eligible
+  /// cache level, plus a PFS drain when the PFS interval divides — blocking
+  /// by default, or asynchronous (HierarchyParams::async_flush) so the
+  /// drain overlaps post-checkpoint useful work. Incompatible with
+  /// `forked`.
+  StorageHierarchy* hierarchy = nullptr;
+  /// Episode-scope devices, parallel to hierarchy levels (not owned).
+  std::vector<StableStorage*> level_devices;
+  /// Job-wide checkpoint epochs completed before this episode; the global
+  /// epoch ordinal `epoch_base + epoch` routes the per-level intervals so
+  /// the PFS cadence spans episode boundaries.
+  int epoch_base = 0;
 };
 
 /// The latest durable coordinated snapshot.
@@ -95,6 +114,7 @@ class CheckpointController {
  public:
   CheckpointController(sim::Engine& engine, StableStorage& storage,
                        CkptConfig config, int num_physical);
+  ~CheckpointController();  // out of line: PendingFlush is incomplete here
 
   /// Starts the checkpoint timer (call once per episode, before run()).
   void arm();
@@ -141,6 +161,28 @@ class CheckpointController {
   }
   [[nodiscard]] const CkptConfig& config() const noexcept { return config_; }
 
+  // --- Asynchronous PFS flush (hierarchy mode only) -----------------------
+
+  /// Flushes launched / committed so far this episode.
+  [[nodiscard]] const std::vector<PendingFlush>& pending_flushes() const
+      noexcept {
+    return pending_flushes_;
+  }
+  [[nodiscard]] int flushes_completed() const noexcept {
+    return flushes_completed_;
+  }
+  [[nodiscard]] int flushes_lost() const noexcept { return flushes_lost_; }
+  /// Commits every pending flush whose drain completed by `now` — the
+  /// engine stop may have raced the in-episode commit events.
+  void commit_ready_flushes(sim::Time now);
+  /// Terminal drain at workload finish: commits every remaining flush and
+  /// returns the extra wallclock the drain needs beyond `now` (the job's
+  /// `flush` accounting component).
+  double drain_remaining_flushes(sim::Time now);
+  /// A kill destroyed every flush still in flight: drops them and returns
+  /// how many were lost.
+  int drop_remaining_flushes();
+
   /// Attaches an observability recorder (nullptr detaches). Records
   /// per-rank quiesce / image-write / barrier spans, a job-track span per
   /// completed checkpoint, the "time.ckpt_*" phase counters and the
@@ -155,6 +197,19 @@ class CheckpointController {
   sim::CoTask<void> run_checkpoint(simmpi::Endpoint& endpoint, long iteration,
                                    int epoch);
 
+  /// Hierarchy mode: one rank's blocking image write (with retry/backoff)
+  /// to storage level `level`.
+  sim::CoTask<void> write_level_blocking(simmpi::Endpoint& endpoint, int level,
+                                         int epoch, util::Bytes image);
+
+  /// Hierarchy mode: rank 0's post-barrier publish — commits the epoch's
+  /// generations at every due blocking level and launches the async PFS
+  /// flush when one is due.
+  void publish_hierarchy(long iteration, int epoch, double work_elapsed);
+
+  /// Commits pending flush `idx` if its drain has completed (idempotent).
+  void commit_flush(std::size_t idx);
+
   sim::Engine& engine_;
   StableStorage& storage_;
   CkptConfig config_;
@@ -166,6 +221,15 @@ class CheckpointController {
   std::vector<int> done_epoch_;   // per physical rank
   std::vector<char> epoch_image_ok_;  // per rank, reset each epoch
   bool epoch_write_exhausted_ = false;
+  // Hierarchy mode: per-(level, rank) image validity for the current epoch
+  // and per-level exhausted-retries flags (an exhausted level simply does
+  // not commit this epoch; the epoch is abandoned only if *no* due level
+  // commits or launches a flush).
+  std::vector<std::vector<char>> epoch_level_ok_;
+  std::vector<char> epoch_level_exhausted_;
+  std::vector<PendingFlush> pending_flushes_;
+  int flushes_completed_ = 0;
+  int flushes_lost_ = 0;
   Snapshot snapshot_;
   sim::Time epoch_entry_time_ = 0.0;  // first-rank entry of current epoch
   int entered_count_ = 0;             // ranks inside the current checkpoint

@@ -1,0 +1,363 @@
+#include "ckpt/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace redcr::ckpt {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument(msg);
+}
+
+std::string level_prefix(int index, LevelKind kind) {
+  std::ostringstream os;
+  os << "hierarchy level " << index << " (" << level_kind_name(kind) << "): ";
+  return os.str();
+}
+
+}  // namespace
+
+LevelKind parse_level_kind(const std::string& token) {
+  if (token == "local") return LevelKind::kLocal;
+  if (token == "partner") return LevelKind::kPartner;
+  if (token == "xor") return LevelKind::kXor;
+  if (token == "pfs") return LevelKind::kPfs;
+  fail("unknown storage level kind '" + token +
+       "' (expected local, partner, xor, or pfs)");
+}
+
+const char* level_kind_name(LevelKind kind) noexcept {
+  switch (kind) {
+    case LevelKind::kLocal: return "local";
+    case LevelKind::kPartner: return "partner";
+    case LevelKind::kXor: return "xor";
+    case LevelKind::kPfs: return "pfs";
+  }
+  return "?";
+}
+
+double LevelParams::write_factor(int num_ranks) const noexcept {
+  switch (kind) {
+    case LevelKind::kPartner:
+      return 2.0;
+    case LevelKind::kXor: {
+      const int g = effective_group(num_ranks);
+      return 1.0 + 1.0 / static_cast<double>(g > 1 ? g - 1 : 1);
+    }
+    case LevelKind::kLocal:
+    case LevelKind::kPfs:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+int LevelParams::effective_group(int num_ranks) const noexcept {
+  return group_size == 0 ? num_ranks : std::min(group_size, num_ranks);
+}
+
+void LevelParams::validate(int index, int num_ranks) const {
+  const std::string at = level_prefix(index, kind);
+  try {
+    device.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(at + e.what());
+  }
+  if (std::isnan(read_bandwidth) || read_bandwidth < 0.0) {
+    fail(at + "read bandwidth must be >= 0 (0 = free fetch), got " +
+         std::to_string(read_bandwidth));
+  }
+  if (retention < 1) {
+    fail(at + "retention must be >= 1, got " + std::to_string(retention));
+  }
+  if (interval < 1) {
+    fail(at + "interval must be >= 1 (epochs between writes), got " +
+         std::to_string(interval));
+  }
+  if (std::isnan(corruption_prob) || corruption_prob < 0.0 ||
+      corruption_prob > 1.0) {
+    fail(at + "corruption probability must be in [0, 1], got " +
+         std::to_string(corruption_prob));
+  }
+  if (std::isnan(write_failure_prob) || write_failure_prob < 0.0 ||
+      write_failure_prob > 1.0) {
+    fail(at + "write-failure probability must be in [0, 1], got " +
+         std::to_string(write_failure_prob));
+  }
+  if (group_size < 0) {
+    fail(at + "group size must be >= 0 (0 = all ranks), got " +
+         std::to_string(group_size));
+  }
+  if (group_size == 1) {
+    fail(at + "group size 1 has no redundancy; use 0 for one all-ranks group");
+  }
+  if (group_size > num_ranks) {
+    fail(at + "group size " + std::to_string(group_size) +
+         " exceeds the world size " + std::to_string(num_ranks));
+  }
+  if (kind == LevelKind::kPartner || kind == LevelKind::kXor) {
+    if (effective_group(num_ranks) < 2) {
+      fail(at + "needs groups of >= 2 ranks, but the world has " +
+           std::to_string(num_ranks));
+    }
+  }
+  if (kind == LevelKind::kXor) {
+    if (xor_tolerance < 1) {
+      fail(at + "xor tolerance k must be >= 1, got " +
+           std::to_string(xor_tolerance));
+    }
+    const int g = effective_group(num_ranks);
+    if (xor_tolerance >= g) {
+      fail(at + "xor tolerance k=" + std::to_string(xor_tolerance) +
+           " must be < group size " + std::to_string(g) +
+           " (an XOR set cannot outlive its own group)");
+    }
+  }
+}
+
+int HierarchyParams::pfs_level() const noexcept {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].kind == LevelKind::kPfs) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool HierarchyParams::any_fault_prob() const noexcept {
+  for (const auto& l : levels) {
+    if (l.corruption_prob > 0.0 || l.write_failure_prob > 0.0) return true;
+  }
+  return false;
+}
+
+void HierarchyParams::validate(int num_ranks) const {
+  constexpr int kMaxLevels = 8;
+  if (levels.empty()) {
+    fail("storage hierarchy must declare at least one level "
+         "(omit it entirely for the flat pipeline)");
+  }
+  if (static_cast<int>(levels.size()) > kMaxLevels) {
+    fail("storage hierarchy has " + std::to_string(levels.size()) +
+         " levels; at most " + std::to_string(kMaxLevels) + " are supported");
+  }
+  if (num_ranks < 1) {
+    fail("storage hierarchy needs a positive world size, got " +
+         std::to_string(num_ranks));
+  }
+  if (levels.front().interval != 1) {
+    fail(level_prefix(0, levels.front().kind) +
+         "the fastest level must have interval 1 so every checkpoint epoch "
+         "lands somewhere, got " + std::to_string(levels.front().interval));
+  }
+  int pfs_count = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    levels[i].validate(static_cast<int>(i), num_ranks);
+    if (levels[i].kind == LevelKind::kPfs) {
+      ++pfs_count;
+      if (i + 1 != levels.size()) {
+        fail("hierarchy level " + std::to_string(i) +
+             ": the pfs level must be last (levels are ordered fastest "
+             "to slowest)");
+      }
+    }
+  }
+  if (pfs_count > 1) {
+    fail("storage hierarchy declares " + std::to_string(pfs_count) +
+         " pfs levels; at most one is supported");
+  }
+  if (async_flush && pfs_count == 0) {
+    fail("async flush requires a pfs level to drain to; add a trailing "
+         "'pfs' level or disable async flush");
+  }
+}
+
+HierarchyParams parse_hierarchy(const std::string& spec) {
+  HierarchyParams params;
+  std::stringstream levels_in(spec);
+  std::string level_spec;
+  int index = 0;
+  while (std::getline(levels_in, level_spec, ';')) {
+    if (level_spec.empty()) {
+      fail("hierarchy level " + std::to_string(index) +
+           ": empty level spec (check for stray ';')");
+    }
+    std::stringstream fields_in(level_spec);
+    std::string field;
+    LevelParams level;
+    bool first = true;
+    while (std::getline(fields_in, field, ',')) {
+      if (first) {
+        level.kind = parse_level_kind(field);
+        first = false;
+        continue;
+      }
+      const auto eq = field.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == field.size()) {
+        fail("hierarchy level " + std::to_string(index) + ": field '" + field +
+             "' is not key=value");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      double num = 0.0;
+      try {
+        std::size_t used = 0;
+        num = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        fail("hierarchy level " + std::to_string(index) + ": value '" + value +
+             "' for key '" + key + "' is not a number");
+      }
+      if (key == "bw") {
+        level.device.bandwidth = num;
+      } else if (key == "lat") {
+        level.device.base_latency = num;
+      } else if (key == "rbw") {
+        level.read_bandwidth = num;
+      } else if (key == "ret") {
+        level.retention = static_cast<int>(num);
+      } else if (key == "interval") {
+        level.interval = static_cast<int>(num);
+      } else if (key == "corr") {
+        level.corruption_prob = num;
+      } else if (key == "wfail") {
+        level.write_failure_prob = num;
+      } else if (key == "group") {
+        level.group_size = static_cast<int>(num);
+      } else if (key == "k") {
+        level.xor_tolerance = static_cast<int>(num);
+      } else {
+        fail("hierarchy level " + std::to_string(index) + ": unknown key '" +
+             key +
+             "' (expected bw, lat, rbw, ret, interval, corr, wfail, group, "
+             "or k)");
+      }
+    }
+    if (first) {
+      fail("hierarchy level " + std::to_string(index) + ": missing kind");
+    }
+    params.levels.push_back(level);
+    ++index;
+  }
+  if (params.levels.empty()) {
+    fail("empty hierarchy spec (expected e.g. \"local;pfs,interval=4\")");
+  }
+  return params;
+}
+
+StorageHierarchy::StorageHierarchy(HierarchyParams params, int num_ranks)
+    : params_(std::move(params)), num_ranks_(num_ranks) {
+  params_.validate(num_ranks_);
+  pfs_level_ = params_.pfs_level();
+  levels_.reserve(params_.levels.size());
+  for (const auto& lp : params_.levels) levels_.emplace_back(lp);
+}
+
+int StorageHierarchy::cache_level_for(int epoch) const noexcept {
+  int chosen = -1;
+  for (int i = 0; i < num_levels(); ++i) {
+    if (i == pfs_level_) continue;
+    if (epoch % levels_[static_cast<size_t>(i)].params.interval == 0) {
+      chosen = i;  // keep walking: the slowest eligible cache level wins
+    }
+  }
+  return chosen;
+}
+
+bool StorageHierarchy::pfs_due(int epoch) const noexcept {
+  return pfs_level_ >= 0 &&
+         epoch % levels_[static_cast<size_t>(pfs_level_)].params.interval == 0;
+}
+
+bool StorageHierarchy::level_survives(int level,
+                                      const std::vector<char>& dead) const {
+  const LevelParams& lp = levels_[static_cast<size_t>(level)].params;
+  switch (lp.kind) {
+    case LevelKind::kPfs:
+      return true;
+    case LevelKind::kLocal:
+      // Every rank's image lives only on that rank: one death loses it.
+      for (char d : dead) {
+        if (d) return false;
+      }
+      return true;
+    case LevelKind::kPartner: {
+      // Rank r's image is mirrored on the cyclically next rank inside its
+      // group; the copy chain breaks iff a rank and its partner both die.
+      const int g = lp.effective_group(num_ranks_);
+      for (int r = 0; r < num_ranks_; ++r) {
+        if (!dead[static_cast<size_t>(r)]) continue;
+        const int group_base = (r / g) * g;
+        const int group_end = std::min(group_base + g, num_ranks_);
+        const int span = group_end - group_base;
+        const int partner = group_base + (r - group_base + 1) % span;
+        if (dead[static_cast<size_t>(partner)]) return false;
+      }
+      return true;
+    }
+    case LevelKind::kXor: {
+      const int g = lp.effective_group(num_ranks_);
+      for (int base = 0; base < num_ranks_; base += g) {
+        const int end = std::min(base + g, num_ranks_);
+        int lost = 0;
+        for (int r = base; r < end; ++r) {
+          if (dead[static_cast<size_t>(r)]) ++lost;
+        }
+        if (lost > lp.xor_tolerance) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void StorageHierarchy::commit(int level, Generation gen) {
+  Level& l = levels_[static_cast<size_t>(level)];
+  l.store.commit(std::move(gen));
+  ++l.commits;
+}
+
+StorageHierarchy::FetchResult StorageHierarchy::fetch(
+    const std::vector<char>& dead, util::Bytes image_bytes) {
+  FetchResult result;
+  for (int i = 0; i < num_levels(); ++i) {
+    Level& l = levels_[static_cast<size_t>(i)];
+    if (!level_survives(i, dead)) {
+      // The failure physically destroyed this level's images. Destroyed
+      // data deliberately does NOT set had_generations: with every level
+      // wiped the job restarts from scratch (the work is redone), whereas
+      // surviving-but-all-corrupt generations are an abort — the restart
+      // would just re-read the same bad images.
+      if (!l.store.empty()) {
+        ++l.defeated;
+        ++result.levels_defeated;
+        l.store.clear();
+      }
+      continue;
+    }
+    RestoreResult r = l.store.restore();
+    if (r.had_generations) result.had_generations = true;
+    if (!r.found) continue;
+    result.found = true;
+    result.level = i;
+    result.generation = r.generation;
+    result.fallback_depth = r.fallback_depth;
+    if (l.params.read_bandwidth > 0.0) {
+      result.fetch_seconds =
+          static_cast<double>(num_ranks_) * image_bytes / l.params.read_bandwidth;
+    }
+    ++l.fetches;
+    return result;
+  }
+  return result;
+}
+
+void StorageHierarchy::clear_volatile() {
+  for (int i = 0; i < num_levels(); ++i) {
+    if (i == pfs_level_) continue;
+    levels_[static_cast<size_t>(i)].store.clear();
+  }
+}
+
+}  // namespace redcr::ckpt

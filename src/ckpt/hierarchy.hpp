@@ -1,0 +1,232 @@
+// Multi-level checkpoint storage hierarchy (SCR-style).
+//
+// The flat pipeline charges every checkpoint to one stable device and every
+// restore to the single retained generation chain. Real partial-redundancy
+// deployments (LLNL's SCR is the blueprint) write most checkpoints to cheap
+// *cache* levels — node-local storage, partner copies, XOR-encoded sets that
+// survive k rank losses — and only drain every few checkpoints to the slow
+// parallel filesystem. Most restarts are then served from a cache level at a
+// fraction of the PFS fetch cost, which shifts the paper's redundancy-vs-
+// checkpointing crossovers.
+//
+// The hierarchy is an ordered set of levels, fastest first:
+//
+//   kLocal    node-local cache. A rank kill wipes that rank's images, so a
+//             generation here only survives failures that killed nobody —
+//             it serves software-level restarts, never node losses.
+//   kPartner  each rank's image is copied to a partner rank (2x write
+//             volume). Survives any dead set with no two cyclically
+//             adjacent deaths inside a partner group; a correlated loss
+//             that kills a rank *and* its partner defeats the level.
+//   kXor      images XOR/RS-encoded across groups of `group_size` ranks
+//             (1 + 1/(G-1) write volume). Survives up to `xor_tolerance`
+//             dead ranks per group.
+//   kPfs      the parallel filesystem. Rank kills never touch it — only
+//             latent image corruption does — and it persists across
+//             restarts. Must be the last (slowest) level when present.
+//
+// Epoch routing is SCR's interval scheme: checkpoint epoch e is written,
+// blocking, to the slowest *cache* level whose `interval` divides e; if the
+// PFS level's interval also divides e the images additionally drain to the
+// PFS — blocking by default, or asynchronously (HierarchyParams::
+// async_flush) so the drain overlaps useful work. An async flush in flight
+// when the job is killed is lost; one still in flight when the workload
+// finishes must be drained, and that terminal wait is the job's `flush`
+// wallclock component (wallclock == useful + ckpt + rework + restart +
+// flush stays an exact tiling).
+//
+// Restart fetches from the cheapest surviving level: walk levels fastest
+// first, drop every level the failure's dead set defeats, and within the
+// first surviving level run the existing newest-first checksum fallback.
+// Per-level latent corruption is drawn from the same pure FaultProcess
+// oracle as the flat pipeline, salted with the level index.
+//
+// An empty HierarchyParams (the default) leaves the flat single-device
+// pipeline untouched, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/storage.hpp"
+#include "ckpt/store.hpp"
+
+namespace redcr::ckpt {
+
+/// What a level is made of — decides write volume, which failures destroy
+/// it, and whether it persists across restarts.
+enum class LevelKind {
+  kLocal,
+  kPartner,
+  kXor,
+  kPfs,
+};
+
+/// Parses "local", "partner", "xor", "pfs"; throws std::invalid_argument
+/// naming the bad token otherwise.
+[[nodiscard]] LevelKind parse_level_kind(const std::string& token);
+[[nodiscard]] const char* level_kind_name(LevelKind kind) noexcept;
+
+/// One storage level of the hierarchy.
+struct LevelParams {
+  LevelKind kind = LevelKind::kPfs;
+  /// Write-side device model (aggregate bandwidth, per-write latency).
+  StorageParams device;
+  /// Restart-fetch bandwidth, bytes/s. 0 (default) = the fetch is free —
+  /// subsumed in the job's flat restart cost R, which is also what the flat
+  /// pipeline assumes. Set > 0 to charge P·S/read_bandwidth per restore
+  /// served by this level.
+  double read_bandwidth = 0.0;
+  /// Generations retained at this level (newest-first fallback depth).
+  int retention = 1;
+  /// Write every `interval`-th checkpoint epoch to this level.
+  int interval = 1;
+  /// Per-image latent corruption probability at this level (drawn from the
+  /// FaultProcess oracle at commit, consulted at restore-time validation).
+  double corruption_prob = 0.0;
+  /// Per-image, per-attempt visible write-failure probability.
+  double write_failure_prob = 0.0;
+  /// Partner/XOR group size; 0 = all ranks form one group.
+  int group_size = 0;
+  /// k: rank losses one XOR group survives (ignored for other kinds).
+  int xor_tolerance = 1;
+
+  /// Bytes actually written per rank image of size `image` at this level
+  /// (partner copies double it; XOR adds the parity share).
+  [[nodiscard]] double write_factor(int num_ranks) const noexcept;
+  /// Effective group size given the world size.
+  [[nodiscard]] int effective_group(int num_ranks) const noexcept;
+  /// True for levels rank kills cannot touch (today: the PFS).
+  [[nodiscard]] bool survives_rank_loss() const noexcept {
+    return kind == LevelKind::kPfs;
+  }
+
+  /// Rejects bad knobs with a one-line std::invalid_argument naming the
+  /// level index and the offending field.
+  void validate(int index, int num_ranks) const;
+};
+
+/// The whole hierarchy configuration. Empty levels = flat pipeline.
+struct HierarchyParams {
+  /// Ordered fastest (cheapest) first; a kPfs level, when present, must be
+  /// unique and last.
+  std::vector<LevelParams> levels;
+  /// Drain PFS writes in the background, overlapping useful work, instead
+  /// of blocking inside the checkpoint.
+  bool async_flush = false;
+
+  [[nodiscard]] bool enabled() const noexcept { return !levels.empty(); }
+  /// Index of the PFS level, -1 if the hierarchy has none.
+  [[nodiscard]] int pfs_level() const noexcept;
+  /// True when any per-level fault probability can fire (the signal to
+  /// instantiate a FaultProcess even when the flat CkptFaultParams are all
+  /// zero).
+  [[nodiscard]] bool any_fault_prob() const noexcept;
+  /// Validates level count/order and every per-level knob; throws
+  /// std::invalid_argument with an actionable message.
+  void validate(int num_ranks) const;
+};
+
+/// Parses a CLI hierarchy spec: levels separated by ';', each
+/// "kind[,key=value...]" with keys bw, lat, rbw, ret, interval, corr,
+/// wfail, group, k — e.g.
+///   "local,bw=5e10;xor,bw=2e10,group=4,k=1;pfs,bw=2e9,interval=4"
+/// Throws std::invalid_argument naming the offending level/key.
+[[nodiscard]] HierarchyParams parse_hierarchy(const std::string& spec);
+
+/// One asynchronous PFS drain in flight: the controller reserves the PFS
+/// device at checkpoint publish and the generation commits only when the
+/// background write completes (`ready_at`). A flush still pending when a
+/// failure kills the job is lost; one still pending when the workload
+/// finishes is drained, and that terminal wait is the job's `flush`
+/// wallclock component. Image validity (write failures + latent corruption)
+/// is pre-drawn at launch — it is a pure function of the image coordinates.
+struct PendingFlush {
+  sim::Time start = 0.0;     ///< when the drain was launched
+  sim::Time ready_at = 0.0;  ///< when the last image becomes durable
+  int level = -1;            ///< destination level (the PFS)
+  Generation gen;            ///< what commits once the drain completes
+  bool committed = false;
+};
+
+/// Job-scope state of the hierarchy: one generation store per level plus
+/// lifetime counters. Per-episode devices are built separately (they hold
+/// the episode engine); this object persists across episodes like the flat
+/// CheckpointStore does.
+class StorageHierarchy {
+ public:
+  /// Validates `params` against the world size (throws std::invalid_argument).
+  StorageHierarchy(HierarchyParams params, int num_ranks);
+
+  struct Level {
+    LevelParams params;
+    CheckpointStore store;
+    std::uint64_t commits = 0;    ///< generations committed at this level
+    std::uint64_t fetches = 0;    ///< restores served by this level
+    std::uint64_t defeated = 0;   ///< restores where a failure destroyed it
+
+    Level(LevelParams p) : params(p), store(p.retention) {}
+  };
+
+  [[nodiscard]] const HierarchyParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] int num_levels() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] Level& level(int i) { return levels_[static_cast<size_t>(i)]; }
+  [[nodiscard]] const Level& level(int i) const {
+    return levels_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+  [[nodiscard]] int pfs_level() const noexcept { return pfs_level_; }
+
+  /// The cache (non-PFS) level epoch `epoch` writes to: the slowest one
+  /// whose interval divides it, or -1 if the hierarchy is PFS-only.
+  [[nodiscard]] int cache_level_for(int epoch) const noexcept;
+  /// Does epoch `epoch` also drain to the PFS level?
+  [[nodiscard]] bool pfs_due(int epoch) const noexcept;
+
+  /// Does this level survive a failure that left `dead` (per physical rank)
+  /// dead? Pure function of the level kind/grouping and the dead set.
+  [[nodiscard]] bool level_survives(int level,
+                                    const std::vector<char>& dead) const;
+
+  /// Commits a generation at `level` and counts it.
+  void commit(int level, Generation gen);
+
+  /// Outcome of a restart-time fetch.
+  struct FetchResult {
+    bool found = false;
+    /// Some *surviving* level held generations that then failed validation
+    /// (→ abort: re-reading the same corrupt images cannot make progress).
+    /// Levels the failure destroyed do not count — an all-destroyed
+    /// hierarchy restarts from scratch instead, like an empty one.
+    bool had_generations = false;
+    int level = -1;             ///< serving level (when found)
+    Generation generation;      ///< meaningful only when found
+    int fallback_depth = 0;     ///< generations discarded inside the server
+    double fetch_seconds = 0.0; ///< read cost at the serving level
+    int levels_defeated = 0;    ///< levels the dead set destroyed
+  };
+
+  /// The cheapest-surviving-level restart fetch (see file comment).
+  /// `image_bytes` is the per-rank image size the fetch reads back.
+  FetchResult fetch(const std::vector<char>& dead, util::Bytes image_bytes);
+
+  /// Drops every generation at volatile (non-PFS) levels — models a full
+  /// node-cache loss (e.g. an allocation change between runs). The executor
+  /// does NOT call this on restart: surviving cache levels persist across
+  /// the relaunch (SCR's scavenge/rebuild); fetch() already drops the
+  /// levels the failure destroyed.
+  void clear_volatile();
+
+ private:
+  HierarchyParams params_;
+  int num_ranks_;
+  int pfs_level_ = -1;
+  std::vector<Level> levels_;
+};
+
+}  // namespace redcr::ckpt

@@ -56,4 +56,15 @@ StableStorage::WriteResult StableStorage::write_attempt(util::Bytes size,
   return {write_completion(size), cost, true};
 }
 
+StableStorage::WriteResult StableStorage::charge_failed_write(
+    util::Bytes size) {
+  assert(size >= 0.0);
+  const double cost = params_.base_latency + size / params_.bandwidth;
+  const sim::Time start = std::max(engine_.now(), device_free_);
+  device_free_ = start + cost;
+  ++failed_writes_;
+  wasted_seconds_ += cost;
+  return {device_free_, cost, false};
+}
+
 }  // namespace redcr::ckpt

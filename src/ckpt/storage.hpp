@@ -57,6 +57,12 @@ class StableStorage {
   WriteResult write_attempt(util::Bytes size, std::uint64_t episode, int epoch,
                             int rank, int attempt);
 
+  /// Reserves the device slot for a write the *caller* already knows failed
+  /// (the hierarchy draws per-level failures itself — each level has its
+  /// own probability, so the attached oracle's flat write_fails does not
+  /// apply). Counts the attempt as failed and its slot as wasted.
+  WriteResult charge_failed_write(util::Bytes size);
+
   /// Attaches the write-failure oracle (nullptr detaches; not owned).
   void set_fault_process(const failure::FaultProcess* faults) noexcept {
     faults_ = faults;

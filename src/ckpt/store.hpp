@@ -73,6 +73,10 @@ class CheckpointStore {
   /// it returns: repeated restores land on the same one.
   RestoreResult restore();
 
+  /// Drops every retained generation — models a volatile level whose
+  /// contents do not survive a relaunch (or were destroyed by a failure).
+  void clear() noexcept { generations_.clear(); }
+
   [[nodiscard]] int retention_depth() const noexcept { return retention_; }
   [[nodiscard]] std::size_t size() const noexcept {
     return generations_.size();

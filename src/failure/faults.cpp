@@ -94,4 +94,27 @@ bool FaultProcess::restart_fails(std::uint64_t restart_index,
          params_.restart_failure_prob;
 }
 
+bool FaultProcess::level_write_fails(int level, double prob,
+                                     std::uint64_t episode, int epoch,
+                                     int rank, int attempt) const noexcept {
+  if (prob <= 0.0) return false;
+  // Fold (level, rank, attempt) into one salt; 16 bits each keeps the
+  // coordinates disjoint for any realistic world size / retry budget.
+  std::uint64_t who = (static_cast<std::uint64_t>(level) << 32) |
+                      (static_cast<std::uint64_t>(rank) << 16) |
+                      static_cast<std::uint64_t>(attempt & 0xFFFF);
+  return draw(FaultClass::kLevelWriteFailure, episode,
+              static_cast<std::uint64_t>(epoch), who) < prob;
+}
+
+bool FaultProcess::level_image_corrupts(int level, double prob,
+                                        std::uint64_t episode, int epoch,
+                                        int rank) const noexcept {
+  if (prob <= 0.0) return false;
+  std::uint64_t who = (static_cast<std::uint64_t>(level) << 32) |
+                      static_cast<std::uint64_t>(rank);
+  return draw(FaultClass::kLevelCorruption, episode,
+              static_cast<std::uint64_t>(epoch), who) < prob;
+}
+
 }  // namespace redcr::failure

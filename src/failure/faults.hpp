@@ -31,6 +31,12 @@ enum class FaultClass : std::uint64_t {
   kWriteFailure = 1,
   kImageCorruption = 2,
   kRestartFailure = 3,
+  /// Per-storage-level variants of write failure / latent corruption for
+  /// the multi-level hierarchy: same fault physics, but each level has its
+  /// own probability (carried in ckpt::LevelParams, passed to the draw) and
+  /// its own stream, salted with the level index.
+  kLevelWriteFailure = 4,
+  kLevelCorruption = 5,
 };
 
 /// Probabilities of the three C/R fault classes. All default to 0, which is
@@ -91,6 +97,19 @@ class FaultProcess {
   /// Does this restart attempt fail?
   [[nodiscard]] bool restart_fails(std::uint64_t restart_index,
                                    int attempt) const noexcept;
+
+  /// Hierarchy variant of write_fails: `prob` is the level's own
+  /// write-failure probability (ckpt::LevelParams carries it; this oracle
+  /// only supplies the deterministic stream). The stream is salted with the
+  /// level index so levels fail independently at the same coordinates.
+  [[nodiscard]] bool level_write_fails(int level, double prob,
+                                       std::uint64_t episode, int epoch,
+                                       int rank, int attempt) const noexcept;
+
+  /// Hierarchy variant of image_corrupts (see level_write_fails).
+  [[nodiscard]] bool level_image_corrupts(int level, double prob,
+                                          std::uint64_t episode, int epoch,
+                                          int rank) const noexcept;
 
   [[nodiscard]] const CkptFaultParams& params() const noexcept {
     return params_;

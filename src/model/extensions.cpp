@@ -162,6 +162,19 @@ void UnreliableCkptParams::validate() const {
     fail("restart_success must be in [0, 1]");
   if (retention_depth < 1) fail("retention_depth must be >= 1");
   if (max_restart_attempts < 1) fail("max_restart_attempts must be >= 1");
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const auto& lvl = levels[l];
+    const std::string at = "levels[" + std::to_string(l) + "].";
+    if (!(lvl.recovery_prob >= 0.0 && lvl.recovery_prob <= 1.0))
+      fail(at + "recovery_prob must be in [0, 1]");
+    if (!(lvl.fetch_cost >= 0.0)) fail(at + "fetch_cost must be >= 0");
+    if (!(lvl.staleness_periods >= 0.0))
+      fail(at + "staleness_periods must be >= 0");
+  }
+  if (!(flush_cost >= 0.0)) fail("flush_cost must be >= 0");
+  if (!(flush_period >= 1.0)) fail("flush_period must be >= 1");
+  if (!(async_exposed_fraction >= 0.0 && async_exposed_fraction <= 1.0))
+    fail("async_exposed_fraction must be in [0, 1]");
 }
 
 UnreliablePrediction predict_unreliable(const CombinedConfig& config, double r,
@@ -187,30 +200,61 @@ UnreliablePrediction predict_unreliable(const CombinedConfig& config, double r,
     out.expected_restart_attempts = static_cast<double>(a_max);
   }
 
-  // Fallback depth over d retained generations, newest-first, conditioned
-  // on at least one validating: P(depth = k) ∝ q^k·p_v for k < d.
-  const double p_no_valid_generation = std::pow(q, d);
-  if (u.ckpt_validity > 0.0 && p_no_valid_generation < 1.0) {
-    double num = 0.0;
-    for (int k = 0; k < d; ++k)
-      num += k * std::pow(q, k) * u.ckpt_validity;
-    out.expected_fallback_depth = num / (1.0 - p_no_valid_generation);
+  // The probability no retained state can serve a recovery: the flat model
+  // walks the d retained generations of one store; the hierarchy model
+  // walks the configured levels fastest-first instead (fold validity into
+  // each level's recovery_prob).
+  double p_no_recovery;
+  const double period = out.base.interval + config.machine.checkpoint_cost;
+  if (u.levels.empty()) {
+    // Fallback depth over d retained generations, newest-first, conditioned
+    // on at least one validating: P(depth = k) ∝ q^k·p_v for k < d.
+    p_no_recovery = std::pow(q, d);
+    if (u.ckpt_validity > 0.0 && p_no_recovery < 1.0) {
+      double num = 0.0;
+      for (int k = 0; k < d; ++k)
+        num += k * std::pow(q, k) * u.ckpt_validity;
+      out.expected_fallback_depth = num / (1.0 - p_no_recovery);
+    }
+
+    // Extra cost per failure: extra restart attempts at R each, plus one
+    // checkpoint period (δ + c) of re-done progress per generation fallen
+    // back. Backoff delays are deliberately left out — they are an
+    // implementation knob, small against R by construction.
+    out.per_failure_overhead =
+        (out.expected_restart_attempts - 1.0) * config.machine.restart_cost +
+        out.expected_fallback_depth * period;
+  } else {
+    // Cheapest-surviving-level recovery: level l serves iff it can and no
+    // faster level could, so P(serve = l) = p_l · Π_{j<l}(1 - p_j).
+    double p_none = 1.0;
+    out.level_serve_prob.reserve(u.levels.size());
+    for (const auto& lvl : u.levels) {
+      out.level_serve_prob.push_back(p_none * lvl.recovery_prob);
+      p_none *= 1.0 - lvl.recovery_prob;
+    }
+    p_no_recovery = p_none;
+    const double p_any = 1.0 - p_none;
+    if (p_any > 0.0) {
+      double fetch = 0.0;
+      double staleness = 0.0;
+      for (std::size_t l = 0; l < u.levels.size(); ++l) {
+        fetch += out.level_serve_prob[l] * u.levels[l].fetch_cost;
+        staleness += out.level_serve_prob[l] * u.levels[l].staleness_periods;
+      }
+      out.expected_fetch_cost = fetch / p_any;
+      out.expected_staleness_rework = staleness / p_any * period;
+    }
+    out.per_failure_overhead =
+        (out.expected_restart_attempts - 1.0) * config.machine.restart_cost +
+        out.expected_fetch_cost + out.expected_staleness_rework;
   }
+  out.recovery_probability = 1.0 - p_no_recovery;
 
-  // Extra cost per failure: extra restart attempts at R each, plus one
-  // checkpoint period (δ + c) of re-done progress per generation fallen
-  // back. Backoff delays are deliberately left out — they are an
-  // implementation knob, small against R by construction.
-  out.per_failure_overhead =
-      (out.expected_restart_attempts - 1.0) * config.machine.restart_cost +
-      out.expected_fallback_depth *
-          (out.base.interval + config.machine.checkpoint_cost);
-
-  // One recovery aborts if all A attempts fail, or (having restarted) all d
-  // retained generations are corrupt.
+  // One recovery aborts if all A attempts fail, or (having restarted)
+  // nothing retained can serve.
   out.abort_probability_per_failure =
-      p_all_restarts_fail +
-      (1.0 - p_all_restarts_fail) * p_no_valid_generation;
+      p_all_restarts_fail + (1.0 - p_all_restarts_fail) * p_no_recovery;
   const double n_f = out.base.expected_failures;
   out.abort_probability =
       std::isfinite(n_f)
@@ -218,9 +262,20 @@ UnreliablePrediction predict_unreliable(const CombinedConfig& config, double r,
           : 1.0;
   if (out.abort_probability_per_failure == 0.0) out.abort_probability = 0.0;
 
+  // PFS drains: every flush_period-th checkpoint pays flush_cost on the
+  // critical path — all of it when blocking, only the exposed fraction
+  // (terminal drain + interference) when asynchronous.
+  if (u.flush_cost > 0.0 && std::isfinite(out.base.expected_checkpoints)) {
+    const double exposure = u.async_flush ? u.async_exposed_fraction : 1.0;
+    out.flush_overhead_total =
+        out.base.expected_checkpoints / u.flush_period * u.flush_cost *
+        exposure;
+  }
+
   out.total_time =
       std::isfinite(out.base.total_time) && std::isfinite(n_f)
-          ? out.base.total_time + n_f * out.per_failure_overhead
+          ? out.base.total_time + n_f * out.per_failure_overhead +
+                out.flush_overhead_total
           : std::numeric_limits<double>::infinity();
   return out;
 }

@@ -16,6 +16,8 @@
 //    parameter at a configuration — which knob matters most.
 #pragma once
 
+#include <vector>
+
 #include "model/combined.hpp"
 
 namespace redcr::model {
@@ -85,6 +87,40 @@ struct UnreliableCkptParams {
   double restart_success = 1.0;  ///< s ∈ [0, 1]
   int retention_depth = 1;       ///< d ≥ 1 generations retained
   int max_restart_attempts = 1;  ///< A ≥ 1 attempts per recovery
+
+  // --- Multi-level storage hierarchy (simulation counterpart:
+  // ckpt::HierarchyParams). Empty levels = the flat model above. ----------
+
+  /// One recovery level, fastest first (matching the simulator's order).
+  struct LevelRecovery {
+    /// P(this level can serve a recovery): it survived the failure's dead
+    /// set AND holds a generation that validates. For a per-image
+    /// corruption probability p_c over P images this is
+    /// P(survives)·(1 - p_c)^P.
+    double recovery_prob = 0.0;
+    /// Seconds to read the image set back when this level serves (0 = the
+    /// fetch is subsumed in the flat restart cost R).
+    double fetch_cost = 0.0;
+    /// Expected extra checkpoint *periods* of rework when served here —
+    /// levels written every m-th epoch are on average (m-1)/2 periods
+    /// staler than the newest checkpoint.
+    double staleness_periods = 0.0;
+  };
+  /// When non-empty, recovery walks these levels fastest-first and the
+  /// flat (ckpt_validity, retention_depth) fallback term is replaced by
+  /// the per-level serve probabilities; fold validity into each level's
+  /// recovery_prob instead.
+  std::vector<LevelRecovery> levels;
+  /// Wallclock of one PFS drain, seconds (0 = no flush modeling).
+  double flush_cost = 0.0;
+  /// Checkpoint epochs between PFS drains (≥ 1).
+  double flush_period = 1.0;
+  /// Async flush: drains overlap useful work; only `async_exposed_fraction`
+  /// of each drain stays on the critical path (the terminal drain and any
+  /// interference), instead of the full flush_cost.
+  bool async_flush = false;
+  double async_exposed_fraction = 0.0;  ///< ∈ [0, 1]
+
   /// Throws std::invalid_argument on NaN/out-of-range values.
   void validate() const;
 };
@@ -103,8 +139,20 @@ struct UnreliablePrediction {
   double abort_probability_per_failure = 0.0;
   /// Probability the job aborts at least once over its n_f failures.
   double abort_probability = 0.0;
-  /// T_total + n_f · per_failure_overhead.
+  /// T_total + n_f · per_failure_overhead (+ flush_overhead_total).
   double total_time = 0.0;
+  // --- Hierarchy terms (all zero/empty with no levels configured) ---------
+  /// P(recovery is served by level l) = p_l · Π_{j<l}(1 - p_j).
+  std::vector<double> level_serve_prob;
+  /// P(some level serves) = 1 - Π(1 - p_l).
+  double recovery_probability = 1.0;
+  /// E[fetch seconds | some level serves].
+  double expected_fetch_cost = 0.0;
+  /// E[staleness rework | some level serves], seconds ( = E[periods]·(δ+c)).
+  double expected_staleness_rework = 0.0;
+  /// Critical-path flush time over the whole job: (n_ckpt / flush_period) ·
+  /// flush_cost · (async ? exposed_fraction : 1).
+  double flush_overhead_total = 0.0;
 };
 
 [[nodiscard]] UnreliablePrediction predict_unreliable(

@@ -87,6 +87,18 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
         "JobExecutor: live failure semantics cannot join the collective "
         "checkpoint quiesce (dead ranks cannot participate) — disable "
         "checkpointing or use the paper's bookkeeping mode");
+  if (config_.hierarchy.enabled()) {
+    config_.hierarchy.validate(static_cast<int>(map_.num_physical()));
+    if (!config_.checkpoint_enabled)
+      throw std::invalid_argument(
+          "JobExecutor: a storage hierarchy requires checkpointing enabled "
+          "(there is nothing to store otherwise)");
+    if (config_.ckpt_forked)
+      throw std::invalid_argument(
+          "JobExecutor: forked checkpointing is incompatible with a storage "
+          "hierarchy — use the hierarchy's async flush for overlapped "
+          "drains instead");
+  }
   workloads_.reserve(map_.num_physical());
   for (std::size_t p = 0; p < map_.num_physical(); ++p) {
     const int virtual_rank = map_.virtual_of(static_cast<red::Rank>(p));
@@ -99,7 +111,8 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
 
 JobExecutor::EpisodeResult JobExecutor::run_episode(
     long start_iteration, std::uint64_t episode_index,
-    ckpt::CheckpointStore& store, const failure::FaultProcess* faults,
+    ckpt::CheckpointStore& store, ckpt::StorageHierarchy* hierarchy,
+    int epoch_base, const failure::FaultProcess* faults,
     double useful_work_base) {
   sim::Engine engine;
   engine.set_recorder(config_.recorder);
@@ -109,6 +122,20 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
                       static_cast<int>(map_.num_physical()));
   ckpt::StableStorage storage(engine, config_.storage);
   storage.set_fault_process(faults);
+
+  // Hierarchy mode: one episode-scope device per level. The controller
+  // draws each level's write failures itself (each level has its own
+  // probability), so no fault process is attached to these devices.
+  std::vector<std::unique_ptr<ckpt::StableStorage>> level_devices;
+  std::vector<ckpt::StableStorage*> level_device_ptrs;
+  if (hierarchy != nullptr) {
+    level_devices.reserve(static_cast<std::size_t>(hierarchy->num_levels()));
+    for (int l = 0; l < hierarchy->num_levels(); ++l) {
+      level_devices.push_back(std::make_unique<ckpt::StableStorage>(
+          engine, hierarchy->level(l).params.device));
+      level_device_ptrs.push_back(level_devices.back().get());
+    }
+  }
 
   ckpt::CkptConfig ckpt_config;
   ckpt_config.interval =
@@ -120,9 +147,12 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   ckpt_config.forked = config_.ckpt_forked;
   ckpt_config.faults = faults;
   ckpt_config.write_retry = config_.ckpt_write_retry;
-  ckpt_config.store = &store;
+  ckpt_config.store = hierarchy != nullptr ? nullptr : &store;
   ckpt_config.episode = episode_index;
   ckpt_config.useful_work_base = useful_work_base;
+  ckpt_config.hierarchy = hierarchy;
+  ckpt_config.level_devices = level_device_ptrs;
+  ckpt_config.epoch_base = epoch_base;
   ckpt::CheckpointController controller(engine, storage, ckpt_config,
                                         static_cast<int>(map_.num_physical()));
   controller.set_recorder(config_.recorder);
@@ -201,11 +231,43 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
       config_.recorder->span("checkpoint", "ckpt", obs::kJobPid,
                              result.elapsed - partial, result.elapsed);
   }
+  if (hierarchy != nullptr) {
+    // Settle the async flushes: commits the engine stop may have raced,
+    // then either drain the rest (finished episode — the terminal wait is
+    // the job's `flush` wallclock component) or drop them (a kill destroys
+    // in-flight drains).
+    controller.commit_ready_flushes(result.elapsed);
+    if (result.finished) {
+      result.flush_drain = controller.drain_remaining_flushes(result.elapsed);
+      if (result.flush_drain > 0.0 && config_.recorder != nullptr)
+        config_.recorder->span("flush-drain", "ckpt", obs::kJobPid,
+                               result.elapsed,
+                               result.elapsed + result.flush_drain);
+      result.elapsed += result.flush_drain;
+    } else {
+      controller.drop_remaining_flushes();
+    }
+    result.flushes_completed = controller.flushes_completed();
+    result.flushes_lost = controller.flushes_lost();
+    result.dead_ranks.assign(map_.num_physical(), 0);
+    for (std::size_t p = 0; p < map_.num_physical(); ++p) {
+      if (monitor.is_dead(static_cast<red::Rank>(p)))
+        result.dead_ranks[p] = 1;
+    }
+    result.level_writes.reserve(level_devices.size());
+    result.level_write_failures.reserve(level_devices.size());
+    for (const auto& dev : level_devices) {
+      result.level_writes.push_back(dev->writes());
+      result.level_write_failures.push_back(dev->failed_writes());
+    }
+  }
   result.snapshot = controller.snapshot();
   result.checkpoints = controller.checkpoints_completed();
   result.failed_checkpoints = controller.failed_epochs();
   result.write_failures = controller.write_failures();
   result.wasted_write_time = storage.wasted_write_seconds();
+  for (const auto& dev : level_devices)
+    result.wasted_write_time += dev->wasted_write_seconds();
   result.physical_failures = monitor.dead_processes();
   result.messages = world.stats().messages_sent;
   result.events = engine.events_processed();
@@ -230,11 +292,46 @@ JobReport JobExecutor::run() {
   // metrics are gated on `unreliable` so reliable-mode exports are
   // unchanged byte for byte as well.
   ckpt::CheckpointStore store(config_.ckpt_retention);
+  std::optional<ckpt::StorageHierarchy> hierarchy_state;
+  if (config_.hierarchy.enabled())
+    hierarchy_state.emplace(config_.hierarchy,
+                            static_cast<int>(map_.num_physical()));
+  ckpt::StorageHierarchy* hier =
+      hierarchy_state ? &*hierarchy_state : nullptr;
   std::optional<failure::FaultProcess> fault_process;
-  if (config_.ckpt_faults.enabled()) fault_process.emplace(config_.ckpt_faults);
+  // The hierarchy's per-level probabilities ride the same oracle (and the
+  // same seed knob), so a hierarchy with faults needs one even when the
+  // flat probabilities are all zero.
+  if (config_.ckpt_faults.enabled() || config_.hierarchy.any_fault_prob())
+    fault_process.emplace(config_.ckpt_faults);
   const failure::FaultProcess* faults =
       fault_process ? &*fault_process : nullptr;
-  const bool unreliable = faults != nullptr || config_.ckpt_retention > 1;
+  const bool unreliable =
+      faults != nullptr || config_.ckpt_retention > 1 || hier != nullptr;
+
+  // Populates the per-level lifetime counters; called at every return.
+  int epoch_base = 0;
+  std::vector<std::uint64_t> level_writes_total;
+  std::vector<std::uint64_t> level_wfail_total;
+  if (hier != nullptr) {
+    level_writes_total.assign(
+        static_cast<std::size_t>(hier->num_levels()), 0);
+    level_wfail_total.assign(static_cast<std::size_t>(hier->num_levels()), 0);
+  }
+  auto finalize_levels = [&](JobReport& r) {
+    if (hier == nullptr) return;
+    r.levels.resize(static_cast<std::size_t>(hier->num_levels()));
+    for (int l = 0; l < hier->num_levels(); ++l) {
+      auto& out = r.levels[static_cast<std::size_t>(l)];
+      const auto& lvl = hier->level(l);
+      out.kind = ckpt::level_kind_name(lvl.params.kind);
+      out.writes = level_writes_total[static_cast<std::size_t>(l)];
+      out.write_failures = level_wfail_total[static_cast<std::size_t>(l)];
+      out.commits = lvl.commits;
+      out.fetches = lvl.fetches;
+      out.defeated = lvl.defeated;
+    }
+  };
 
   obs::Recorder* rec = config_.recorder;
   if (rec != nullptr) {
@@ -254,7 +351,17 @@ JobReport JobExecutor::run() {
                    << report.wallclock << "s, iteration " << start_iteration;
     const EpisodeResult res =
         run_episode(start_iteration, static_cast<std::uint64_t>(episode),
-                    store, faults, report.useful_work);
+                    store, hier, epoch_base, faults, report.useful_work);
+    epoch_base += res.checkpoints + res.failed_checkpoints;
+    if (hier != nullptr) {
+      for (std::size_t l = 0; l < level_writes_total.size(); ++l) {
+        level_writes_total[l] += res.level_writes[l];
+        level_wfail_total[l] += res.level_write_failures[l];
+      }
+      report.flush_time += res.flush_drain;
+      report.flushes_completed += res.flushes_completed;
+      report.flushes_lost += res.flushes_lost;
+    }
 
     EpisodeTrace ep;
     ep.index = episode;
@@ -269,6 +376,7 @@ JobReport JobExecutor::run() {
              : res.failure ? EpisodeTrace::End::kSphereDeath
                            : EpisodeTrace::End::kAbandoned;
     if (res.failure) ep.dead_sphere = res.failure->sphere;
+    ep.flushes_lost = res.flushes_lost;
     report.trace.push_back(ep);
 
     ++report.episodes;
@@ -283,8 +391,13 @@ JobReport JobExecutor::run() {
     report.red_mismatches_detected += res.mismatches_detected;
     report.red_mismatches_corrected += res.mismatches_corrected;
 
-    const double work_this_episode = res.elapsed - res.checkpoint_time;
+    // The terminal flush drain is wallclock but neither work nor checkpoint
+    // time — it gets its own accounting bucket (flush_time, above).
+    const double work_this_episode =
+        res.elapsed - res.checkpoint_time - res.flush_drain;
     report.checkpoint_time += res.checkpoint_time;
+    if (rec != nullptr && res.flush_drain > 0.0)
+      rec->add("time.flush", res.flush_drain);
     if (rec != nullptr) {
       // The episode span is recorded episode-locally ([0, elapsed]); the
       // offset set above places it at its job-time position.
@@ -310,6 +423,7 @@ JobReport JobExecutor::run() {
                      << " completed the workload after " << res.elapsed
                      << "s (" << res.checkpoints << " checkpoints, "
                      << res.physical_failures << " replica deaths)";
+      finalize_levels(report);
       return report;
     }
 
@@ -375,12 +489,55 @@ JobReport JobExecutor::run() {
         rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
       }
       REDCR_LOG_WARN << "job: " << abort.describe();
+      finalize_levels(report);
       return report;
     }
 
     // Restart-time validation: restore the newest generation whose image
     // set validates, falling back to N-1, N-2, ... past corrupt ones.
-    const ckpt::RestoreResult restore = store.restore();
+    // Hierarchy mode fetches from the cheapest level that survived the
+    // failure's dead set instead, walking the same newest-first fallback
+    // inside the serving level.
+    ckpt::RestoreResult restore;
+    double fetch_seconds = 0.0;
+    if (hier != nullptr) {
+      const ckpt::StorageHierarchy::FetchResult fetched =
+          hier->fetch(res.dead_ranks, config_.image_bytes);
+      restore.found = fetched.found;
+      restore.had_generations = fetched.had_generations;
+      restore.generation = fetched.generation;
+      restore.fallback_depth = fetched.fallback_depth;
+      fetch_seconds = fetched.fetch_seconds;
+      if (fetched.found) {
+        report.trace.back().restore_level = fetched.level;
+        if (rec != nullptr) {
+          rec->metrics().add("restore.level" + std::to_string(fetched.level) +
+                             ".serves");
+        }
+        REDCR_LOG_INFO << "job: restore served by level " << fetched.level
+                       << " (" << fetched.levels_defeated
+                       << " level(s) destroyed by the failure)";
+      }
+      // Levels the failure destroyed were dropped inside fetch(); surviving
+      // cache levels persist across the relaunch (SCR's scavenge/rebuild),
+      // so an early kill in the next episode can still restore from them.
+    } else {
+      restore = store.restore();
+    }
+    if (restore.found && fetch_seconds > 0.0) {
+      // Charge the serving level's read cost: wallclock the restart pays on
+      // top of the flat restart cost R (which models relaunch, not I/O).
+      report.wallclock += fetch_seconds;
+      report.restart_time += fetch_seconds;
+      report.fetch_time += fetch_seconds;
+      if (rec != nullptr) {
+        rec->span("fetch", "restart", obs::kJobPid, span_begin,
+                  span_begin + fetch_seconds);
+        rec->add("time.restart", fetch_seconds);
+        rec->add("restart.fetch_seconds", fetch_seconds);
+      }
+      span_begin += fetch_seconds;
+    }
     if (!restore.found && restore.had_generations) {
       // Every retained generation failed validation: nothing to restart
       // from. (With no generations at all we restart from scratch instead —
@@ -399,6 +556,7 @@ JobReport JobExecutor::run() {
         rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
       }
       REDCR_LOG_WARN << "job: " << abort.describe();
+      finalize_levels(report);
       return report;
     }
 
@@ -460,6 +618,7 @@ JobReport JobExecutor::run() {
   }
   REDCR_LOG_WARN << "job: gave up after " << config_.max_episodes
                  << " episodes without completing";
+  finalize_levels(report);
   return report;  // completed == false: gave up after max_episodes
 }
 

@@ -23,6 +23,7 @@
 
 #include "apps/workload.hpp"
 #include "ckpt/coordinator.hpp"
+#include "ckpt/hierarchy.hpp"
 #include "ckpt/store.hpp"
 #include "failure/faults.hpp"
 #include "failure/injector.hpp"
@@ -76,6 +77,14 @@ struct JobConfig {
   int ckpt_retention = 1;
   /// Retry/backoff for visibly failed image writes (blocking mode).
   failure::RetryPolicy ckpt_write_retry;
+  /// Multi-level storage hierarchy (empty = the flat single-device
+  /// pipeline, bit-identical to before the hierarchy existed). When
+  /// enabled, `storage` and `ckpt_retention` are ignored for checkpoint
+  /// images — each level carries its own device and retention — and
+  /// `ckpt_forked` must be off (async flush is the hierarchy's overlapped
+  /// drain). Restores fetch from the cheapest level that survived the
+  /// failure's dead set.
+  ckpt::HierarchyParams hierarchy;
   /// Retry/backoff for failed restart phases. Every attempt — including
   /// the first — charges restart_cost; retries additionally pay the
   /// backoff. Exhausting it ends the job in a JobAbort.
@@ -144,6 +153,27 @@ struct JobReport {
   int fallback_restores = 0;   ///< restores that fell back past the newest
   std::uint64_t ckpt_write_failures = 0;  ///< image-write attempts that failed
   double wasted_write_time = 0.0;  ///< device seconds burned by failed writes
+  // --- Storage hierarchy (all zero/empty when the hierarchy is off) -------
+  /// Terminal async-flush drain wallclock: time spent waiting, after the
+  /// workload finished, for in-flight PFS drains to land. The accounting
+  /// invariant becomes wallclock == useful + checkpoint + rework + restart
+  /// + flush.
+  double flush_time = 0.0;
+  /// Restore-time fetch seconds (read cost at the serving level); a subset
+  /// of restart_time, broken out for the cache-vs-PFS cost studies.
+  double fetch_time = 0.0;
+  int flushes_completed = 0;  ///< async PFS drains that landed
+  int flushes_lost = 0;       ///< async PFS drains destroyed by a kill
+  /// Per-storage-level lifetime counters (one entry per hierarchy level).
+  struct LevelReport {
+    std::string kind;                 ///< "local", "partner", "xor", "pfs"
+    std::uint64_t writes = 0;         ///< successful device writes
+    std::uint64_t write_failures = 0; ///< visibly failed write attempts
+    std::uint64_t commits = 0;        ///< generations committed
+    std::uint64_t fetches = 0;        ///< restores served by this level
+    std::uint64_t defeated = 0;       ///< restores that found it destroyed
+  };
+  std::vector<LevelReport> levels;
   /// Per-episode timeline (render with runtime::render_trace).
   std::vector<EpisodeTrace> trace;
 };
@@ -188,10 +218,18 @@ class JobExecutor {
     double contention_wait = 0.0;
     std::uint64_t mismatches_detected = 0;
     std::uint64_t mismatches_corrected = 0;
+    // --- Storage hierarchy --------------------------------------------------
+    std::vector<char> dead_ranks;       // per physical rank at episode end
+    double flush_drain = 0.0;           // terminal drain beyond the finish
+    int flushes_completed = 0;
+    int flushes_lost = 0;
+    std::vector<std::uint64_t> level_writes;          // per level
+    std::vector<std::uint64_t> level_write_failures;  // per level
   };
 
   EpisodeResult run_episode(long start_iteration, std::uint64_t episode_index,
                             ckpt::CheckpointStore& store,
+                            ckpt::StorageHierarchy* hierarchy, int epoch_base,
                             const failure::FaultProcess* faults,
                             double useful_work_base);
 

@@ -45,6 +45,17 @@ std::string render_trace(const std::vector<EpisodeTrace>& trace) {
                     ep.fallback_depth, ep.fallback_depth == 1 ? "" : "s");
       out += line;
     }
+    // Hierarchy annotations; absent with the flat single-device pipeline.
+    if (ep.restore_level >= 0) {
+      std::snprintf(line, sizeof line, "  [restored from level %d]",
+                    ep.restore_level);
+      out += line;
+    }
+    if (ep.flushes_lost > 0) {
+      std::snprintf(line, sizeof line, "  [%d flush%s lost]", ep.flushes_lost,
+                    ep.flushes_lost == 1 ? "" : "es");
+      out += line;
+    }
     out += '\n';
   }
   return out;

@@ -37,6 +37,12 @@ struct EpisodeTrace {
   /// Checkpoint generations discarded by restore-time validation before one
   /// passed (0 = restored the newest generation).
   int fallback_depth = 0;
+  /// Hierarchy mode: storage level that served the restore after this
+  /// episode (-1 = flat pipeline / no restore / nothing found).
+  int restore_level = -1;
+  /// Hierarchy mode: async flushes destroyed in flight by this episode's
+  /// kill.
+  int flushes_lost = 0;
 };
 
 /// Renders a compact per-episode timeline, e.g.

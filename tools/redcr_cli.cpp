@@ -20,6 +20,8 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/cg.hpp"
 #include "apps/master_worker.hpp"
@@ -112,6 +114,126 @@ int cmd_model(const Flags& flags) {
   return 0;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// Model-side hierarchy knobs for `sweep`: --ml-levels "p:fetch[:stale];..."
+// (fastest level first), --flush-cost / --flush-period, --async-flush with
+// --exposed. Throws std::invalid_argument naming the bad knob.
+model::UnreliableCkptParams unreliable_sweep_params(const Flags& flags) {
+  model::UnreliableCkptParams u;
+  const std::string spec = flags.text("ml-levels", "");
+  if (!spec.empty()) {
+    for (const std::string& part : split(spec, ';')) {
+      const std::vector<std::string> fields = split(part, ':');
+      if (fields.size() < 2 || fields.size() > 3)
+        throw std::invalid_argument(
+            "--ml-levels: expected 'prob:fetch_sec[:staleness_periods]' per "
+            "';'-separated level, got '" +
+            part + "'");
+      model::UnreliableCkptParams::LevelRecovery level;
+      level.recovery_prob = std::atof(fields[0].c_str());
+      level.fetch_cost = std::atof(fields[1].c_str());
+      if (fields.size() == 3)
+        level.staleness_periods = std::atof(fields[2].c_str());
+      u.levels.push_back(level);
+    }
+  }
+  u.flush_cost = flags.number("flush-cost", 0.0);
+  u.flush_period = flags.number("flush-period", 1.0);
+  if (flags.flag("async-flush")) {
+    u.async_flush = true;
+    u.async_exposed_fraction = flags.number("exposed", 0.0);
+  }
+  u.validate();
+  return u;
+}
+
+// The hierarchy-aware sweep (predict_unreliable per cell). Separate from the
+// legacy path so the default sweep's schema and bytes never move.
+int cmd_sweep_unreliable(const Flags& flags, const model::CombinedConfig& cfg,
+                         exp::BenchArgs& args,
+                         const std::vector<exp::Trial>& trials) {
+  model::UnreliableCkptParams u;
+  try {
+    u = unreliable_sweep_params(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "redcr_cli sweep: %s\n", e.what());
+    return 2;
+  }
+  std::vector<exp::Column> columns = {{"r"},
+                                      {"T_total [h]", "total_h"},
+                                      {"Theta_sys [h]", "theta_sys_h"},
+                                      {"delta [min]", "delta_min"},
+                                      {"E[failures]", "expected_failures"},
+                                      {"P(recover)", "recovery_prob"},
+                                      {"fail cost [min]", "per_failure_min"},
+                                      {"flush [h]", "flush_h"},
+                                      {"P(abort)", "abort_prob"}};
+  if (args.keep_going) columns.push_back({"status"});
+  exp::ResultSink t("sweep_unreliable", columns);
+  t.set_title("Redundancy sweep (unreliable C/R + storage hierarchy)");
+  const exp::SweepRunner runner(args.run_options());
+  const auto outcomes =
+      runner.map_outcomes(trials, [&](const exp::Trial& trial) {
+        return model::predict_unreliable(cfg, trial.at("r"), u);
+      });
+  double best_r = 1.0, best_t = 1e300;
+  std::size_t best_row = 0;
+  bool any_ok = false;
+  std::size_t failed_cells = 0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      if (!args.keep_going) {
+        std::fprintf(stderr, "redcr_cli sweep: r=%.2f: %s\n",
+                     trials[i].at("r"), outcomes[i].error.c_str());
+        return 1;
+      }
+      ++failed_cells;
+      t.add_row({{trials[i].at("r"), 2}, "-", "-", "-", "-", "-", "-", "-",
+                 "-", "failed: " + outcomes[i].error});
+      continue;
+    }
+    const model::UnreliablePrediction& p = outcomes[i].value;
+    std::vector<exp::Cell> row = {{trials[i].at("r"), 2},
+                                  {util::to_hours(p.total_time), 1},
+                                  {util::to_hours(p.base.system_mtbf), 1},
+                                  {util::to_minutes(p.base.interval), 1},
+                                  {p.base.expected_failures, 1},
+                                  {p.recovery_probability, 4},
+                                  {util::to_minutes(p.per_failure_overhead), 1},
+                                  {util::to_hours(p.flush_overhead_total), 2},
+                                  {p.abort_probability, 4}};
+    if (args.keep_going) row.emplace_back("ok");
+    t.add_row(std::move(row));
+    if (!any_ok || p.total_time < best_t) {
+      best_t = p.total_time;
+      best_r = trials[i].at("r");
+      best_row = i;
+      any_ok = true;
+    }
+  }
+  if (any_ok) t.emphasize_row(best_row, 1);
+  t.emit(args);
+  if (failed_cells > 0)
+    args.say("%zu of %zu cells failed (kept going)\n", failed_cells,
+             trials.size());
+  if (any_ok) args.say("best degree: %.2fx\n", best_r);
+  return 0;
+}
+
 int cmd_sweep(const Flags& flags) {
   const model::CombinedConfig cfg = model_config(flags);
   const double step = flags.number("step", 0.25);
@@ -134,6 +256,12 @@ int cmd_sweep(const Flags& flags) {
     std::fprintf(stderr, "redcr_cli sweep: %s\n", e.what());
     return 2;
   }
+
+  // The hierarchy/flush knobs switch the sweep to the unreliable-C/R model;
+  // without them the legacy sweep below stays byte-identical.
+  if (flags.flag("ml-levels") || flags.flag("flush-cost") ||
+      flags.flag("async-flush"))
+    return cmd_sweep_unreliable(flags, cfg, args, trials);
 
   std::vector<exp::Column> columns = {{"r"},
                                       {"T_total [h]", "total_h"},
@@ -327,6 +455,24 @@ int cmd_simulate(const Flags& flags) {
     cfg.restart_retry.backoff_cap = backoff_cap;
   }
 
+  // Multi-level storage hierarchy. Absent --ckpt-levels leaves the flat
+  // single-device pipeline (and its stdout) byte-identical.
+  const std::string levels_spec = flags.text("ckpt-levels", "");
+  if (flags.flag("ckpt-levels")) {
+    try {
+      cfg.hierarchy = ckpt::parse_hierarchy(levels_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "redcr_cli: --ckpt-levels: %s\n", e.what());
+      return 2;
+    }
+    cfg.hierarchy.async_flush = flags.flag("async-flush");
+  } else if (flags.flag("async-flush")) {
+    std::fprintf(stderr,
+                 "redcr_cli: --async-flush requires --ckpt-levels with a "
+                 "pfs level\n");
+    return 2;
+  }
+
   // run_job attaches the observability recorder when a sink is requested
   // and writes the exports after the run; main() already applied the log
   // level, so the option block carries only the sinks here.
@@ -343,8 +489,8 @@ int cmd_simulate(const Flags& flags) {
     return 1;
   }
 
-  const bool unreliable =
-      cfg.ckpt_faults.enabled() || cfg.ckpt_retention > 1;
+  const bool unreliable = cfg.ckpt_faults.enabled() ||
+                          cfg.ckpt_retention > 1 || cfg.hierarchy.enabled();
   const char* outcome = report.completed ? "completed"
                         : report.abort   ? "ABORTED"
                                          : "GAVE UP (max episodes)";
@@ -371,6 +517,26 @@ int cmd_simulate(const Flags& flags) {
     if (report.abort)
       std::printf("abort            : %s\n", report.abort->describe().c_str());
   }
+  // Hierarchy accounting; only emitted when --ckpt-levels was given, so
+  // flat-pipeline stdout stays byte-identical.
+  if (cfg.hierarchy.enabled()) {
+    std::printf("  flush          : %.1f min drain (%d landed, %d lost)\n",
+                util::to_minutes(report.flush_time), report.flushes_completed,
+                report.flushes_lost);
+    std::printf("  fetch          : %.1f min\n",
+                util::to_minutes(report.fetch_time));
+    for (std::size_t l = 0; l < report.levels.size(); ++l) {
+      const auto& lv = report.levels[l];
+      std::printf("  level %zu %-7s: %llu writes (%llu failed), "
+                  "%llu commits, %llu serves, %llu defeated\n",
+                  l, lv.kind.c_str(),
+                  static_cast<unsigned long long>(lv.writes),
+                  static_cast<unsigned long long>(lv.write_failures),
+                  static_cast<unsigned long long>(lv.commits),
+                  static_cast<unsigned long long>(lv.fetches),
+                  static_cast<unsigned long long>(lv.defeated));
+    }
+  }
   std::printf("replica deaths   : %d\n", report.physical_failures);
   std::printf("physical procs   : %zu\n", report.num_physical);
   std::printf("messages         : %s\n",
@@ -391,6 +557,8 @@ void usage() {
       "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N]\n"
       "                     [--json] [--filter 'r=2'] [--csv DIR]\n"
       "                     [--keep-going]\n"
+      "                     [--ml-levels 'p:fetch[:stale];...'] [--flush-cost C]\n"
+      "                     [--flush-period M] [--async-flush] [--exposed F]\n"
       "  redcr_cli run      --virtual N --redundancy R --mtbf-hours H\n"
       "                     [--workload synthetic|cg|stencil|spectral|masterworker]\n"
       "                     [--protocol push|pull] [--msg-plus-hash] [--live]\n"
@@ -402,8 +570,27 @@ void usage() {
       "                     [--ckpt-retention D] [--write-retries N]\n"
       "                     [--restart-retries N] [--retry-backoff B]\n"
       "                     [--retry-backoff-cap C]\n"
+      "                     [--ckpt-levels SPEC] [--async-flush]\n"
       "                     [--trace-out FILE] [--metrics-out FILE]\n"
       "                     (alias: simulate)\n\n"
+      "Storage hierarchy (run): --ckpt-levels takes ';'-separated levels,\n"
+      "fastest first, each 'kind[,key=value...]' with kind one of\n"
+      "local|partner|xor|pfs and keys bw (write B/s), lat (latency s),\n"
+      "rbw (read B/s; 0 = free fetch), ret (generations kept), interval\n"
+      "(write every m-th epoch; level 0 must use 1), corr (per-image\n"
+      "corruption prob), wfail (write-failure prob), group (partner/xor\n"
+      "group size; 0 = all ranks), k (xor rank losses tolerated). At most\n"
+      "one pfs level, last. Restores fetch from the fastest level that\n"
+      "survived the failure's dead set; --async-flush overlaps the pfs\n"
+      "drain with useful work (an in-flight flush at a kill is lost).\n"
+      "Example: --ckpt-levels 'local,bw=5e9;xor,group=4,k=1,bw=2e9;\n"
+      "pfs,bw=4e8,interval=4' --async-flush\n\n"
+      "Sweep hierarchy terms: --ml-levels gives per-level recovery\n"
+      "probability, fetch seconds and staleness (checkpoint periods),\n"
+      "fastest first; --flush-cost/--flush-period add a PFS drain every\n"
+      "M-th checkpoint; --async-flush keeps only --exposed F of each drain\n"
+      "on the critical path. Any of these switches the sweep to the\n"
+      "unreliable-C/R prediction with recovery/abort columns.\n\n"
       "Unreliable C/R: checkpoint writes fail with probability P and are\n"
       "retried with capped exponential backoff; images silently corrupt with\n"
       "probability P and are detected at restart-time validation, falling\n"
