@@ -73,13 +73,17 @@ inline runtime::JobReport run_job(runtime::JobConfig config,
                                   const RunOptions& options = {}) {
   options.apply_log_level();
   obs::Recorder recorder;
+  obs::Journal journal;
   if (options.wants_recording()) config.recorder = &recorder;
+  if (options.wants_journal()) config.journal = &journal;
   runtime::JobExecutor executor(std::move(config), std::move(factory));
   runtime::JobReport report = executor.run();
   if (!options.trace_out.empty())
     detail::export_text(options.trace_out, recorder.trace().chrome_json());
   if (!options.metrics_out.empty())
     detail::export_text(options.metrics_out, recorder.metrics().ndjson());
+  if (!options.journal_out.empty())
+    detail::export_text(options.journal_out, journal.ndjson());
   return report;
 }
 

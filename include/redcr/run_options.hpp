@@ -38,10 +38,22 @@ struct RunOptions {
   /// Metrics NDJSON export path ("" = off, "-" = stdout).
   std::string metrics_out;
 
+  /// Causal event journal NDJSON export path ("" = off, "-" = stdout).
+  /// Feed the file to `redcr_cli analyze` for blame / level-efficacy /
+  /// run-diff reports.
+  std::string journal_out;
+
   /// True when any observability sink is requested — the signal to attach a
   /// Recorder (recording costs a little; without it runs pay null checks).
+  /// The journal has its own sink (wants_journal) so journal-off runs stay
+  /// byte-identical.
   [[nodiscard]] bool wants_recording() const noexcept {
     return !trace_out.empty() || !metrics_out.empty();
+  }
+
+  /// True when the causal journal is requested.
+  [[nodiscard]] bool wants_journal() const noexcept {
+    return !journal_out.empty();
   }
 
   /// Applies log_level to the process-wide logger if set.

@@ -12,6 +12,12 @@
 # rates ("<name> : <observed> vs baseline <base> -> REGRESSION"), and this
 # script names the bench that tripped.
 #
+# Every guarded run also appends one NDJSON row per scenario (timestamp,
+# commit, observed rate, baseline, ok/REGRESSION) to
+# results/bench_history.ndjson, so rate drift is visible over time instead
+# of only at the tolerance cliff. Override the sink with
+# BENCH_GUARD_HISTORY (empty disables the append).
+#
 # Usage: scripts/bench_guard.sh [build-dir] [baseline]
 #   build-dir  default: build
 #   baseline   default: BENCH_baseline.json (repo root)
@@ -26,6 +32,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 BASELINE="${2:-BENCH_baseline.json}"
 TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.15}"
+HISTORY="${BENCH_GUARD_HISTORY-results/bench_history.ndjson}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_engine" || ! -x "$BUILD_DIR/bench/bench_faults" \
       || ! -x "$BUILD_DIR/bench/bench_multilevel" ]]; then
@@ -38,12 +45,45 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 1
 fi
 
+# Parses the guard lines ("<scenario> : <rate> vs baseline <base> -> ok")
+# out of a bench's output and appends one NDJSON row per scenario.
+append_history() {
+  local bench="$1" log="$2"
+  [[ -n "$HISTORY" ]] || return 0
+  mkdir -p "$(dirname "$HISTORY")"
+  local stamp commit
+  stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  awk -v bench="$bench" -v ts="$stamp" -v commit="$commit" \
+      -v tol="$TOLERANCE" '
+    / vs baseline .* -> (ok|REGRESSION)$/ {
+      name = $1; sub(/:$/, "", name)
+      rate = ""; base = ""
+      for (i = 1; i <= NF; i++) {
+        if ($i == ":") rate = $(i + 1)
+        if ($i == "baseline") base = $(i + 1)
+      }
+      if (rate == "" || base == "") next
+      printf("{\"ts\":\"%s\",\"commit\":\"%s\",\"bench\":\"%s\"," \
+             "\"scenario\":\"%s\",\"rate\":%s,\"baseline\":%s," \
+             "\"tolerance\":%s,\"status\":\"%s\"}\n",
+             ts, commit, bench, name, rate, base, tol, $NF)
+    }' "$log" >> "$HISTORY"
+}
+
 # Runs one bench under the guard; on a breach the bench has already printed
 # the scenario name with observed-vs-baseline rates, so just attribute it.
+# The rates land in $HISTORY either way — regressions are exactly the rows
+# worth keeping.
 guarded() {
   local bench="$1"; shift
-  if ! "$BUILD_DIR/bench/$bench" "$@" --guard "$BASELINE" \
-       --tolerance "$TOLERANCE"; then
+  local log status=0
+  log="$(mktemp)"
+  "$BUILD_DIR/bench/$bench" "$@" --guard "$BASELINE" \
+      --tolerance "$TOLERANCE" 2>&1 | tee "$log" || status=$?
+  append_history "$bench" "$log"
+  rm -f "$log"
+  if [[ "$status" -ne 0 ]]; then
     echo "bench_guard.sh: $bench breached the ${TOLERANCE} tolerance vs" \
          "$BASELINE (scenario and rates printed above)" >&2
     exit 1

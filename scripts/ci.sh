@@ -69,6 +69,27 @@ run_multilevel_cell() {
 run_multilevel_cell "2-level sync" --ckpt-levels "$LEVELS_2"
 run_multilevel_cell "3-level async flush" --ckpt-levels "$LEVELS_3" --async-flush
 
+echo "=== ci.sh: journal analyze smoke (ASan/UBSan) ==="
+# Emit a causal journal from the three-level async cell, then run the
+# analyzer over it under the sanitizer build: the blame report must
+# reconcile against the executor's accounting invariant (analyze exits
+# non-zero otherwise), and a self-diff must report zero divergence.
+JOURNAL_DIR="$(mktemp -d)"
+trap 'rm -rf "$JOURNAL_DIR"' EXIT
+"$FAULT_CLI" run --virtual 8 --redundancy 1 --mtbf-hours 0.2 \
+  --iterations 30 --compute-sec 5 --interval-sec 60 \
+  --seed 7 --faults-seed 11 --log-level error \
+  --ckpt-levels "$LEVELS_3" --async-flush \
+  --journal-out "$JOURNAL_DIR/a.journal" >/dev/null || true
+"$FAULT_CLI" run --virtual 8 --redundancy 1 --mtbf-hours 0.2 \
+  --iterations 30 --compute-sec 5 --interval-sec 60 \
+  --seed 7 --faults-seed 11 --log-level error \
+  --ckpt-levels "$LEVELS_3" --async-flush \
+  --journal-out "$JOURNAL_DIR/b.journal" >/dev/null || true
+"$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" --blame --levels
+"$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" \
+  --diff "$JOURNAL_DIR/b.journal"
+
 echo "=== ci.sh: engine performance guard ==="
 scripts/bench_guard.sh "$BUILD_DIR"
 

@@ -48,6 +48,38 @@ CheckpointController::CheckpointController(sim::Engine& engine,
 
 CheckpointController::~CheckpointController() = default;
 
+void CheckpointController::journal_write_failed(int rank, int level, int epoch,
+                                                int attempt,
+                                                double device_time) {
+  if (journal_ == nullptr) return;
+  obs::Journal::Event ev;
+  ev.t = engine_.now();
+  ev.type = "ckpt-write-failed";
+  ev.episode = static_cast<int>(config_.episode);
+  ev.rank = rank;
+  ev.level = level;
+  ev.epoch = epoch;
+  ev.attempt = attempt;
+  ev.dur = device_time;
+  journal_->append(std::move(ev));
+}
+
+void CheckpointController::journal_commit(int level, int epoch, long iteration,
+                                          double device_seconds,
+                                          const char* kind) {
+  if (journal_ == nullptr) return;
+  obs::Journal::Event ev;
+  ev.t = engine_.now();
+  ev.type = "ckpt-commit";
+  ev.episode = static_cast<int>(config_.episode);
+  ev.level = level;
+  ev.epoch = epoch;
+  ev.iteration = iteration;
+  ev.dur = device_seconds;
+  if (kind != nullptr) ev.detail = kind;
+  journal_->append(std::move(ev));
+}
+
 void CheckpointController::arm() {
   if (!config_.enabled) return;
   engine_.schedule_after(config_.interval, [this] { ++requested_epochs_; });
@@ -87,7 +119,13 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
           levels,
           std::vector<char>(static_cast<std::size_t>(num_physical_), 1));
       epoch_level_exhausted_.assign(levels, 0);
+      if (journal_ != nullptr) {
+        epoch_level_busy_.resize(levels);
+        for (std::size_t l = 0; l < levels; ++l)
+          epoch_level_busy_[l] = config_.level_devices[l]->busy_until();
+      }
     }
+    if (journal_ != nullptr) epoch_flat_busy_ = storage_.busy_until();
   }
   ++entered_count_;
   const int pid = obs::rank_pid(endpoint.rank());
@@ -143,6 +181,7 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
         recorder_->add("ckpt.write_failures");
         recorder_->add("time.ckpt_wasted_write", res.device_time);
       }
+      journal_write_failed(endpoint.rank(), -1, epoch, 0, res.device_time);
     }
     co_await sim::delay(engine_, config_.fork_cost);
   } else {
@@ -164,6 +203,8 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
         recorder_->add("ckpt.write_failures");
         recorder_->add("time.ckpt_wasted_write", res.device_time);
       }
+      journal_write_failed(endpoint.rank(), -1, epoch, attempt,
+                           res.device_time);
     }
     if (!written) {
       // Retries exhausted: this rank has no durable image, so the whole
@@ -219,6 +260,19 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     if (abandoned) ++failed_epochs_;
     total_checkpoint_time_ += engine_.now() - epoch_entry_time_;
     const double work_elapsed = engine_.now() - total_checkpoint_time_;
+    if (journal_ != nullptr) {
+      // Per-epoch closure event: dur is the checkpoint's wallclock span
+      // (the paper's c), which the analyzer averages for the model's
+      // predicted-waste columns.
+      obs::Journal::Event ev;
+      ev.t = engine_.now();
+      ev.type = abandoned ? "ckpt-epoch-abandoned" : "ckpt-end";
+      ev.episode = static_cast<int>(config_.episode);
+      ev.epoch = epoch;
+      ev.iteration = iteration;
+      ev.dur = engine_.now() - epoch_entry_time_;
+      journal_->append(std::move(ev));
+    }
     if (recorder_ != nullptr) {
       // Job-track accounting: rank 0's phase boundaries stand in for the
       // whole collective (every rank leaves each phase within the barrier).
@@ -255,6 +309,8 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
         }
       }
       auto publish = [this, iteration, epoch, work_elapsed,
+                      entry_busy = epoch_flat_busy_,
+                      entry_time = epoch_entry_time_,
                       image_ok = epoch_image_ok_] {
         snapshot_.valid = true;
         snapshot_.iteration = iteration;
@@ -270,6 +326,13 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
           gen.checksum = generation_checksum(config_.episode, epoch, iteration);
           config_.store->commit(std::move(gen));
         }
+        // Device seconds this epoch consumed on the flat store: writes
+        // serialize, so the busy-horizon advance beyond max(previous
+        // horizon, epoch entry) is exact.
+        journal_commit(-1, epoch, iteration,
+                       std::max(0.0, storage_.busy_until() -
+                                         std::max(entry_busy, entry_time)),
+                       nullptr);
       };
       if (config_.forked) {
         // The snapshot is restorable only once the slowest background write
@@ -321,6 +384,8 @@ sim::CoTask<void> CheckpointController::write_level_blocking(
       recorder_->add("time.ckpt_wasted_write", res.device_time);
       recorder_->add("ckpt.level" + std::to_string(level) + ".write_failures");
     }
+    journal_write_failed(endpoint.rank(), level, epoch, attempt,
+                         res.device_time);
   }
   if (!written) {
     epoch_level_ok_[static_cast<std::size_t>(level)]
@@ -383,6 +448,18 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
       recorder_->metrics().add("ckpt.level" + std::to_string(level) +
                                ".commits");
     }
+    if (journal_ != nullptr) {
+      const StableStorage& dev =
+          *config_.level_devices[static_cast<std::size_t>(level)];
+      journal_commit(
+          level, epoch, iteration,
+          std::max(0.0,
+                   dev.busy_until() -
+                       std::max(epoch_level_busy_[static_cast<std::size_t>(
+                                    level)],
+                                epoch_entry_time_)),
+          level_kind_name(hier.level(level).params.kind));
+    }
   };
 
   if (cache >= 0) commit_blocking(cache);
@@ -421,6 +498,7 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
                          ".write_failures");
           recorder_->add("time.ckpt_wasted_write", res.device_time);
         }
+        journal_write_failed(r, pfs, epoch, 0, res.device_time);
       } else {
         ready = dev.write_completion(image);
         if (config_.faults != nullptr &&
@@ -441,6 +519,16 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
       recorder_->instant("flush-launch", "ckpt", obs::kJobPid, engine_.now());
       recorder_->metrics().add("ckpt.flush.launched");
     }
+    if (journal_ != nullptr) {
+      obs::Journal::Event ev;
+      ev.t = engine_.now();
+      ev.type = "flush-launch";
+      ev.episode = static_cast<int>(config_.episode);
+      ev.level = pfs;
+      ev.epoch = epoch;
+      ev.dur = ready - engine_.now();
+      journal_->append(std::move(ev));
+    }
     engine_.schedule_at(ready, [this, idx] { commit_flush(idx); });
   }
 }
@@ -456,6 +544,18 @@ void CheckpointController::commit_flush(std::size_t idx) {
     recorder_->metrics().add("ckpt.flush.completed");
     recorder_->metrics().add("ckpt.level" + std::to_string(pf.level) +
                              ".commits");
+  }
+  if (journal_ != nullptr) {
+    // Timestamped at the drain's completion (ready_at), not engine_.now():
+    // terminal drains commit after the engine stopped.
+    obs::Journal::Event ev;
+    ev.t = pf.ready_at;
+    ev.type = "flush-commit";
+    ev.episode = static_cast<int>(config_.episode);
+    ev.level = pf.level;
+    ev.epoch = pf.gen.snapshot.epoch;
+    ev.dur = pf.ready_at - pf.start;
+    journal_->append(std::move(ev));
   }
 }
 
@@ -477,12 +577,25 @@ double CheckpointController::drain_remaining_flushes(sim::Time now) {
   return last - now;
 }
 
-int CheckpointController::drop_remaining_flushes() {
+int CheckpointController::drop_remaining_flushes(std::uint64_t cause) {
   int lost = 0;
   for (auto& pf : pending_flushes_) {
     if (pf.committed) continue;
     pf.committed = true;  // dropped: the kill destroyed the in-flight images
     ++lost;
+    if (journal_ != nullptr) {
+      // Billed to the killing failure: the drain seconds this flush had
+      // reserved are destroyed along with its images.
+      obs::Journal::Event ev;
+      ev.t = engine_.now();
+      ev.type = "flush-lost";
+      ev.cause = cause;
+      ev.episode = static_cast<int>(config_.episode);
+      ev.level = pf.level;
+      ev.epoch = pf.gen.snapshot.epoch;
+      ev.dur = pf.ready_at - pf.start;
+      journal_->append(std::move(ev));
+    }
   }
   flushes_lost_ += lost;
   if (recorder_ != nullptr && lost > 0) {

@@ -26,6 +26,7 @@
 #include "ckpt/quiesce.hpp"
 #include "ckpt/storage.hpp"
 #include "failure/faults.hpp"
+#include "obs/journal.hpp"
 #include "obs/recorder.hpp"
 #include "sim/cotask.hpp"
 #include "simmpi/world.hpp"
@@ -180,14 +181,22 @@ class CheckpointController {
   /// `flush` accounting component).
   double drain_remaining_flushes(sim::Time now);
   /// A kill destroyed every flush still in flight: drops them and returns
-  /// how many were lost.
-  int drop_remaining_flushes();
+  /// how many were lost. `cause` is the journal event id of the killing
+  /// failure (0 when no journal is attached); each dropped flush journals a
+  /// "flush-lost" event billed to it.
+  int drop_remaining_flushes(std::uint64_t cause = 0);
 
   /// Attaches an observability recorder (nullptr detaches). Records
   /// per-rank quiesce / image-write / barrier spans, a job-track span per
   /// completed checkpoint, the "time.ckpt_*" phase counters and the
   /// "quiesce.rounds" histogram.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
+  /// Attaches a causal journal (nullptr detaches). Appends per-epoch
+  /// "ckpt-end" / "ckpt-commit" (per level, with the level's device seconds
+  /// as `dur`), "ckpt-write-failed", "ckpt-epoch-abandoned" and the
+  /// "flush-launch" / "flush-commit" / "flush-lost" drain events.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
 
  private:
   /// Max-agreement over the locally observed requested-epoch counter.
@@ -210,6 +219,14 @@ class CheckpointController {
   /// Commits pending flush `idx` if its drain has completed (idempotent).
   void commit_flush(std::size_t idx);
 
+  /// Journals one "ckpt-write-failed" event (no-op without a journal).
+  void journal_write_failed(int rank, int level, int epoch, int attempt,
+                            double device_time);
+  /// Journals one "ckpt-commit" event for `level` (-1 = flat) whose epoch
+  /// consumed `device_seconds` of device time (no-op without a journal).
+  void journal_commit(int level, int epoch, long iteration,
+                      double device_seconds, const char* kind);
+
   sim::Engine& engine_;
   StableStorage& storage_;
   CkptConfig config_;
@@ -227,6 +244,11 @@ class CheckpointController {
   // commits or launches a flush).
   std::vector<std::vector<char>> epoch_level_ok_;
   std::vector<char> epoch_level_exhausted_;
+  // Journal accounting: device busy_until() per level (and the flat device)
+  // snapshotted at epoch entry; the delta at commit is the device seconds
+  // the epoch consumed at that level (exact — level writes serialize).
+  std::vector<double> epoch_level_busy_;
+  double epoch_flat_busy_ = 0.0;
   std::vector<PendingFlush> pending_flushes_;
   int flushes_completed_ = 0;
   int flushes_lost_ = 0;
@@ -236,6 +258,7 @@ class CheckpointController {
   double total_checkpoint_time_ = 0.0;
   QuiesceStats last_quiesce_;
   obs::Recorder* recorder_ = nullptr;  // optional, not owned
+  obs::Journal* journal_ = nullptr;    // optional, not owned
 };
 
 }  // namespace redcr::ckpt

@@ -332,6 +332,7 @@ StorageHierarchy::FetchResult StorageHierarchy::fetch(
       if (!l.store.empty()) {
         ++l.defeated;
         ++result.levels_defeated;
+        result.defeated_levels.push_back(i);
         l.store.clear();
       }
       continue;

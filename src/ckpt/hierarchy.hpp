@@ -209,6 +209,11 @@ class StorageHierarchy {
     int fallback_depth = 0;     ///< generations discarded inside the server
     double fetch_seconds = 0.0; ///< read cost at the serving level
     int levels_defeated = 0;    ///< levels the dead set destroyed
+    /// Indices of the destroyed levels, fastest first — the executor's
+    /// journal turns each into a "level-defeated" event billed to the
+    /// failure. Only levels that actually held generations count (matching
+    /// `levels_defeated`).
+    std::vector<int> defeated_levels;
   };
 
   /// The cheapest-surviving-level restart fetch (see file comment).

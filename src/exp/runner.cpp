@@ -27,7 +27,11 @@ class ProgressMeter {
     if (enabled_ && reported_) std::fputc('\n', stderr);
   }
 
-  void completed(std::size_t done) {
+  /// `done` counts every finished cell — failed ones included, so a
+  /// kept-going sweep's meter still reaches 100% and its ETA stays honest.
+  /// `failed` is the failures among them; the final line carries the
+  /// ok/failed tally whenever any cell failed.
+  void completed(std::size_t done, std::size_t failed) {
     if (!enabled_) return;
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto now = std::chrono::steady_clock::now();
@@ -48,6 +52,8 @@ class ProgressMeter {
                          static_cast<double>(total_ - done);
       std::fprintf(stderr, ", eta %.1fs ", eta);
     }
+    if (done >= total_ && failed > 0)
+      std::fprintf(stderr, " — %zu ok, %zu failed", done - failed, failed);
     std::fflush(stderr);
   }
 
@@ -73,21 +79,23 @@ SweepRunner::SweepRunner(RunnerOptions options)
 }
 
 void SweepRunner::run_indexed(
-    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+    std::size_t n, const std::function<bool(std::size_t)>& fn) const {
   if (n == 0) return;
   ProgressMeter meter(n, progress_);
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
   if (workers <= 1) {
+    std::size_t cell_failures = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      fn(i);
-      meter.completed(i + 1);
+      if (!fn(i)) ++cell_failures;
+      meter.completed(i + 1, cell_failures);
     }
     return;
   }
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> cell_failures{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -96,15 +104,18 @@ void SweepRunner::run_indexed(
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      bool ok = true;
       try {
-        fn(i);
+        ok = fn(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
       }
-      meter.completed(done.fetch_add(1, std::memory_order_relaxed) + 1);
+      if (!ok) cell_failures.fetch_add(1, std::memory_order_relaxed);
+      meter.completed(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                      cell_failures.load(std::memory_order_relaxed));
     }
   };
 

@@ -71,8 +71,10 @@ class SweepRunner {
     static_assert(std::is_default_constructible_v<R>,
                   "SweepRunner::map result type must be default-constructible");
     std::vector<R> out(items.size());
-    run_indexed(items.size(),
-                [&](std::size_t i) { out[i] = fn(items[i]); });
+    run_indexed(items.size(), [&](std::size_t i) {
+      out[i] = fn(items[i]);
+      return true;
+    });
     return out;
   }
 
@@ -97,14 +99,19 @@ class SweepRunner {
       } catch (...) {
         out[i].error = "unknown error";
       }
+      return out[i].ok();
     });
     return out;
   }
 
  private:
-  /// Executes fn(0..n-1), each index exactly once, across the pool.
+  /// Executes fn(0..n-1), each index exactly once, across the pool. `fn`
+  /// returns whether the cell succeeded; failed cells still count toward
+  /// the progress meter's completion (a kept-going sweep must reach 100%,
+  /// not stall at the failure fraction) and the final progress line carries
+  /// an "ok/failed" tally when any cell failed.
   void run_indexed(std::size_t n,
-                   const std::function<void(std::size_t)>& fn) const;
+                   const std::function<bool(std::size_t)>& fn) const;
 
   int jobs_ = 1;
   bool progress_ = false;

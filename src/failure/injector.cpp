@@ -134,6 +134,14 @@ sim::Task FailureInjector::run(sim::Engine& engine, SphereMonitor& monitor,
                          obs::rank_pid(static_cast<int>(p)), engine.now());
       recorder_->add("failure.replica_deaths");
     }
+    if (journal_ != nullptr) {
+      obs::Journal::Event ev;
+      ev.t = engine.now();
+      ev.type = "replica-death";
+      ev.episode = static_cast<int>(episode);
+      ev.rank = static_cast<int>(p);
+      journal_->append(std::move(ev));
+    }
     if (on_replica_death) on_replica_death(static_cast<Rank>(p));
     if (sphere_died) {
       const Rank sphere = map_->virtual_of(static_cast<Rank>(p));
@@ -142,7 +150,19 @@ sim::Task FailureInjector::run(sim::Engine& engine, SphereMonitor& monitor,
                            engine.now());
         recorder_->add("failure.sphere_deaths");
       }
-      on_job_failure(JobFailure{engine.now(), sphere});
+      // The root-fault event: its id is the cause everything this failure
+      // triggers (restart, rework, lost flushes, abort) is billed to.
+      std::uint64_t cause = 0;
+      if (journal_ != nullptr) {
+        obs::Journal::Event ev;
+        ev.t = engine.now();
+        ev.type = "sphere-death";
+        ev.episode = static_cast<int>(episode);
+        ev.rank = static_cast<int>(p);
+        ev.sphere = static_cast<int>(sphere);
+        cause = journal_->append(std::move(ev));
+      }
+      on_job_failure(JobFailure{engine.now(), sphere, cause});
       co_return;  // the job is down; this episode is over
     }
   }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "obs/recorder.hpp"
 #include "red/red_comm.hpp"
 #include "red/replica_map.hpp"
@@ -81,6 +82,10 @@ class SphereMonitor final : public red::Liveness {
 struct JobFailure {
   sim::Time time = 0.0;
   Rank sphere = -1;
+  /// Journal event id of this failure's "sphere-death" event — the root
+  /// fault everything downstream (restart attempts, fetch, rework, lost
+  /// flushes, aborts) is attributed to. 0 when no journal is attached.
+  std::uint64_t cause = 0;
 };
 
 class FailureInjector {
@@ -117,10 +122,16 @@ class FailureInjector {
   /// instant on the job track, and the "failure.*" counters.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches a causal journal (nullptr detaches). Appends "replica-death"
+  /// and "sphere-death" events; the sphere-death event id is threaded into
+  /// JobFailure::cause so the executor can attribute downstream waste.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
+
  private:
   const red::ReplicaMap* map_;
   FailureParams params_;
   obs::Recorder* recorder_ = nullptr;  // optional, not owned
+  obs::Journal* journal_ = nullptr;    // optional, not owned
 };
 
 }  // namespace redcr::failure

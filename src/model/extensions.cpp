@@ -280,6 +280,25 @@ UnreliablePrediction predict_unreliable(const CombinedConfig& config, double r,
   return out;
 }
 
+FailureWaste predicted_failure_waste(double interval, double ckpt_cost,
+                                     double restart_cost) {
+  const auto check = [](double v, const char* name) {
+    if (!(v >= 0.0))  // catches NaN too
+      throw std::invalid_argument(
+          std::string("predicted_failure_waste: ") + name +
+          " must be >= 0, got " + std::to_string(v));
+  };
+  check(interval, "interval");
+  check(ckpt_cost, "ckpt_cost");
+  check(restart_cost, "restart_cost");
+  FailureWaste w;
+  // A failure lands uniformly inside a checkpoint period of length δ + c;
+  // expected work lost since the last durable snapshot is half of it.
+  w.rework = (interval + ckpt_cost) / 2.0;
+  w.restart = restart_cost;
+  return w;
+}
+
 Sensitivity sensitivity_at(const CombinedConfig& config, double r) {
   Sensitivity s;
   s.wrt_node_mtbf =

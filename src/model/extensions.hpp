@@ -158,4 +158,26 @@ struct UnreliablePrediction {
 [[nodiscard]] UnreliablePrediction predict_unreliable(
     const CombinedConfig& config, double r, const UnreliableCkptParams& u);
 
+// --- Per-failure waste prediction (journal blame counterpart) ----------------
+
+/// What the first-order checkpointing model expects ONE failure to cost.
+/// The journal analyzer (obs::blame) measures the same quantities per
+/// observed failure; `redcr_cli analyze --blame` prints predicted columns
+/// next to the attributed ones so the residual is visible per run.
+struct FailureWaste {
+  /// E[rework]: work since the last durable checkpoint at a uniformly-
+  /// placed failure — half a checkpoint period, (δ + c) / 2.
+  double rework = 0.0;
+  /// Restart dead time: one successful attempt, R.
+  double restart = 0.0;
+  [[nodiscard]] double total() const noexcept { return rework + restart; }
+};
+
+/// First-order expected waste of one failure under interval δ, per-epoch
+/// checkpoint cost c and restart cost R (the Daly/Eq.-14 ingredients).
+/// Throws std::invalid_argument on negative or NaN inputs.
+[[nodiscard]] FailureWaste predicted_failure_waste(double interval,
+                                                   double ckpt_cost,
+                                                   double restart_cost);
+
 }  // namespace redcr::model

@@ -1,0 +1,58 @@
+#include "obs/journal.hpp"
+
+#include "obs/json.hpp"
+
+namespace redcr::obs {
+
+std::uint64_t Journal::append(Event event) {
+  event.id = static_cast<std::uint64_t>(events_.size()) + 1;
+  event.t += offset_;
+  events_.push_back(std::move(event));
+  return events_.back().id;
+}
+
+void Journal::append_line(std::string& out, const Event& event) {
+  out += "{\"id\":";
+  json::append_number(out, static_cast<double>(event.id));
+  out += ",\"t\":";
+  json::append_number(out, event.t);
+  out += ",\"type\":";
+  json::append_string(out, event.type);
+  if (event.cause != 0) {
+    out += ",\"cause\":";
+    json::append_number(out, static_cast<double>(event.cause));
+  }
+  const auto field = [&out](const char* name, double value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    json::append_number(out, value);
+  };
+  if (event.episode >= 0) field("episode", event.episode);
+  if (event.rank >= 0) field("rank", event.rank);
+  if (event.level >= 0) field("level", event.level);
+  if (event.epoch >= 0) field("epoch", event.epoch);
+  if (event.sphere >= 0) field("sphere", event.sphere);
+  if (event.attempt >= 0) field("attempt", event.attempt);
+  if (event.iteration >= 0)
+    field("iteration", static_cast<double>(event.iteration));
+  if (event.dur >= 0.0) field("dur", event.dur);
+  if (event.saved >= 0.0) field("saved", event.saved);
+  if (!event.detail.empty()) {
+    out += ",\"detail\":";
+    json::append_string(out, event.detail);
+  }
+  out += '}';
+}
+
+std::string Journal::ndjson() const {
+  std::string out;
+  out.reserve(events_.size() * 96);
+  for (const Event& event : events_) {
+    append_line(out, event);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace redcr::obs

@@ -2,6 +2,8 @@
 // time trace sink and the Recorder handle the stack is instrumented with.
 #pragma once
 
+#include "obs/analyze.hpp"   // IWYU pragma: export
+#include "obs/journal.hpp"   // IWYU pragma: export
 #include "obs/json.hpp"      // IWYU pragma: export
 #include "obs/recorder.hpp"  // IWYU pragma: export
 #include "obs/registry.hpp"  // IWYU pragma: export

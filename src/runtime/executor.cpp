@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "red/pull_comm.hpp"
 #include "simmpi/world.hpp"
 #include "util/log.hpp"
@@ -156,10 +157,12 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   ckpt::CheckpointController controller(engine, storage, ckpt_config,
                                         static_cast<int>(map_.num_physical()));
   controller.set_recorder(config_.recorder);
+  controller.set_journal(config_.journal);
 
   failure::SphereMonitor monitor(map_);
   failure::FailureInjector injector(map_, config_.fail);
   injector.set_recorder(config_.recorder);
+  injector.set_journal(config_.journal);
 
   std::vector<std::unique_ptr<simmpi::Comm>> comms;
   comms.reserve(map_.num_physical());
@@ -245,7 +248,8 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
                                result.elapsed + result.flush_drain);
       result.elapsed += result.flush_drain;
     } else {
-      controller.drop_remaining_flushes();
+      // Bill every destroyed in-flight drain to the killing failure.
+      controller.drop_remaining_flushes(job_failure ? job_failure->cause : 0);
     }
     result.flushes_completed = controller.flushes_completed();
     result.flushes_lost = controller.flushes_lost();
@@ -341,12 +345,72 @@ JobReport JobExecutor::run() {
                                   "rank " + std::to_string(p));
   }
 
+  obs::Journal* jnl = config_.journal;
+  // Appends the terminal job-end event: the executor's accounting totals,
+  // rendered with the journal's exact number formatting so the analyzer's
+  // blame reconciliation is an equality check, not a re-derivation.
+  auto journal_job_end = [&](const JobReport& r) {
+    if (jnl == nullptr) return;
+    jnl->set_time_offset(0.0);
+    obs::Journal::Event ev;
+    ev.type = "job-end";
+    ev.t = r.wallclock;
+    ev.dur = r.wallclock;
+    std::string d = "outcome=";
+    d += r.completed ? "completed" : (r.abort ? "aborted" : "gave-up");
+    const auto kv = [&d](const char* key, double value) {
+      d += ';';
+      d += key;
+      d += '=';
+      obs::json::append_number(d, value);
+    };
+    kv("wallclock", r.wallclock);
+    kv("useful", r.useful_work);
+    kv("ckpt", r.checkpoint_time);
+    kv("rework", r.rework_time);
+    kv("restart", r.restart_time);
+    kv("flush", r.flush_time);
+    ev.detail = std::move(d);
+    jnl->append(ev);
+  };
+  if (jnl != nullptr) {
+    jnl->set_time_offset(0.0);
+    obs::Journal::Event ev;
+    ev.type = "job-begin";
+    ev.t = 0.0;
+    std::string d;
+    const auto kv = [&d](const char* key, double value) {
+      if (!d.empty()) d += ';';
+      d += key;
+      d += '=';
+      obs::json::append_number(d, value);
+    };
+    kv("procs", static_cast<double>(map_.num_physical()));
+    kv("virtual", static_cast<double>(map_.num_virtual()));
+    kv("redundancy", config_.redundancy);
+    kv("interval",
+       config_.checkpoint_enabled ? config_.checkpoint_interval : 0.0);
+    kv("restart_cost", config_.restart_cost);
+    kv("levels", static_cast<double>(config_.hierarchy.levels.size()));
+    ev.detail = std::move(d);
+    jnl->append(ev);
+  }
+
   long start_iteration = 0;
   for (int episode = 0; episode < config_.max_episodes; ++episode) {
     for (auto& workload : workloads_) workload->restore(start_iteration);
     // Episode engines restart at t = 0; job time resumes where the previous
     // episode (plus its restart gap) left off.
     if (rec != nullptr) rec->set_time_offset(report.wallclock);
+    if (jnl != nullptr) {
+      jnl->set_time_offset(report.wallclock);
+      obs::Journal::Event ev;
+      ev.type = "episode-begin";
+      ev.t = 0.0;  // episode-local; the offset places it at job time
+      ev.episode = episode;
+      ev.iteration = start_iteration;
+      jnl->append(ev);
+    }
     REDCR_LOG_INFO << "job: episode " << episode << " begin at wallclock "
                    << report.wallclock << "s, iteration " << start_iteration;
     const EpisodeResult res =
@@ -378,6 +442,19 @@ JobReport JobExecutor::run() {
     if (res.failure) ep.dead_sphere = res.failure->sphere;
     ep.flushes_lost = res.flushes_lost;
     report.trace.push_back(ep);
+
+    const std::uint64_t cause = res.failure ? res.failure->cause : 0;
+    if (jnl != nullptr) {
+      obs::Journal::Event ev;
+      ev.type = "episode-end";
+      ev.t = res.elapsed;
+      ev.cause = cause;
+      ev.episode = episode;
+      ev.dur = res.elapsed;
+      if (res.failure) ev.sphere = res.failure->sphere;
+      ev.detail = res.finished ? "completed" : "sphere-death";
+      jnl->append(ev);
+    }
 
     ++report.episodes;
     report.checkpoints += res.checkpoints;
@@ -424,6 +501,7 @@ JobReport JobExecutor::run() {
                      << "s (" << res.checkpoints << " checkpoints, "
                      << res.physical_failures << " replica deaths)";
       finalize_levels(report);
+      journal_job_end(report);
       return report;
     }
 
@@ -456,6 +534,16 @@ JobReport JobExecutor::run() {
         rec->add("time.restart", cost);
         if (unreliable) rec->add("restart.attempts");
       }
+      if (jnl != nullptr) {
+        obs::Journal::Event ev;
+        ev.type = "restart-attempt";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.attempt = attempts;
+        ev.dur = cost;
+        jnl->append(ev);
+      }
       span_begin += cost;
       if (!failed) {
         restarted = true;
@@ -465,6 +553,15 @@ JobReport JobExecutor::run() {
       if (rec != nullptr) {
         rec->instant("restart-failed", "restart", obs::kJobPid, span_begin);
         rec->add("restart.failures");
+      }
+      if (jnl != nullptr) {
+        obs::Journal::Event ev;
+        ev.type = "restart-failed";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.attempt = attempts;
+        jnl->append(ev);
       }
       REDCR_LOG_WARN << "job: restart attempt " << attempts
                      << " after episode " << episode << " failed";
@@ -488,8 +585,26 @@ JobReport JobExecutor::run() {
         rec->add("job.aborts");
         rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
       }
+      if (jnl != nullptr) {
+        obs::Journal::Event rw;
+        rw.type = "rework";
+        rw.t = span_begin;
+        rw.cause = cause;
+        rw.episode = episode;
+        rw.dur = work_this_episode;
+        jnl->append(rw);
+        obs::Journal::Event ev;
+        ev.type = "abort";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.attempt = attempts;
+        ev.detail = "restart-retries-exhausted";
+        jnl->append(ev);
+      }
       REDCR_LOG_WARN << "job: " << abort.describe();
       finalize_levels(report);
+      journal_job_end(report);
       return report;
     }
 
@@ -500,6 +615,7 @@ JobReport JobExecutor::run() {
     // inside the serving level.
     ckpt::RestoreResult restore;
     double fetch_seconds = 0.0;
+    int restore_level = -1;  // journal: serving level, -1 = flat store
     if (hier != nullptr) {
       const ckpt::StorageHierarchy::FetchResult fetched =
           hier->fetch(res.dead_ranks, config_.image_bytes);
@@ -508,7 +624,19 @@ JobReport JobExecutor::run() {
       restore.generation = fetched.generation;
       restore.fallback_depth = fetched.fallback_depth;
       fetch_seconds = fetched.fetch_seconds;
+      if (jnl != nullptr) {
+        for (const int defeated : fetched.defeated_levels) {
+          obs::Journal::Event ev;
+          ev.type = "level-defeated";
+          ev.t = span_begin;
+          ev.cause = cause;
+          ev.episode = episode;
+          ev.level = defeated;
+          jnl->append(ev);
+        }
+      }
       if (fetched.found) {
+        restore_level = fetched.level;
         report.trace.back().restore_level = fetched.level;
         if (rec != nullptr) {
           rec->metrics().add("restore.level" + std::to_string(fetched.level) +
@@ -536,6 +664,16 @@ JobReport JobExecutor::run() {
         rec->add("time.restart", fetch_seconds);
         rec->add("restart.fetch_seconds", fetch_seconds);
       }
+      if (jnl != nullptr) {
+        obs::Journal::Event ev;
+        ev.type = "fetch";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.level = restore_level;
+        ev.dur = fetch_seconds;
+        jnl->append(ev);
+      }
       span_begin += fetch_seconds;
     }
     if (!restore.found && restore.had_generations) {
@@ -555,8 +693,26 @@ JobReport JobExecutor::run() {
         rec->add("job.aborts");
         rec->instant("job-abort", "restart", obs::kJobPid, span_begin);
       }
+      if (jnl != nullptr) {
+        obs::Journal::Event rw;
+        rw.type = "rework";
+        rw.t = span_begin;
+        rw.cause = cause;
+        rw.episode = episode;
+        rw.dur = work_this_episode;
+        jnl->append(rw);
+        obs::Journal::Event ev;
+        ev.type = "abort";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.attempt = attempts;
+        ev.detail = "no-valid-checkpoint";
+        jnl->append(ev);
+      }
       REDCR_LOG_WARN << "job: " << abort.describe();
       finalize_levels(report);
+      journal_job_end(report);
       return report;
     }
 
@@ -598,6 +754,19 @@ JobReport JobExecutor::run() {
             .observe(restore.fallback_depth);
         if (excess > 0.0) rec->add("restore.invalidated_work", excess);
       }
+      if (jnl != nullptr) {
+        obs::Journal::Event ev;
+        ev.type = "restore";
+        ev.t = span_begin;
+        ev.cause = cause;
+        ev.episode = episode;
+        ev.level = restore_level;
+        ev.epoch = gen.snapshot.epoch;
+        ev.iteration = start_iteration;
+        ev.attempt = restore.fallback_depth;
+        ev.saved = gen.cumulative_useful;
+        jnl->append(ev);
+      }
     }
     // Without any usable generation the next episode restarts from the same
     // iteration as this one did, and everything this episode did is rework.
@@ -607,6 +776,19 @@ JobReport JobExecutor::run() {
       obs::Registry& metrics = rec->metrics();
       metrics.add("time.useful_work", credit - excess);
       metrics.add("time.rework", work_this_episode - credit + excess);
+    }
+    if (jnl != nullptr) {
+      // The failure's rework bill: this episode's work minus what the
+      // restored generation banked (plus credited work a fallback
+      // invalidated). Emitted even at 0 so blame sums stay an exact tiling
+      // of the executor's rework_time.
+      obs::Journal::Event ev;
+      ev.type = "rework";
+      ev.t = span_begin;
+      ev.cause = cause;
+      ev.episode = episode;
+      ev.dur = work_this_episode - credit + excess;
+      jnl->append(ev);
     }
     REDCR_LOG_INFO << "job: episode " << episode << " killed at "
                    << res.elapsed << "s"
@@ -619,6 +801,7 @@ JobReport JobExecutor::run() {
   REDCR_LOG_WARN << "job: gave up after " << config_.max_episodes
                  << " episodes without completing";
   finalize_levels(report);
+  journal_job_end(report);
   return report;  // completed == false: gave up after max_episodes
 }
 

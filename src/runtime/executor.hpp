@@ -28,6 +28,7 @@
 #include "failure/faults.hpp"
 #include "failure/injector.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "obs/recorder.hpp"
 #include "red/red_comm.hpp"
 #include "runtime/trace.hpp"
@@ -105,6 +106,15 @@ struct JobConfig {
   /// instants, and traffic/engine counters. All timestamps are simulated
   /// job time, so the recorded output is a pure function of the config.
   obs::Recorder* recorder = nullptr;
+  /// Optional causal event journal (not owned; must outlive the executor).
+  /// When set, every causally meaningful event — replica/sphere deaths,
+  /// per-level checkpoint commits, flush launches/losses, restart attempts,
+  /// fetches, restores, rework, aborts — is appended with a stable event id,
+  /// and every waste event carries the id of the root sphere-death as its
+  /// `cause`, so obs::blame() can bill each second of rework/restart/flush
+  /// loss to exactly one fault. Null = off: every instrumentation site is a
+  /// single branch and runs stay byte-identical to a journal-free build.
+  obs::Journal* journal = nullptr;
 };
 
 /// Structured end-of-job outcome when the unreliable C/R pipeline gives up:

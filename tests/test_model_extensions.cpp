@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "model/extensions.hpp"
 #include "util/units.hpp"
@@ -121,6 +122,30 @@ TEST(Sensitivity, MtbfDominatesAtScaleWithoutRedundancy) {
   // With dual redundancy the job barely notices node MTBF anymore.
   const Sensitivity dual = sensitivity_at(cfg, 2.0);
   EXPECT_GT(dual.wrt_node_mtbf, s.wrt_node_mtbf);
+}
+
+TEST(FailureWaste, FirstOrderExpectationPerFailure) {
+  // Uniformly-placed failure inside a δ + c period loses half of it; the
+  // restart bill is one successful attempt.
+  const FailureWaste w = predicted_failure_waste(60.0, 10.0, 30.0);
+  EXPECT_DOUBLE_EQ(w.rework, 35.0);
+  EXPECT_DOUBLE_EQ(w.restart, 30.0);
+  EXPECT_DOUBLE_EQ(w.total(), 65.0);
+  // Degenerate but legal: free checkpoints, free restarts.
+  const FailureWaste z = predicted_failure_waste(0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(z.total(), 0.0);
+}
+
+TEST(FailureWaste, RejectsNegativeAndNanInputs) {
+  EXPECT_THROW((void)predicted_failure_waste(-1.0, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)predicted_failure_waste(60.0, -0.5, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)predicted_failure_waste(60.0, 0.0, -30.0),
+               std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW((void)predicted_failure_waste(nan, 0.0, 0.0),
+               std::invalid_argument);
 }
 
 }  // namespace

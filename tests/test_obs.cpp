@@ -16,6 +16,7 @@
 #include "apps/synthetic.hpp"
 #include "exp/runner.hpp"
 #include "obs/obs.hpp"
+#include "redcr/redcr.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/trace.hpp"
 #include "util/units.hpp"
@@ -464,6 +465,78 @@ TEST(ObsIntegration, DisabledRecorderChangesNothing) {
   EXPECT_EQ(with.episodes, without.episodes);
   EXPECT_EQ(with.messages, without.messages);
   EXPECT_EQ(with.engine_events, without.engine_events);
+}
+
+// ---- stdout export ("-" sink) ----------------------------------------------
+//
+// run_job treats "-" as stdout for every export sink. GTest's stdout
+// capture collects exactly what a piped consumer would read; the mini JSON
+// parser above certifies it is loadable.
+
+std::string captured_run(redcr::RunOptions options) {
+  testing::internal::CaptureStdout();
+  (void)redcr::run_job(small_config(), factory(), options);
+  return testing::internal::GetCapturedStdout();
+}
+
+void expect_valid_ndjson(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "NDJSON must end with a newline";
+  std::size_t start = 0, lines = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_TRUE(is_valid_json(text.substr(start, end - start)))
+        << text.substr(start, end - start);
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(StdoutExport, MetricsDashWritesValidNdjsonToStdout) {
+  redcr::RunOptions options;
+  options.metrics_out = "-";
+  const std::string out = captured_run(options);
+  expect_valid_ndjson(out);
+  EXPECT_NE(out.find("\"time.useful_work\""), std::string::npos);
+}
+
+TEST(StdoutExport, TraceDashWritesOneValidJsonValueToStdout) {
+  redcr::RunOptions options;
+  options.trace_out = "-";
+  const std::string out = captured_run(options);
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(is_valid_json(out)) << out.substr(0, 200);
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(StdoutExport, JournalDashWritesValidNdjsonToStdout) {
+  redcr::RunOptions options;
+  options.journal_out = "-";
+  const std::string out = captured_run(options);
+  expect_valid_ndjson(out);
+  // First and last lines bracket the job; events carry stable ids.
+  EXPECT_EQ(out.find("\"type\":\"job-begin\""), out.find("\"type\":\""));
+  EXPECT_NE(out.find("\"type\":\"job-end\""), std::string::npos);
+  EXPECT_EQ(out.rfind("{\"id\":1,", 0), 0u);
+  // The stdout bytes parse back into the same journal the analyzer sees.
+  const std::vector<Journal::Event> events = parse_journal(out);
+  EXPECT_TRUE(blame(events).reconciled(1e-6));
+}
+
+TEST(StdoutExport, CombinedSinksConcatenateDeterministically) {
+  // All three sinks aimed at stdout: run_job exports in a fixed order
+  // (trace, metrics, journal), so the combined stream is reproducible.
+  redcr::RunOptions options;
+  options.metrics_out = "-";
+  options.trace_out = "-";
+  options.journal_out = "-";
+  const std::string a = captured_run(options);
+  const std::string b = captured_run(options);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\":\"job-end\""), std::string::npos);
 }
 
 // ---- runtime::render_trace edge cases --------------------------------------

@@ -479,6 +479,7 @@ int cmd_simulate(const Flags& flags) {
   redcr::RunOptions options;
   options.trace_out = flags.text("trace-out", "");
   options.metrics_out = flags.text("metrics-out", "");
+  options.journal_out = flags.text("journal-out", "");
   runtime::JobReport report;
   try {
     report = redcr::run_job(
@@ -489,45 +490,50 @@ int cmd_simulate(const Flags& flags) {
     return 1;
   }
 
+  // `--journal-out -` hands stdout to the journal stream so it can pipe
+  // straight into `redcr_cli analyze --journal -`; the human summary moves
+  // to stderr to keep the pipe parseable. The older `--trace-out -` /
+  // `--metrics-out -` keep their historical stdout mixing (pinned bytes).
+  std::FILE* text = options.journal_out == "-" ? stderr : stdout;
   const bool unreliable = cfg.ckpt_faults.enabled() ||
                           cfg.ckpt_retention > 1 || cfg.hierarchy.enabled();
   const char* outcome = report.completed ? "completed"
                         : report.abort   ? "ABORTED"
                                          : "GAVE UP (max episodes)";
-  std::printf("outcome          : %s\n", outcome);
-  std::printf("wallclock        : %.1f min\n", util::to_minutes(report.wallclock));
-  std::printf("  useful work    : %.1f min\n", util::to_minutes(report.useful_work));
-  std::printf("  checkpoints    : %.1f min (%d taken)\n",
+  std::fprintf(text, "outcome          : %s\n", outcome);
+  std::fprintf(text, "wallclock        : %.1f min\n", util::to_minutes(report.wallclock));
+  std::fprintf(text, "  useful work    : %.1f min\n", util::to_minutes(report.useful_work));
+  std::fprintf(text, "  checkpoints    : %.1f min (%d taken)\n",
               util::to_minutes(report.checkpoint_time), report.checkpoints);
-  std::printf("  rework         : %.1f min\n", util::to_minutes(report.rework_time));
-  std::printf("  restarts       : %.1f min (%d job failures)\n",
+  std::fprintf(text, "  rework         : %.1f min\n", util::to_minutes(report.rework_time));
+  std::fprintf(text, "  restarts       : %.1f min (%d job failures)\n",
               util::to_minutes(report.restart_time), report.job_failures);
   // Fault-pipeline accounting only appears when the pipeline can actually
   // fail; zero-fault retention-1 stdout stays byte-identical to pre-fault
   // builds.
   if (unreliable) {
-    std::printf("  ckpt writes    : %llu failed, %d epochs abandoned, "
+    std::fprintf(text, "  ckpt writes    : %llu failed, %d epochs abandoned, "
                 "%.1f min wasted\n",
                 static_cast<unsigned long long>(report.ckpt_write_failures),
                 report.failed_checkpoints,
                 util::to_minutes(report.wasted_write_time));
-    std::printf("  restart tries  : %d (%d failed, %d fallback restores)\n",
+    std::fprintf(text, "  restart tries  : %d (%d failed, %d fallback restores)\n",
                 report.restart_attempts, report.failed_restarts,
                 report.fallback_restores);
     if (report.abort)
-      std::printf("abort            : %s\n", report.abort->describe().c_str());
+      std::fprintf(text, "abort            : %s\n", report.abort->describe().c_str());
   }
   // Hierarchy accounting; only emitted when --ckpt-levels was given, so
   // flat-pipeline stdout stays byte-identical.
   if (cfg.hierarchy.enabled()) {
-    std::printf("  flush          : %.1f min drain (%d landed, %d lost)\n",
+    std::fprintf(text, "  flush          : %.1f min drain (%d landed, %d lost)\n",
                 util::to_minutes(report.flush_time), report.flushes_completed,
                 report.flushes_lost);
-    std::printf("  fetch          : %.1f min\n",
+    std::fprintf(text, "  fetch          : %.1f min\n",
                 util::to_minutes(report.fetch_time));
     for (std::size_t l = 0; l < report.levels.size(); ++l) {
       const auto& lv = report.levels[l];
-      std::printf("  level %zu %-7s: %llu writes (%llu failed), "
+      std::fprintf(text, "  level %zu %-7s: %llu writes (%llu failed), "
                   "%llu commits, %llu serves, %llu defeated\n",
                   l, lv.kind.c_str(),
                   static_cast<unsigned long long>(lv.writes),
@@ -537,16 +543,97 @@ int cmd_simulate(const Flags& flags) {
                   static_cast<unsigned long long>(lv.defeated));
     }
   }
-  std::printf("replica deaths   : %d\n", report.physical_failures);
-  std::printf("physical procs   : %zu\n", report.num_physical);
-  std::printf("messages         : %s\n",
+  std::fprintf(text, "replica deaths   : %d\n", report.physical_failures);
+  std::fprintf(text, "physical procs   : %zu\n", report.num_physical);
+  std::fprintf(text, "messages         : %s\n",
               fmt_count(static_cast<long long>(report.messages)).c_str());
   if (report.red_mismatches_detected > 0)
-    std::printf("SDC detected     : %llu (corrected %llu)\n",
+    std::fprintf(text, "SDC detected     : %llu (corrected %llu)\n",
                 static_cast<unsigned long long>(report.red_mismatches_detected),
                 static_cast<unsigned long long>(report.red_mismatches_corrected));
-  std::printf("\ntimeline:\n%s", runtime::render_trace(report.trace).c_str());
+  std::fprintf(text, "\ntimeline:\n%s", runtime::render_trace(report.trace).c_str());
   return report.completed ? 0 : 1;
+}
+
+// Reads a whole file ("-" = stdin) into a string; throws std::runtime_error
+// naming the path on failure.
+std::string read_text(const std::string& path) {
+  std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (in == nullptr)
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, in)) > 0)
+    text.append(buffer, n);
+  if (in != stdin) std::fclose(in);
+  return text;
+}
+
+int cmd_analyze(const Flags& flags) {
+  const std::string path = flags.text("journal", "");
+  if (path.empty()) {
+    std::fprintf(
+        stderr,
+        "redcr_cli analyze: --journal FILE is required ('-' = stdin)\n");
+    return 2;
+  }
+  std::vector<obs::Journal::Event> events;
+  try {
+    events = obs::parse_journal(read_text(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "redcr_cli analyze: %s: %s\n", path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  // Run-diff triage: exit 0 when the journals are event-identical, 1 with
+  // the first divergent event (plus causal context) otherwise.
+  if (flags.flag("diff")) {
+    const std::string diff_path = flags.text("diff", "");
+    std::vector<obs::Journal::Event> other;
+    try {
+      other = obs::parse_journal(read_text(diff_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "redcr_cli analyze: %s: %s\n", diff_path.c_str(),
+                   e.what());
+      return 2;
+    }
+    const obs::DiffResult result = obs::diff(events, other);
+    std::fputs(result.render(events, other).c_str(), stdout);
+    return result.identical ? 0 : 1;
+  }
+
+  const bool want_levels = flags.flag("levels");
+  const bool want_blame = flags.flag("blame") || !want_levels;  // the default
+  if (want_blame) {
+    const obs::BlameReport report = obs::blame(events);
+    obs::BlameOptions options;
+    options.top_k = static_cast<int>(flags.number("top", 10));
+    // Predicted-waste columns at the journal's observed δ, c, R — skipped
+    // when the journal carries no interval (checkpointing off) or the user
+    // asked for attribution only.
+    if (!flags.flag("no-model") && report.summary.interval > 0.0) {
+      const model::FailureWaste waste = model::predicted_failure_waste(
+          report.summary.interval, report.summary.mean_ckpt_cost,
+          report.summary.restart_cost);
+      options.predicted_rework = waste.rework;
+      options.predicted_restart = waste.restart;
+    }
+    std::fputs(report.render(options).c_str(), stdout);
+    if (!report.reconciled()) {
+      std::fprintf(stderr,
+                   "redcr_cli analyze: blame does NOT reconcile with the "
+                   "executor invariant (residual %.9g s)\n",
+                   report.residual);
+      return 1;
+    }
+  }
+  if (want_levels) {
+    if (want_blame) std::fputs("\n", stdout);
+    std::fputs(obs::level_efficacy(events).render().c_str(), stdout);
+  }
+  return 0;
 }
 
 void usage() {
@@ -572,7 +659,21 @@ void usage() {
       "                     [--retry-backoff-cap C]\n"
       "                     [--ckpt-levels SPEC] [--async-flush]\n"
       "                     [--trace-out FILE] [--metrics-out FILE]\n"
-      "                     (alias: simulate)\n\n"
+      "                     [--journal-out FILE]\n"
+      "                     (alias: simulate)\n"
+      "  redcr_cli analyze  --journal FILE [--blame] [--levels] [--top K]\n"
+      "                     [--no-model] [--diff FILE2]\n\n"
+      "Journal analysis: `run --journal-out FILE` records every causally\n"
+      "meaningful event (failures, per-level checkpoint commits, flush\n"
+      "launches/losses, restarts, restores, rework, aborts) as NDJSON, each\n"
+      "waste event carrying the id of its root sphere-death as `cause`.\n"
+      "`analyze --blame` (the default) ranks root faults by attributed\n"
+      "waste, reconciled exactly against the executor's accounting\n"
+      "invariant, with model-predicted per-failure columns (--no-model\n"
+      "omits them); `--levels` prints per-storage-level efficacy (work\n"
+      "saved by restores served there minus write/flush/lost cost);\n"
+      "`--diff FILE2` pinpoints the first divergent event between two runs\n"
+      "(exit 0 = identical, 1 = divergent). '-' reads stdin.\n\n"
       "Storage hierarchy (run): --ckpt-levels takes ';'-separated levels,\n"
       "fastest first, each 'kind[,key=value...]' with kind one of\n"
       "local|partner|xor|pfs and keys bw (write B/s), lat (latency s),\n"
@@ -601,7 +702,8 @@ void usage() {
       "Global: [--log-level debug|info|warn|error|off]  (or REDCR_LOG_LEVEL\n"
       "env var; the flag wins). --trace-out writes Chrome trace-event JSON\n"
       "(open in Perfetto or chrome://tracing); --metrics-out writes one\n"
-      "JSON object per metric, newline-delimited. Use '-' for stdout.\n");
+      "JSON object per metric, newline-delimited; --journal-out writes the\n"
+      "causal event journal, one event per line. Use '-' for stdout.\n");
 }
 
 }  // namespace
@@ -630,6 +732,7 @@ int main(int argc, char** argv) {
   if (command == "model") return cmd_model(flags);
   if (command == "sweep") return cmd_sweep(flags);
   if (command == "run" || command == "simulate") return cmd_simulate(flags);
+  if (command == "analyze") return cmd_analyze(flags);
   usage();
   return command == "--help" || command == "help" ? 0 : 2;
 }
