@@ -50,18 +50,22 @@ int main(int argc, char** argv) {
               config.app.comm_fraction, to_years(config.machine.node_mtbf),
               config.machine.checkpoint_cost, config.machine.restart_cost);
 
-  // The degree sweep is a one-axis campaign; the batch evaluator memoizes
-  // the shared Eq. 9 terms and runs the points on a worker pool.
+  // The degree sweep is a one-axis campaign — exactly the query shape
+  // redcr::Planner serves: the batch engine memoizes the shared Eq. 9
+  // terms and runs the points on a worker pool, and the default
+  // EvalMode::kExact stays bitwise-identical to scalar predict().
   exp::ParamGrid grid;
   grid.axis("r", exp::ParamGrid::range(1.0, 3.0, 0.25));
   const std::vector<exp::Trial> trials = grid.trials();
-  std::vector<double> degrees;
-  degrees.reserve(trials.size());
-  for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
-  model::BatchOptions batch;
-  batch.jobs = static_cast<int>(arg_or(argc, argv, "--jobs", 0));
-  const std::vector<model::Prediction> preds =
-      model::evaluate_batch(config, degrees, batch);
+  Planner planner;
+  PlanRequest request;
+  request.config = config;
+  request.degrees.reserve(trials.size());
+  for (const exp::Trial& trial : trials)
+    request.degrees.push_back(trial.at("r"));
+  const PlanResponse plan = planner.plan(
+      request, static_cast<int>(arg_or(argc, argv, "--jobs", 0)));
+  const std::vector<model::Prediction>& preds = plan.sweep();
 
   exp::ResultSink t("capacity", {{"r"}, {"T_total [h]"}, {"nodes"},
                                  {"node-hours"}, {"delta [min]"},

@@ -3,18 +3,23 @@
 //
 // One include pulls in the three public layers:
 //
-//   analytic model   — redcr::scenario() → model::predict / model::
-//                      evaluate_batch / model::optimize_redundancy
+//   analytic model   — redcr::scenario() → redcr::Planner (plan-cached
+//                      sweep queries; redcr/planner.hpp) over model::
+//                      predict / model::optimize_redundancy
 //   simulation       — runtime::JobConfig + redcr::run_job() for a full
 //                      discrete-event run with optional trace/metrics export
 //   experiment kit   — exp::ParamGrid / exp::SweepRunner / exp::ResultSink
 //                      for campaign-shaped studies
 //
-// Minimal model example:
+// Minimal model example (redcr::Planner is the stable query surface; see
+// the migration note in redcr/planner.hpp):
 //
 //   #include "redcr/redcr.hpp"
-//   const auto cfg = redcr::scenario().processes(50000).build();
-//   const auto p = redcr::model::predict(cfg, 2.0);
+//   redcr::Planner planner;
+//   redcr::PlanRequest req;
+//   req.config = redcr::scenario().processes(50000).build();
+//   const auto plan = planner.plan(req);   // best degree: plan.best_r()
+//   const auto p = planner.evaluate(req.config, 2.0);  // one exact point
 //
 // Minimal simulation example:
 //
@@ -35,6 +40,7 @@
 #include "model/combined.hpp"
 #include "model/extensions.hpp"
 #include "obs/obs.hpp"
+#include "redcr/planner.hpp"
 #include "redcr/run_options.hpp"
 #include "redcr/scenario.hpp"
 #include "runtime/executor.hpp"

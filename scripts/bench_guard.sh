@@ -2,8 +2,12 @@
 # Performance-regression gate for the hot-path engine.
 #
 # Runs bench_engine and compares the guarded rates (event_throughput,
-# batch_eval) against the committed baseline, failing on a >15% regression;
-# then runs bench_faults' zero-cost scenario (faults_off_sim), which fails
+# batch_eval, batch_eval_exact, serve_qps) against the committed baseline,
+# failing on a >15% regression — and, independent of the baseline, failing
+# any scenario whose speedup_vs_scalar drops to 1.0x or below (a parallel
+# or vectorized path slower than its scalar reference is a regression even
+# if the absolute rate still clears the floor); then runs bench_faults'
+# zero-cost scenario (faults_off_sim), which fails
 # when the disabled fault hooks slow the executor fast path; then runs
 # bench_multilevel's hierarchy scenario (multilevel_sim), which guards the
 # three-level async-flush executor path. The comparison runs inside the

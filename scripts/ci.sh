@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full pre-merge pipeline: plain build + full test suite, the sanitizer
-# smoke gate (scripts/check.sh), and the engine performance guard
+# smoke gate (scripts/check.sh), the fault/multilevel/journal/serve smokes
+# under the sanitizer build, and the engine performance guard
 # (scripts/bench_guard.sh). Any stage failing fails the run.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
@@ -89,6 +90,19 @@ trap 'rm -rf "$JOURNAL_DIR"' EXIT
 "$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" --blame --levels
 "$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" \
   --diff "$JOURNAL_DIR/b.journal"
+
+echo "=== ci.sh: serve-mode replay smoke (ASan/UBSan) ==="
+# Replay the checked-in request log through the serving front-end under
+# the sanitizer build and hold the response bytes to the committed golden:
+# serve responses are a documented determinism contract (independent of
+# --jobs, identical across reruns — see src/apps/serve.hpp). A second pass
+# with --jobs 2 pins the worker-count independence specifically.
+"$FAULT_CLI" serve --replay tests/data/serve_requests.ndjson \
+  2>/dev/null | diff -u tests/data/serve_golden.ndjson - \
+  || { echo "ci.sh: serve replay diverged from the golden" >&2; exit 1; }
+"$FAULT_CLI" serve --replay tests/data/serve_requests.ndjson --jobs 2 \
+  2>/dev/null | diff -u tests/data/serve_golden.ndjson - \
+  || { echo "ci.sh: serve replay with --jobs 2 diverged" >&2; exit 1; }
 
 echo "=== ci.sh: engine performance guard ==="
 scripts/bench_guard.sh "$BUILD_DIR"

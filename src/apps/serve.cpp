@@ -1,0 +1,196 @@
+#include "apps/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/flatjson.hpp"
+#include "obs/json.hpp"
+#include "redcr/scenario.hpp"
+#include "util/units.hpp"
+
+namespace redcr::apps {
+
+namespace {
+
+/// One parsed request line. Defaults mirror `redcr_cli model`'s flags.
+struct Request {
+  double id = 0.0;  // 0 = not given; replaced by the line number
+  double procs = 50000;
+  double hours = 128;
+  double mtbf_years = 5;
+  double alpha = 0.2;
+  double ckpt_sec = 600;
+  double restart_sec = 1800;
+  double r_min = 1.0;
+  double r_max = 3.0;
+  double r_step = 0.25;
+};
+
+Request parse_request(const std::string& line, std::size_t lineno) {
+  Request q;
+  obs::FlatLineParser parser(line, lineno, "request");
+  parser.parse_object([&](const std::string& key) {
+    const double v = parser.parse_number();
+    if (key == "id") q.id = v;
+    else if (key == "procs") q.procs = v;
+    else if (key == "hours") q.hours = v;
+    else if (key == "mtbf_years") q.mtbf_years = v;
+    else if (key == "alpha") q.alpha = v;
+    else if (key == "ckpt_sec") q.ckpt_sec = v;
+    else if (key == "restart_sec") q.restart_sec = v;
+    else if (key == "r_min") q.r_min = v;
+    else if (key == "r_max") q.r_max = v;
+    else if (key == "r_step") q.r_step = v;
+    // Unknown numeric keys are ignored (forward compatibility).
+  });
+  if (q.id == 0.0) q.id = static_cast<double>(lineno);
+  return q;
+}
+
+PlanRequest to_plan(const Request& q, std::size_t lineno,
+                    const ServeOptions& options) {
+  const auto bad = [lineno](const std::string& what) {
+    throw std::runtime_error("request at line " + std::to_string(lineno) +
+                             ": " + what);
+  };
+  // The planner's grid walk asserts these in debug builds only; a replayed
+  // log is external input, so validate with a line-numbered error instead.
+  if (!(q.r_step > 0.0) || !std::isfinite(q.r_step))
+    bad("r_step must be finite and > 0");
+  if (!(q.r_min >= 1.0) || !(q.r_max >= q.r_min) || !std::isfinite(q.r_max))
+    bad("need 1 <= r_min <= r_max (finite)");
+  if ((q.r_max - q.r_min) / q.r_step > 1e6) bad("redundancy grid too large");
+
+  PlanRequest plan;
+  try {
+    plan.config = scenario()
+                      .node_mtbf(util::years(q.mtbf_years))
+                      .checkpoint_cost(q.ckpt_sec)
+                      .restart_cost(q.restart_sec)
+                      .base_time(util::hours(q.hours))
+                      .comm_fraction(q.alpha)
+                      .processes(static_cast<std::size_t>(q.procs))
+                      .build();
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  plan.r_begin = q.r_min;
+  plan.r_end = q.r_max;
+  plan.r_step = q.r_step;
+  plan.mode = options.mode;
+  return plan;
+}
+
+void append_response(std::string& out, const Request& q,
+                     const PlanResponse& plan) {
+  const model::Prediction& best = plan.best();
+  out += "{\"id\":";
+  obs::json::append_number(out, q.id);
+  out += ",\"best_r\":";
+  obs::json::append_number(out, best.r);
+  out += ",\"total_hours\":";
+  obs::json::append_number(out, util::to_hours(best.total_time));
+  out += ",\"nodes\":";
+  obs::json::append_number(out, static_cast<double>(best.total_procs));
+  out += ",\"interval_min\":";
+  obs::json::append_number(out, util::to_minutes(best.interval));
+  out += ",\"system_mtbf_hours\":";
+  obs::json::append_number(out, util::to_hours(best.system_mtbf));
+  out += ",\"expected_failures\":";
+  obs::json::append_number(out, best.expected_failures);
+  out += ",\"from_cache\":";
+  out += plan.from_cache() ? '1' : '0';
+  out += "}\n";
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+ServeReport serve_replay(const std::string& text, std::string& responses,
+                         const ServeOptions& options) {
+  Planner planner(options.cache_capacity);
+  ServeReport report;
+  std::vector<double> latencies_us;
+  using clock = std::chrono::steady_clock;
+  const auto t_begin = clock::now();
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    ++lineno;
+    if (end > pos) {
+      const std::string line = text.substr(pos, end - pos);
+      const Request q = parse_request(line, lineno);
+      const PlanRequest plan_request = to_plan(q, lineno, options);
+      const auto t0 = clock::now();
+      const PlanResponse plan = planner.plan(plan_request, options.jobs);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - t0)
+              .count());
+      append_response(responses, q, plan);
+      ++report.requests;
+    }
+    pos = end + 1;
+  }
+  report.seconds =
+      std::chrono::duration<double>(clock::now() - t_begin).count();
+  report.qps = report.seconds > 0.0
+                   ? static_cast<double>(report.requests) / report.seconds
+                   : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  report.p50_us = percentile(latencies_us, 50.0);
+  report.p90_us = percentile(latencies_us, 90.0);
+  report.p99_us = percentile(latencies_us, 99.0);
+  report.max_us = latencies_us.empty() ? 0.0 : latencies_us.back();
+  report.stats = planner.stats();
+  return report;
+}
+
+std::string ServeReport::render() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "served %llu requests in %.3f s: %.0f qps\n"
+      "latency: p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n"
+      "plan cache: %llu hits, %llu misses, %llu evictions (%.1f%% hit "
+      "rate); %llu model points evaluated\n",
+      static_cast<unsigned long long>(requests), seconds, qps, p50_us, p90_us,
+      p99_us, max_us, static_cast<unsigned long long>(stats.plan_cache_hits),
+      static_cast<unsigned long long>(stats.plan_cache_misses),
+      static_cast<unsigned long long>(stats.plan_cache_evictions),
+      stats.plans > 0
+          ? 100.0 * static_cast<double>(stats.plan_cache_hits) /
+                static_cast<double>(stats.plans)
+          : 0.0,
+      static_cast<unsigned long long>(stats.points));
+  return buf;
+}
+
+void ServeReport::export_metrics(obs::Registry& registry) const {
+  registry.add("planner.plan_cache.hits",
+               static_cast<double>(stats.plan_cache_hits));
+  registry.add("planner.plan_cache.misses",
+               static_cast<double>(stats.plan_cache_misses));
+  registry.add("planner.plan_cache.evictions",
+               static_cast<double>(stats.plan_cache_evictions));
+  registry.add("planner.plans", static_cast<double>(stats.plans));
+  registry.add("planner.points", static_cast<double>(stats.points));
+  registry.add("serve.requests", static_cast<double>(requests));
+  registry.set("serve.qps", qps);
+  registry.set("serve.latency_p50_us", p50_us);
+  registry.set("serve.latency_p99_us", p99_us);
+}
+
+}  // namespace redcr::apps

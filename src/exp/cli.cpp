@@ -15,7 +15,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n"
-    "          [--jobs N] [--json] [--filter AXIS=V[,AXIS=V...]]\n"
+    "          [--jobs N|auto] [--json] [--filter AXIS=V[,AXIS=V...]]\n"
     "          [--progress] [--keep-going]\n"
     "          [--log-level debug|info|warn|error|off]\n";
 
@@ -60,9 +60,12 @@ std::optional<BenchArgs> BenchArgs::try_parse(int argc, char** argv,
     } else if (std::strcmp(arg, "--jobs") == 0) {
       const char* v = value("--jobs");
       if (!v) return fail("--jobs requires a value");
-      if (!parse_positive_int(v, &args.jobs))
+      if (std::strcmp(v, "auto") == 0) {
+        args.jobs = 0;  // 0 = hardware concurrency, everywhere downstream
+      } else if (!parse_positive_int(v, &args.jobs)) {
         return fail(std::string("invalid --jobs value '") + v +
-                    "' (expected an integer >= 1)");
+                    "' (expected an integer >= 1, or 'auto')");
+      }
     } else if (std::strcmp(arg, "--csv") == 0) {
       const char* v = value("--csv");
       if (!v) return fail("--csv requires a directory");

@@ -5,7 +5,7 @@
 //   --full           5 seeds, finest grids
 //   --seeds N        DES repetitions averaged per cell (N >= 1)
 //   --csv DIR        write the series behind each table to DIR/<name>.csv
-//   --jobs N         worker threads for the sweep (default: all cores)
+//   --jobs N|auto    worker threads for the sweep (default/auto: all cores)
 //   --json           newline-delimited JSON rows on stdout instead of tables
 //   --filter SPEC    run a subset of grid cells, e.g. "mtbf=6,r=2"
 //   --progress       live trial-count/ETA line on stderr while sweeping
@@ -33,7 +33,7 @@ struct BenchArgs {
   int seeds = 2;          ///< DES repetitions averaged per cell
   bool quick = false;     ///< --quick: 1 seed, coarser grids
   bool full = false;      ///< --full: 5 seeds, finest grids
-  int jobs = 0;           ///< --jobs: worker threads; 0 = all cores
+  int jobs = 0;           ///< --jobs: worker threads; 0 (= "auto") = all cores
   bool json = false;      ///< --json: NDJSON rows on stdout
   bool progress = false;  ///< --progress: live ETA line on stderr
   bool keep_going = false;  ///< --keep-going: record failed cells, continue

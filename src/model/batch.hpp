@@ -1,21 +1,45 @@
-// Thread-pooled batch evaluation of the combined model.
+// Batched evaluation of the combined model.
 //
 // The paper's headline studies evaluate predict() over large (config, r)
 // grids — Figs. 13-14 sweep process counts per degree, Tables 4/5 sweep
-// r × MTBF. Point evaluations are independent and dominated by the Eq. 9
-// sphere-reliability pow/log pair, which repeats across every grid point
-// sharing (pf, degree). evaluate_batch() exploits both structures:
+// r × MTBF — and the serving front-end replays the same evaluation
+// millions of times. Point evaluations are independent and dominated by
+// the Eq. 9 sphere-reliability pow/log pair plus the Eq. 12-15 exp/expm1
+// chain. evaluate_batch() stages the points into structure-of-arrays form
+// tile by tile and finishes them with one of two pipelines:
 //
-//   pass 1 (serial)   — warm a SphereTermCache with every (pf, degree)
-//                       term the batch needs; each unique term is computed
-//                       exactly once;
-//   pass 2 (parallel) — evaluate the points over a worker pool against the
-//                       now read-only cache, each worker writing its own
-//                       pre-assigned output slots.
+//   EvalMode::kExact (default) — per point, the staged inputs are fed to
+//     the exact same library functions predict() calls (daly_interval,
+//     expected_lost_work, ... from checkpoint.hpp), with the Eq. 9 sphere
+//     terms memoized in a per-worker SphereTermCache warmed during
+//     staging. Identical inputs through identical functions: results are
+//     bitwise identical to a scalar predict() loop, for any worker count
+//     and any batch order. Golden exports use this mode.
 //
-// Determinism: results are bitwise identical to calling predict() in a
-// loop, for any worker count — the cache stores results of the exact same
-// expressions the scalar path evaluates, and output order is slot-indexed.
+//   EvalMode::kFast — the transcendental chain is evaluated through the
+//     vectorized vk:: kernels (kernels.hpp) over contiguous arrays, with
+//     pow-by-squaring sphere terms. Each kernel is within a few ulp of
+//     correctly rounded; end-to-end divergence on the bench grids stays
+//     below 5e-4 relative per output field, with the worst case
+//     concentrated where Eq. 13's 1 - λω denominator approaches its pole
+//     and the model itself diverges (away from the pole the grids agree
+//     to ~1e-11; points where both modes exceed 1e15 in magnitude or both
+//     go nonfinite count as agreement — test_planner.cpp and bench_engine
+//     pin the bound). Like kExact it is deterministic across hosts and
+//     worker counts; it is simply not bit-identical to libm-based
+//     predict(). The serving/bench hot path.
+//
+// Large batches split across a lazily started persistent worker pool
+// (hardware_concurrency - 1 threads); the serial/parallel crossover is
+// measured once at first use (see parallel_threshold()). Each worker owns
+// its output slot range and its own caches, so the merge is the identity
+// and results never depend on scheduling.
+//
+// NOTE (migration): evaluate_batch is the model-layer engine. New code
+// outside src/model/ should go through the stable public facade
+// `redcr::Planner` (include/redcr/planner.hpp), which adds plan caching
+// and observability on top of this API; direct model::evaluate_batch use
+// outside src/model/ is deprecated. See DESIGN.md §12.
 #pragma once
 
 #include <span>
@@ -31,20 +55,55 @@ struct BatchPoint {
   double r = 1.0;
 };
 
+/// How evaluate_batch finishes the staged points.
+enum class EvalMode {
+  kExact,  ///< bitwise-identical to scalar predict() (default)
+  kFast,   ///< vectorized vk:: kernels, documented ulp bound, several-fold
+           ///< faster than the scalar loop (bench-guarded)
+};
+
 struct BatchOptions {
   /// Worker threads; <= 0 means std::thread::hardware_concurrency().
   int jobs = 0;
   /// Evaluate predict_simplified() (Section 6) instead of predict().
   bool simplified = false;
+  /// Exact (bitwise) or fast (ulp-bounded) finishing pipeline.
+  EvalMode mode = EvalMode::kExact;
 };
 
 /// Evaluates every point; out[i] corresponds to points[i].
 [[nodiscard]] std::vector<Prediction> evaluate_batch(
     std::span<const BatchPoint> points, const BatchOptions& options = {});
 
-/// Convenience: one configuration swept over several redundancy degrees.
+/// One configuration swept over several redundancy degrees — the
+/// sweep-shaped query Planner::plan answers. With EvalMode::kFast this
+/// takes a dedicated staging path (the shared config broadcasts instead
+/// of being re-read per point) that is bitwise-identical per point to the
+/// BatchPoint-span entry, just faster.
 [[nodiscard]] std::vector<Prediction> evaluate_batch(
     const CombinedConfig& config, std::span<const double> degrees,
     const BatchOptions& options = {});
+
+/// Zero-allocation variant: writes out[i] for points[i] into a
+/// caller-owned buffer. Requires out.size() == points.size(). This is the
+/// serving hot path — reusing the output buffer across calls avoids the
+/// result-vector construction, which costs as much as several model
+/// evaluations per point at kFast speed.
+void evaluate_batch_into(std::span<const BatchPoint> points,
+                         std::span<Prediction> out,
+                         const BatchOptions& options = {});
+
+/// Zero-allocation sweep: evaluates `config` at degrees[i] into out[i].
+/// Requires out.size() == degrees.size().
+void evaluate_batch_into(const CombinedConfig& config,
+                         std::span<const double> degrees,
+                         std::span<Prediction> out,
+                         const BatchOptions& options = {});
+
+/// The self-calibrated serial/parallel crossover: batches smaller than
+/// this stay on the calling thread. Measured once at first use by timing
+/// a pool dispatch against per-point evaluation cost; SIZE_MAX on hosts
+/// with a single hardware thread (parallelism can never win there).
+[[nodiscard]] std::size_t parallel_threshold();
 
 }  // namespace redcr::model

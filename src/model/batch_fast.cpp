@@ -1,0 +1,458 @@
+// EvalMode::kFast: the vectorized finishing pipeline behind evaluate_batch
+// (see batch.hpp for the contract). The chain of Eqs. 1, 5-10, 12-15 is
+// restructured into structure-of-arrays passes over tiles of 1024 points:
+//
+//   A  extract   AoS BatchPoint fields -> SoA arrays (scalar; strided)
+//   B  partition Eqs. 5-8 + pf + pf^degree by squaring + sphere survival
+//   L  vk::log   the Eq. 9 sphere terms ln(1 - pf^d), both degrees
+//   C  reduce    log R_sys, lambda_sys, Theta_sys (Eqs. 9-10)
+//   D  interval  Daly/Young/fixed delta (Eq. 15) + expm1 arguments
+//   E  vk::expm1 the Eq. 12 exponentials
+//   F  lost work Eq. 12 + the Eq. 13 exp argument
+//   G  vk::exp   reliability e^{ln R_sys} and the Eq. 13 survival factor
+//   H  finish    Eqs. 13-14 + AoS writeback
+//
+// Every loop is branch-free (ternary selects) so it auto-vectorizes; the
+// whole TU is compiled with -O3 -ffp-contract=off and the pipeline is
+// multiversioned over avx512/avx2/base exactly like kernels.cpp, so kFast
+// results are bitwise-identical across hosts and ISA levels — just not to
+// the libm-based scalar predict() (documented ulp bound in kernels.hpp;
+// end-to-end bound pinned by test_planner.cpp).
+//
+// Guard semantics mirror the scalar functions case by case: each select
+// below cites the guard in checkpoint.cpp/redundancy.cpp it reproduces.
+#include "model/batch_fast.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "model/kernels.hpp"
+
+namespace redcr::model::detail {
+
+namespace {
+
+constexpr std::size_t kTile = 1024;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// "Is +inf" test that vectorizes: every finite double is below this.
+constexpr double kFiniteMax = 1.7976931348623157e308;
+constexpr double kMaxQuarter = std::numeric_limits<double>::max() / 4.0;
+
+struct Scratch {
+  std::array<double, kTile> r, trd, nd, pf;
+  std::array<double, kTile> fdd, cdd, nfd, ncd, totd;
+  std::array<double, kTile> cc, rc, fxv, m_fixed, m_young, m_aspub;
+  std::array<double, kTile> sf_in, sc_in, lt_f, lt_c;
+  std::array<double, kTile> logr, rate, mtbf;
+  std::array<double, kTile> delta, a1, a2, e1, e2;
+  std::array<double, kTile> lost, a3, relv, surv;
+};
+
+Scratch& scratch() {
+  thread_local std::unique_ptr<Scratch> s = std::make_unique<Scratch>();
+  return *s;
+}
+
+/// Grid mode's per-config scalars. The sweep shares one config, so these
+/// seven values never vary within a call: keeping them in registers
+/// instead of broadcast-filled scratch arrays removes seven stores per
+/// point from staging and the matching reloads downstream. Unused (zero)
+/// in AoS mode, where they genuinely vary per point and live in Scratch.
+struct Bcast {
+  double bt = 0, al = 0, nd = 0, th_n = 0;
+  double cc = 0, rc = 0, fxv = 0, mfx = 0, myg = 0, map = 0;
+};
+
+/// One tile (m <= kTile points). Forced inline into the ISA-targeted
+/// wrappers below so the plain double loops vectorize per target.
+///
+/// kGrid selects the staging source: false reads AoS BatchPoints (pts),
+/// true broadcasts one shared config and reads only degs[i] (the
+/// sweep-shaped entry). Everything past stage A is shared, and stage A
+/// computes identical values either way (same expressions, same operation
+/// order), so the two entries are bitwise-interchangeable per point.
+template <bool kGrid>
+__attribute__((always_inline)) inline void tile_body(const BatchPoint* pts,
+                                                     const Bcast& bc,
+                                                     const double* degs,
+                                                     Prediction* out,
+                                                     std::size_t m,
+                                                     bool simplified,
+                                                     bool exact_exp,
+                                                     Scratch& s) {
+  // A: extract. AoS mode: strided scalar reads; also resolves pf (Eqs.
+  // 2-3) — the kExactExponential exp() is per-point but that model is
+  // rare on hot paths, and the linearized form is two flops. Grid mode:
+  // broadcast stores + a vectorized Eq. 1, with std::clamp spelled as the
+  // equivalent selects (identical values) so the loop vectorizes.
+  double max_r = 1.0;
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  bool staged_b = false;
+  if constexpr (kGrid) {
+    const double bt = bc.bt;
+    const double al = bc.al;
+    const double th_n = bc.th_n;
+    const double n = bc.nd;
+    // Pure max reduction on its own: folding it into the staging loop's
+    // store stream makes GCC give up on vectorizing either.
+    for (std::size_t i = 0; i < m; ++i)
+      max_r = degs[i] > max_r ? degs[i] : max_r;
+    if (!exact_exp) {
+      // Hot path: stage A fused with stage B below — same expressions in
+      // the same order, with r/t/pf flowing through registers instead of
+      // a scratch round-trip. The standalone B loop is skipped.
+      staged_b = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double r = degs[i];
+        const double t = (1.0 - al) * bt + al * bt * r;  // Eq. 1
+        s.trd[i] = t;
+        const double v = t / th_n;  // Eq. 3, clamped like std::clamp
+        const double x = v < 0.0 ? 0.0 : 1.0 < v ? 1.0 : v;
+        s.pf[i] = x;
+        const double fd = __builtin_floor(r);
+        const double cd = __builtin_ceil(r);
+        double nf = __builtin_floor((cd - r) * n);  // Eq. 6
+        nf = nf > n ? n : nf;
+        const double nc = n - nf;  // Eq. 7
+        s.fdd[i] = fd;
+        s.cdd[i] = cd;
+        s.nfd[i] = nf;
+        s.ncd[i] = nc;
+        s.totd[i] = nc * cd + nf * fd;  // Eq. 8
+        double pw = x;
+        pw *= fd >= 2.0 ? x : 1.0;
+        pw *= fd >= 3.0 ? x : 1.0;
+        pw *= fd >= 4.0 ? x : 1.0;
+        pw = fd > 4.0 ? qnan : pw;
+        const double pwc = cd == fd ? pw : pw * x;
+        s.sf_in[i] = 1.0 - pw;
+        s.sc_in[i] = 1.0 - pwc;
+      }
+    } else {
+      for (std::size_t i = 0; i < m; ++i)
+        s.trd[i] = (1.0 - al) * bt + al * bt * degs[i];  // Eq. 1
+      // Eq. 2, libm exp to match the AoS staging bitwise
+      for (std::size_t i = 0; i < m; ++i)
+        s.pf[i] = 1.0 - std::exp(-s.trd[i] / th_n);
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      const BatchPoint& p = pts[i];
+      const AppParams& app = p.config.app;
+      const double bt = app.base_time;
+      const double al = app.comm_fraction;
+      const double t = (1.0 - al) * bt + al * bt * p.r;  // Eq. 1
+      s.r[i] = p.r;
+      max_r = p.r > max_r ? p.r : max_r;
+      s.trd[i] = t;
+      s.nd[i] = static_cast<double>(app.num_procs);
+      const double th_n = p.config.machine.node_mtbf;
+      s.pf[i] = p.config.failure_model == NodeFailureModel::kLinearized
+                    ? std::clamp(t / th_n, 0.0, 1.0)
+                    : 1.0 - std::exp(-t / th_n);
+      s.cc[i] = p.config.machine.checkpoint_cost;
+      s.rc[i] = p.config.machine.restart_cost;
+      s.m_fixed[i] = p.config.fixed_interval ? 1.0 : 0.0;
+      s.fxv[i] = p.config.fixed_interval ? *p.config.fixed_interval : 0.0;
+      s.m_young[i] = p.config.use_young_interval ? 1.0 : 0.0;
+      s.m_aspub[i] =
+          p.config.restart_model == RestartModel::kAsPublished ? 1.0 : 0.0;
+    }
+  }
+
+  // B: partition (Eqs. 5-8) and sphere survival 1 - pf^degree (Eq. 4).
+  // Degrees are tiny integers; pf^d comes from a select over pre-squared
+  // powers (degrees above 4 are fixed up scalar below — qnan marks them).
+  // Skipped when the fused grid staging above already ran it.
+  if (!staged_b) for (std::size_t i = 0; i < m; ++i) {
+    const double r = kGrid ? degs[i] : s.r[i];
+    const double fd = __builtin_floor(r);
+    const double cd = __builtin_ceil(r);
+    const double n = kGrid ? bc.nd : s.nd[i];
+    double nf = __builtin_floor((cd - r) * n);  // Eq. 6
+    nf = nf > n ? n : nf;
+    const double nc = n - nf;  // Eq. 7
+    s.fdd[i] = fd;
+    s.cdd[i] = cd;
+    s.nfd[i] = nf;
+    s.ncd[i] = nc;
+    s.totd[i] = nc * cd + nf * fd;  // Eq. 8
+    // pf^fd by chained multiplicative selects (a multi-arm ternary would
+    // be control flow and block vectorization): multiply in one extra
+    // factor of x per degree step actually present.
+    const double x = s.pf[i];
+    double pw = x;
+    pw *= fd >= 2.0 ? x : 1.0;
+    pw *= fd >= 3.0 ? x : 1.0;
+    pw *= fd >= 4.0 ? x : 1.0;
+    pw = fd > 4.0 ? qnan : pw;
+    const double pwc = cd == fd ? pw : pw * x;
+    s.sf_in[i] = 1.0 - pw;
+    s.sc_in[i] = 1.0 - pwc;
+  }
+  if (max_r >= 5.0) {  // rare: degrees above 4 take the scalar pow path
+    for (std::size_t i = 0; i < m; ++i) {
+      if (s.fdd[i] > 4.0) {
+        const double pw = std::pow(s.pf[i], s.fdd[i]);
+        const double pwc =
+            s.cdd[i] == s.fdd[i] ? pw : std::pow(s.pf[i], s.cdd[i]);
+        s.sf_in[i] = 1.0 - pw;
+        s.sc_in[i] = 1.0 - pwc;
+      }
+    }
+  }
+
+  // L: the Eq. 9 sphere terms. vk::log(0) = -inf reproduces the
+  // log_sphere_survival() certain-failure convention directly.
+  vk::log(s.sf_in.data(), s.lt_f.data(), m);
+  vk::log(s.sc_in.data(), s.lt_c.data(), m);
+
+  // C: ln R_sys across spheres (Eq. 9) and the Eq. 10 rate/MTBF. Empty
+  // sets contribute exactly 0 (the selects avoid 0 * -inf = NaN); a
+  // certain-failure term drives ln R_sys to -inf and the rate to +inf,
+  // matching the system_failure() early-out. The full model fuses stage D
+  // (Eq. 15 interval + the Eq. 12 exponents) into the same pass: theta
+  // flows straight from the Eq. 10 division into the Daly guard chain —
+  // infinite MTBF -> max/4 stand-in, c >= 2*theta -> theta, otherwise
+  // Eq. 15; Young mode uses sqrt(2c*theta) unguarded like
+  // young_interval(); a fixed interval overrides both.
+  if (simplified) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double tf = s.nfd[i] > 0.0 ? s.nfd[i] * s.lt_f[i] : 0.0;
+      const double tc = s.ncd[i] > 0.0 ? s.ncd[i] * s.lt_c[i] : 0.0;
+      const double lr = tf + tc;
+      const double ra = -lr / s.trd[i];
+      s.logr[i] = lr;
+      s.rate[i] = ra;
+      s.mtbf[i] = ra == 0.0 ? kInf : 1.0 / ra;
+    }
+    // Section 6: Young interval, no rework term.
+    for (std::size_t i = 0; i < m; ++i)
+      s.delta[i] =
+          __builtin_sqrt(2.0 * (kGrid ? bc.cc : s.cc[i]) * s.mtbf[i]);
+    vk::exp(s.logr.data(), s.relv.data(), m);
+    for (std::size_t i = 0; i < m; ++i) {
+      Prediction& o = out[i];
+      const double ra = s.rate[i];
+      const bool dead = ra == kInf;
+      const double t = s.trd[i];
+      const double q = t / s.delta[i];
+      const double tt = t + q * (kGrid ? bc.cc : s.cc[i]) +
+                        t * ra * (kGrid ? bc.rc : s.rc[i]);
+      o.r = kGrid ? degs[i] : s.r[i];
+      o.redundant_time = t;
+      o.reliability = s.relv[i];
+      o.failure_rate = ra;
+      o.system_mtbf = s.mtbf[i];
+      o.interval = dead ? 0.0 : s.delta[i];
+      o.lost_work = 0.0;
+      o.restart_rework = dead ? 0.0 : kGrid ? bc.rc : s.rc[i];
+      o.total_time = dead ? kInf : tt;
+      o.expected_checkpoints = dead ? 0.0 : q;
+      o.expected_failures = dead ? 0.0 : t * ra;
+      o.total_procs = static_cast<std::size_t>(s.totd[i]);
+    }
+    return;
+  }
+
+  // C+D fused (full model).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double tf = s.nfd[i] > 0.0 ? s.nfd[i] * s.lt_f[i] : 0.0;
+    const double tc = s.ncd[i] > 0.0 ? s.ncd[i] * s.lt_c[i] : 0.0;
+    const double lr = tf + tc;
+    const double ra = -lr / s.trd[i];
+    const double th = ra == 0.0 ? kInf : 1.0 / ra;
+    s.logr[i] = lr;
+    s.rate[i] = ra;
+    s.mtbf[i] = th;
+    const double c = kGrid ? bc.cc : s.cc[i];
+    const double inv_th = 1.0 / th;  // one division feeds all three ratios
+    const double sq = __builtin_sqrt(2.0 * c * th);
+    const double ratio = 0.5 * c * inv_th;
+    double daly = sq * (1.0 + __builtin_sqrt(ratio) * (1.0 / 3.0) +
+                        ratio * (1.0 / 9.0)) -
+                  c;
+    daly = c >= 2.0 * th ? th : daly;
+    daly = th > kFiniteMax ? kMaxQuarter : daly;
+    double d = (kGrid ? bc.myg : s.m_young[i]) != 0.0 ? sq : daly;
+    d = (kGrid ? bc.mfx : s.m_fixed[i]) != 0.0 ? (kGrid ? bc.fxv : s.fxv[i])
+                                               : d;
+    s.delta[i] = d;
+    s.a1[i] = -(d + c) * inv_th;
+    s.a2[i] = -d * inv_th;
+  }
+
+  // E: the two Eq. 12 exponentials.
+  vk::expm1(s.a1.data(), s.e1.data(), m);
+  vk::expm1(s.a2.data(), s.e2.data(), m);
+
+  // F: expected lost work (Eq. 12). denom <= 0 selects the series-limit
+  // branch of expected_lost_work() (Theta >> delta_c beyond double
+  // precision, including the infinite-MTBF lanes); e^{-delta_c/theta} is
+  // recovered as e1 + 1 to save a kernel pass.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double th = s.mtbf[i];
+    const double c = kGrid ? bc.cc : s.cc[i];
+    const double d = s.delta[i];
+    const double dc = d + c;
+    const double denom = th > kFiniteMax ? 0.0 : -s.e1[i];
+    const double limit = d * (d / 2.0 + c) / dc;
+    const double numer = -th * s.e2[i] - d * (s.e1[i] + 1.0);
+    const double lw = denom <= 0.0 ? limit : numer / denom;
+    s.lost[i] = lw;
+    s.a3[i] = -((kGrid ? bc.rc : s.rc[i]) + lw) / th;
+  }
+
+  // G: reliability e^{ln R_sys} (underflows to 0 exactly like the scalar
+  // path) and the Eq. 13 survival probability.
+  vk::exp(s.logr.data(), s.relv.data(), m);
+  vk::exp(s.a3.data(), s.surv.data(), m);
+
+  // H: restart+rework (Eq. 13), total time (Eq. 14), writeback. Dead
+  // lanes (rate = +inf) reproduce predict()'s early return: the
+  // downstream fields keep their default zeros and T_total is +inf.
+  for (std::size_t i = 0; i < m; ++i) {
+    Prediction& o = out[i];
+    const double th = s.mtbf[i];
+    const double x = (kGrid ? bc.rc : s.rc[i]) + s.lost[i];
+    const double sv = s.surv[i];
+    const double trunc = th - sv * (x + th);
+    double w = (kGrid ? bc.map : s.m_aspub[i]) != 0.0
+                   ? (1.0 - sv) * trunc + sv * x
+                   : trunc + sv * x;
+    w = th > kFiniteMax ? x : w;  // restart_rework_time() infinite-MTBF guard
+    const double ra = s.rate[i];
+    const double d = s.delta[i];
+    const double t = s.trd[i];
+    const double den2 = 1.0 - ra * w;
+    const double q = t / d;  // expected checkpoints, reused in T_total
+    double tt = (t + q * (kGrid ? bc.cc : s.cc[i])) / den2;
+    tt = den2 <= 0.0 ? kInf : tt;  // total_time() no-progress guard
+    const bool dead = ra == kInf;
+    o.r = kGrid ? degs[i] : s.r[i];
+    o.redundant_time = t;
+    o.reliability = s.relv[i];
+    o.failure_rate = ra;
+    o.system_mtbf = th;
+    o.interval = dead ? 0.0 : d;
+    o.lost_work = dead ? 0.0 : s.lost[i];
+    o.restart_rework = dead ? 0.0 : w;
+    o.total_time = dead ? kInf : tt;
+    o.expected_checkpoints = dead ? 0.0 : q;
+    o.expected_failures = dead || tt >= kInf ? (dead ? 0.0 : kInf)
+                                             : tt * ra;
+    o.total_procs = static_cast<std::size_t>(s.totd[i]);
+  }
+}
+
+/// Flattens the shared config once per call (grid mode); zeros in AoS mode.
+Bcast make_bcast(const CombinedConfig* cfg) {
+  Bcast bc;
+  if (cfg == nullptr) return bc;
+  bc.bt = cfg->app.base_time;
+  bc.al = cfg->app.comm_fraction;
+  bc.nd = static_cast<double>(cfg->app.num_procs);
+  bc.th_n = cfg->machine.node_mtbf;
+  bc.cc = cfg->machine.checkpoint_cost;
+  bc.rc = cfg->machine.restart_cost;
+  bc.mfx = cfg->fixed_interval ? 1.0 : 0.0;
+  bc.fxv = cfg->fixed_interval ? *cfg->fixed_interval : 0.0;
+  bc.myg = cfg->use_young_interval ? 1.0 : 0.0;
+  bc.map = cfg->restart_model == RestartModel::kAsPublished ? 1.0 : 0.0;
+  return bc;
+}
+
+template <bool kGrid>
+__attribute__((always_inline)) inline void run(const BatchPoint* pts,
+                                               const CombinedConfig* cfg,
+                                               const double* degs,
+                                               Prediction* out, std::size_t n,
+                                               bool simplified) {
+  Scratch& s = scratch();
+  const Bcast bc = make_bcast(kGrid ? cfg : nullptr);
+  const bool exact_exp =
+      kGrid && cfg->failure_model == NodeFailureModel::kExactExponential;
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t m = std::min(kTile, n - base);
+    tile_body<kGrid>(kGrid ? nullptr : pts + base, bc,
+                     kGrid ? degs + base : nullptr, out + base, m, simplified,
+                     exact_exp, s);
+  }
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void run_avx512(
+    const BatchPoint* pts, Prediction* out, std::size_t n, bool simplified) {
+  run<false>(pts, nullptr, nullptr, out, n, simplified);
+}
+__attribute__((target("avx2"))) void run_avx2(const BatchPoint* pts,
+                                              Prediction* out, std::size_t n,
+                                              bool simplified) {
+  run<false>(pts, nullptr, nullptr, out, n, simplified);
+}
+void run_base(const BatchPoint* pts, Prediction* out, std::size_t n,
+              bool simplified) {
+  run<false>(pts, nullptr, nullptr, out, n, simplified);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void run_grid_avx512(
+    const CombinedConfig& cfg, const double* degs, Prediction* out,
+    std::size_t n, bool simplified) {
+  run<true>(nullptr, &cfg, degs, out, n, simplified);
+}
+__attribute__((target("avx2"))) void run_grid_avx2(const CombinedConfig& cfg,
+                                                   const double* degs,
+                                                   Prediction* out,
+                                                   std::size_t n,
+                                                   bool simplified) {
+  run<true>(nullptr, &cfg, degs, out, n, simplified);
+}
+void run_grid_base(const CombinedConfig& cfg, const double* degs,
+                   Prediction* out, std::size_t n, bool simplified) {
+  run<true>(nullptr, &cfg, degs, out, n, simplified);
+}
+
+enum class Isa { kBase, kAvx2, kAvx512 };
+
+Isa active() noexcept {
+  static const Isa isa = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl"))
+      return Isa::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+    return Isa::kBase;
+  }();
+  return isa;
+}
+
+}  // namespace
+
+void evaluate_fast(const BatchPoint* points, Prediction* out, std::size_t n,
+                   bool simplified) {
+  switch (active()) {
+    case Isa::kAvx512: run_avx512(points, out, n, simplified); return;
+    case Isa::kAvx2: run_avx2(points, out, n, simplified); return;
+    case Isa::kBase: run_base(points, out, n, simplified); return;
+  }
+}
+
+void evaluate_fast_grid(const CombinedConfig& config, const double* degrees,
+                        Prediction* out, std::size_t n, bool simplified) {
+  switch (active()) {
+    case Isa::kAvx512:
+      run_grid_avx512(config, degrees, out, n, simplified);
+      return;
+    case Isa::kAvx2:
+      run_grid_avx2(config, degrees, out, n, simplified);
+      return;
+    case Isa::kBase:
+      run_grid_base(config, degrees, out, n, simplified);
+      return;
+  }
+}
+
+}  // namespace redcr::model::detail

@@ -1,0 +1,27 @@
+// Internal: the EvalMode::kFast finishing pipeline (see batch.hpp).
+// Lives in its own translation unit so it can be compiled with
+// -ffp-contract=off (cross-ISA determinism of the vectorized math) without
+// touching the flags — and therefore the bitwise behavior — of the exact
+// scalar model TUs.
+#pragma once
+
+#include <cstddef>
+
+#include "model/batch.hpp"
+
+namespace redcr::model::detail {
+
+/// Evaluates points[0..n) into out[0..n) with the vectorized pipeline.
+/// Pure per-point function of the inputs: results are independent of n,
+/// tiling and threading, so callers may split ranges freely.
+void evaluate_fast(const BatchPoint* points, Prediction* out, std::size_t n,
+                   bool simplified);
+
+/// The sweep-shaped entry: one shared config, degrees[0..n) varying. Same
+/// pipeline with the AoS extraction replaced by broadcasts, so for any i
+/// the result is bitwise-identical to evaluate_fast on BatchPoint{config,
+/// degrees[i]} — just faster. This is the Planner::plan / serve hot path.
+void evaluate_fast_grid(const CombinedConfig& config, const double* degrees,
+                        Prediction* out, std::size_t n, bool simplified);
+
+}  // namespace redcr::model::detail

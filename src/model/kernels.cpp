@@ -1,0 +1,280 @@
+// Vectorized exp/expm1/log: Cephes-style argument reduction plus Taylor /
+// atanh polynomials evaluated in Estrin form, written as plain element loops
+// with branchless selects so the auto-vectorizer can turn them into
+// AVX2/AVX-512 code. Estrin (pairwise) evaluation matters here: with
+// -ffp-contract=off there are no FMAs, and a Horner chain of 13 serial
+// multiply-adds is latency-bound at ~4x the cost; the pairwise tree keeps
+// the dependency depth logarithmic.
+//
+// This file is compiled with -O3 -ffp-contract=off (see
+// src/model/CMakeLists.txt): with contraction off, every dispatch target
+// below performs the exact same sequence of correctly rounded IEEE
+// operations per element, so all three targets return bitwise-identical
+// results on every x86-64 host.
+#include "model/kernels.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace redcr::model::vk {
+
+namespace {
+
+constexpr double kLog2E = 1.4426950408889634074;       // log2(e)
+constexpr double kLn2Hi = 6.93145751953125e-1;         // ln 2, high 21 bits
+constexpr double kLn2Lo = 1.42860682030941723212e-6;   // ln 2 - kLn2Hi
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// exp(x) overflows above ~709.782712893 and is exactly 0 below
+// ~-745.133219101 (log of the smallest subnormal). The clamp bounds sit
+// just outside so the reduced-argument pipeline never feeds floor() a
+// non-finite value; the final selects restore the exact inf/0/NaN answers.
+constexpr double kOverflow = 709.782712893384;
+constexpr double kUnderflow = -745.133219101941;
+
+/// Degree-13 Taylor polynomial of e^r (coefficients 1/k!), Estrin form.
+/// Truncation < 0.03 ulp on the reduced interval |r| <= ln2/2.
+__attribute__((always_inline)) inline double exp_poly(double r) noexcept {
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  const double r8 = r4 * r4;
+  const double e0 = 1.0 + r;                                   // 0!,1!
+  const double e1 = 0.5 + r * 1.6666666666666666e-1;           // 2!,3!
+  const double e2 = 4.1666666666666664e-2 + r * 8.333333333333333e-3;
+  const double e3 = 1.3888888888888889e-3 + r * 1.984126984126984e-4;
+  const double e4 = 2.4801587301587302e-5 + r * 2.7557319223985888e-6;
+  const double e5 = 2.7557319223985893e-7 + r * 2.50521083854417e-8;
+  const double e6 = 2.08767569878681e-9 + r * 1.6059043836821613e-10;
+  const double f0 = e0 + r2 * e1;
+  const double f1 = e2 + r2 * e3;
+  const double f2 = e4 + r2 * e5;
+  const double g0 = f0 + r4 * f1;
+  const double g1 = f2 + r4 * e6;
+  return g0 + r8 * g1;
+}
+
+/// expm1(v)/v: the same series shifted down one degree (coefficients
+/// 1/(k+1)!), full relative precision for |v| <= 0.35.
+__attribute__((always_inline)) inline double expm1_poly(double v) noexcept {
+  const double v2 = v * v;
+  const double v4 = v2 * v2;
+  const double v8 = v4 * v4;
+  const double e0 = 1.0 + v * 0.5;                             // 1!,2!
+  const double e1 = 1.6666666666666666e-1 + v * 4.1666666666666664e-2;
+  const double e2 = 8.333333333333333e-3 + v * 1.3888888888888889e-3;
+  const double e3 = 1.984126984126984e-4 + v * 2.4801587301587302e-5;
+  const double e4 = 2.7557319223985888e-6 + v * 2.7557319223985893e-7;
+  const double e5 = 2.50521083854417e-8 + v * 2.08767569878681e-9;
+  const double f0 = e0 + v2 * e1;
+  const double f1 = e2 + v2 * e3;
+  const double f2 = e4 + v2 * e5;
+  const double g0 = f0 + v4 * f1;
+  const double g1 = f2 + v4 * 1.6059043836821613e-10;          // 1/13!
+  return g0 + v8 * g1;
+}
+
+// Round-to-nearest-integer via the 1.5*2^52 magic constant: adding it
+// pushes the fractional bits off the mantissa (round-to-nearest-even), and
+// the low mantissa bits of the sum are the integer in two's complement.
+// Works for |k| < 2^51 and, unlike a double->int64 conversion, vectorizes
+// on AVX2 (no vcvttpd2qq needed).
+constexpr double kRoundMagic = 6755399441055744.0;
+
+/// Core exp pipeline, shared by every dispatch target via forced inlining.
+/// Branch-free per element (ternary selects only, so the loop if-converts
+/// and auto-vectorizes): clamps, reduces x = k ln2 + r with |r| ~<= ln2/2,
+/// evaluates the polynomial, scales by 2^k through the exponent bits, then
+/// repairs the special cases with selects. The 2^k scale is always applied
+/// in two halves 2^k1 * 2^k2 so each factor stays a normal number for the
+/// whole k range [-1075, 1025] and only the final multiply rounds into the
+/// subnormal (or infinite) range.
+__attribute__((always_inline)) inline void exp_body(const double* x,
+                                                    double* out,
+                                                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    double xc = !(v > -746.0) ? -746.0 : v;  // also catches NaN
+    xc = xc > 710.0 ? 710.0 : xc;
+    const double kshift = xc * kLog2E + kRoundMagic;
+    const std::int64_t ki = std::bit_cast<std::int64_t>(kshift) -
+                            std::bit_cast<std::int64_t>(kRoundMagic);
+    const double k = kshift - kRoundMagic;
+    const double r = (xc - k * kLn2Hi) - k * kLn2Lo;
+    const double p = exp_poly(r);
+    // Split k = k1 + k2 with k1 = round-down-half via a biased logical
+    // shift (arithmetic 64-bit shifts don't vectorize on AVX2).
+    const std::int64_t k1 =
+        static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(ki + 2048) >> 1) - 1024;
+    const std::int64_t k2 = ki - k1;
+    const double s1 =
+        std::bit_cast<double>(static_cast<std::uint64_t>(k1 + 1023) << 52);
+    const double s2 =
+        std::bit_cast<double>(static_cast<std::uint64_t>(k2 + 1023) << 52);
+    double result = (p * s1) * s2;
+    result = v > kOverflow ? kInf : result;
+    result = v < kUnderflow ? 0.0 : result;
+    result = v != v ? v : result;  // NaN in, same NaN out
+    out[i] = result;
+  }
+}
+
+__attribute__((always_inline)) inline void expm1_body(
+    const double* x, double* out, std::size_t n) noexcept {
+  exp_body(x, out, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    const double big = out[i] - 1.0;
+    const double small = v * expm1_poly(v);
+    const double av = v < 0.0 ? -v : v;
+    out[i] = av <= 0.35 ? small : big;
+  }
+}
+
+/// log via the atanh series: normalize x = 2^e * m with m in
+/// [sqrt(1/2), sqrt(2)), then ln m = 2 atanh(r) with r = (m-1)/(m+1),
+/// |r| <= 0.1716. Degree 10 in r^2 keeps truncation below 1e-17 relative.
+/// Branch-free (ternary selects only) so the loop auto-vectorizes.
+__attribute__((always_inline)) inline void log_body(const double* x,
+                                                    double* out,
+                                                    std::size_t n) noexcept {
+  constexpr double kMinNormal = 2.2250738585072014e-308;
+  constexpr double kSqrt2 = 1.4142135623730951;
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    // Pre-scale subnormals so the exponent-field math below sees a normal
+    // number; garbage lanes (v <= 0, inf, NaN) are repaired by the final
+    // selects, they just need to flow through without trapping.
+    const bool tiny = v < kMinNormal;  // only consulted when v > 0
+    double xs = v * (tiny ? 0x1p+54 : 1.0);
+    xs = !(xs > 0.0) ? 1.0 : xs;  // keep the pipeline finite for bad lanes
+    xs = xs > 1.7e308 ? 1.0 : xs;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(xs);
+    // Biased exponent as a double without an int->fp conversion: or the
+    // 11-bit field into the mantissa of 2^52 and subtract 2^52 (exact).
+    const double eb =
+        std::bit_cast<double>((bits >> 52) | 0x4330000000000000ull) -
+        4503599627370496.0;
+    const double m0 = std::bit_cast<double>(
+        (bits & 0x000fffffffffffffull) | 0x3ff0000000000000ull);
+    const bool fold = m0 > kSqrt2;
+    const double m = m0 * (fold ? 0.5 : 1.0);
+    const double ed =
+        eb - 1023.0 + (fold ? 1.0 : 0.0) + (tiny ? -54.0 : 0.0);
+    const double r = (m - 1.0) / (m + 1.0);
+    const double z = r * r;
+    const double z2 = z * z;
+    const double z4 = z2 * z2;
+    const double z8 = z4 * z4;
+    // 2 atanh(r) = 2r (1 + z/3 + z^2/5 + ... + z^10/21), Estrin.
+    const double a0 = 1.0 + z * 3.3333333333333333e-1;
+    const double a1 = 2.0e-1 + z * 1.4285714285714285e-1;
+    const double a2 = 1.1111111111111111e-1 + z * 9.0909090909090912e-2;
+    const double a3 = 7.6923076923076927e-2 + z * 6.6666666666666666e-2;
+    const double a4 = 5.8823529411764705e-2 + z * 5.2631578947368418e-2;
+    const double a5 = 4.7619047619047616e-2;
+    const double b0 = a0 + z2 * a1;
+    const double b1 = a2 + z2 * a3;
+    const double b2 = a4 + z2 * a5;
+    const double c0 = b0 + z4 * b1;
+    const double poly = c0 + z8 * b2;
+    const double lnm = 2.0 * r * poly;
+    double result = ed * kLn2Hi + (lnm + ed * kLn2Lo);
+    result = v == 0.0 ? -kInf : result;
+    result = v < 0.0 ? qnan : result;
+    result = v > 1.7e308 ? v : result;  // +inf (finite doubles are below)
+    result = v != v ? v : result;
+    out[i] = result;
+  }
+}
+
+// Dispatch targets. The bodies inline into each (default-ISA code may
+// always inline into a wider-ISA caller); -ffp-contract=off keeps them
+// bitwise-equal, so the choice only affects speed.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void exp_avx512(
+    const double* x, double* out, std::size_t n) noexcept {
+  exp_body(x, out, n);
+}
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void expm1_avx512(
+    const double* x, double* out, std::size_t n) noexcept {
+  expm1_body(x, out, n);
+}
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void log_avx512(
+    const double* x, double* out, std::size_t n) noexcept {
+  log_body(x, out, n);
+}
+__attribute__((target("avx2"))) void exp_avx2(const double* x, double* out,
+                                              std::size_t n) noexcept {
+  exp_body(x, out, n);
+}
+__attribute__((target("avx2"))) void expm1_avx2(const double* x, double* out,
+                                                std::size_t n) noexcept {
+  expm1_body(x, out, n);
+}
+__attribute__((target("avx2"))) void log_avx2(const double* x, double* out,
+                                              std::size_t n) noexcept {
+  log_body(x, out, n);
+}
+void exp_base(const double* x, double* out, std::size_t n) noexcept {
+  exp_body(x, out, n);
+}
+void expm1_base(const double* x, double* out, std::size_t n) noexcept {
+  expm1_body(x, out, n);
+}
+void log_base(const double* x, double* out, std::size_t n) noexcept {
+  log_body(x, out, n);
+}
+
+enum class Isa { kBase, kAvx2, kAvx512 };
+
+Isa detect_isa() noexcept {
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl"))
+    return Isa::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kBase;
+}
+
+Isa active() noexcept {
+  static const Isa isa = detect_isa();
+  return isa;
+}
+
+}  // namespace
+
+void exp(const double* x, double* out, std::size_t n) noexcept {
+  switch (active()) {
+    case Isa::kAvx512: exp_avx512(x, out, n); return;
+    case Isa::kAvx2: exp_avx2(x, out, n); return;
+    case Isa::kBase: exp_base(x, out, n); return;
+  }
+}
+
+void expm1(const double* x, double* out, std::size_t n) noexcept {
+  switch (active()) {
+    case Isa::kAvx512: expm1_avx512(x, out, n); return;
+    case Isa::kAvx2: expm1_avx2(x, out, n); return;
+    case Isa::kBase: expm1_base(x, out, n); return;
+  }
+}
+
+void log(const double* x, double* out, std::size_t n) noexcept {
+  switch (active()) {
+    case Isa::kAvx512: log_avx512(x, out, n); return;
+    case Isa::kAvx2: log_avx2(x, out, n); return;
+    case Isa::kBase: log_base(x, out, n); return;
+  }
+}
+
+const char* active_isa() noexcept {
+  switch (active()) {
+    case Isa::kAvx512: return "avx512";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kBase: return "x86-64";
+  }
+  return "x86-64";
+}
+
+}  // namespace redcr::model::vk

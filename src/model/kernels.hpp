@@ -1,0 +1,51 @@
+// Batched transcendental kernels for the model's fast evaluation path.
+//
+// vk::exp / vk::expm1 / vk::log evaluate whole contiguous arrays at once
+// so the compiler can vectorize the polynomial pipeline (AVX2/AVX-512 when
+// the host supports them, plain SSE2 otherwise). Three properties the
+// batch evaluator relies on:
+//
+//   1. Determinism across ISAs. The kernels are compiled with
+//      -ffp-contract=off and use only +, -, *, /, sqrt and bit operations,
+//      each of which is IEEE-754 correctly rounded per element. Every
+//      dispatch target therefore produces bitwise-identical output — a
+//      result computed on an AVX-512 host reproduces on a baseline x86-64
+//      host byte for byte, keeping golden exports machine-stable.
+//   2. Accuracy (documented ULP bound). Argument reduction against hi/lo
+//      constant splits plus degree-13 Taylor (exp/expm1) and degree-10
+//      atanh (log) polynomials evaluated in Estrin form keep the error
+//      within 4 ulp of a correctly rounded result over the full double
+//      range (observed maxima: exp 2, expm1 4, log 4; truncation terms are
+//      < 0.2 ulp, the rest is rounding accumulation — expm1 switches to
+//      the shifted series below |x| <= 0.35 so small arguments keep full
+//      relative precision). test_planner.cpp pins an end-to-end bound.
+//   3. Full-domain totality. +-inf, NaN, zero/negative (log), overflow and
+//      subnormal underflow all produce the same values the libm
+//      counterparts would (modulo the <= 4 ulp bound), so callers need no
+//      pre-masking.
+//
+// These kernels back EvalMode::kFast only. EvalMode::kExact keeps calling
+// libm through the exact scalar pipeline and stays bitwise-identical to
+// model::predict().
+#pragma once
+
+#include <cstddef>
+
+namespace redcr::model::vk {
+
+/// out[i] = e^{x[i]} for i in [0, n). `out` must not alias `x`.
+void exp(const double* x, double* out, std::size_t n) noexcept;
+
+/// out[i] = e^{x[i]} - 1 with full relative precision for small |x|.
+/// `out` must not alias `x`.
+void expm1(const double* x, double* out, std::size_t n) noexcept;
+
+/// out[i] = ln(x[i]). Totality matches std::log: log(0) = -inf,
+/// log(negative) = NaN, log(+inf) = +inf. `out` must not alias `x`.
+void log(const double* x, double* out, std::size_t n) noexcept;
+
+/// Name of the dispatch target selected for this host: "avx512", "avx2"
+/// or "x86-64" (diagnostics only; results are identical on all three).
+[[nodiscard]] const char* active_isa() noexcept;
+
+}  // namespace redcr::model::vk

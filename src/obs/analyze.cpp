@@ -9,49 +9,25 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/flatjson.hpp"
+
 namespace redcr::obs {
 
 namespace {
 
-/// Minimal reader for the journal's flat one-object-per-line schema.
-/// Journal lines contain only number and string values, no nesting.
-class LineParser {
- public:
-  LineParser(const std::string& line, std::size_t lineno)
-      : s_(line), lineno_(lineno) {}
-
-  void parse_into(Journal::Event& event) {
-    expect('{');
-    bool first = true;
-    while (true) {
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        break;
-      }
-      if (!first) {
-        expect(',');
-        skip_ws();
-      }
-      first = false;
-      const std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      apply(key, event);
-    }
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing bytes after object");
-  }
-
- private:
-  void apply(const std::string& key, Journal::Event& event) {
+/// Journal field mapping over the shared flat-NDJSON tokenizer
+/// (obs/flatjson.hpp). Unknown numeric keys are ignored (forward
+/// compatibility).
+void parse_event_line(const std::string& line, std::size_t lineno,
+                      Journal::Event& event) {
+  FlatLineParser parser(line, lineno, "journal");
+  parser.parse_object([&](const std::string& key) {
     if (key == "type") {
-      event.type = parse_string();
+      event.type = parser.parse_string();
     } else if (key == "detail") {
-      event.detail = parse_string();
+      event.detail = parser.parse_string();
     } else {
-      const double v = parse_number();
+      const double v = parser.parse_number();
       if (key == "id") {
         event.id = static_cast<std::uint64_t>(v);
       } else if (key == "cause") {
@@ -77,73 +53,9 @@ class LineParser {
       } else if (key == "saved") {
         event.saved = v;
       }
-      // Unknown numeric keys are ignored (forward compatibility).
     }
-  }
-
-  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
-  }
-
-  void expect(char c) {
-    if (peek() != c)
-      fail(std::string("expected '") + c + "', got '" + peek() + "'");
-    ++pos_;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("dangling escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) fail("short \\u escape");
-            const unsigned code = static_cast<unsigned>(
-                std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
-            pos_ += 4;
-            // The journal only escapes control bytes (< 0x20).
-            out += static_cast<char>(code);
-            break;
-          }
-          default: fail("unknown escape"); break;
-        }
-      } else {
-        out += c;
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  double parse_number() {
-    const char* begin = s_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    if (end == begin) fail("expected a number");
-    pos_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("journal parse error at line " +
-                             std::to_string(lineno_) + ": " + what);
-  }
-
-  const std::string& s_;
-  std::size_t lineno_;
-  std::size_t pos_ = 0;
-};
+  });
+}
 
 /// Reads "key=value;key=value" detail payloads (job-begin / job-end).
 double detail_number(const std::string& detail, const std::string& key) {
@@ -188,8 +100,7 @@ std::vector<Journal::Event> parse_journal(const std::string& text) {
     if (end > pos) {
       Journal::Event event;
       const std::string line = text.substr(pos, end - pos);
-      LineParser parser(line, lineno);
-      parser.parse_into(event);
+      parse_event_line(line, lineno, event);
       if (event.type.empty())
         throw std::runtime_error("journal parse error at line " +
                                  std::to_string(lineno) + ": event has no type");

@@ -1,0 +1,126 @@
+// Minimal reader for flat one-object-per-line NDJSON schemas — objects
+// whose values are only numbers and strings, no nesting. This is the
+// shared grammar of the repo's line-oriented logs: the causal event
+// journal (obs/journal.hpp, consumed by analyze.cpp) and the serve
+// front-end's request replay logs (apps/serve.hpp).
+//
+// The parser is deliberately schema-free: parse_object() walks the keys
+// and hands each one to a caller callback positioned at the value, so
+// every consumer keeps its own field mapping (and its own
+// forward-compatibility rule for unknown keys) while sharing the
+// tokenizer, the escape handling and the error reporting. Errors throw
+// std::runtime_error as "<context> parse error at line N: <what>" —
+// `context` names the log kind ("journal", "request"), so the journal
+// analyzer's historical error bytes are preserved exactly.
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace redcr::obs {
+
+class FlatLineParser {
+ public:
+  /// `line` must outlive the parser (it is referenced, not copied);
+  /// `lineno` is 1-based and only used in error messages.
+  FlatLineParser(const std::string& line, std::size_t lineno,
+                 const char* context)
+      : s_(line), lineno_(lineno), context_(context) {}
+
+  /// Parses one `{"key": value, ...}` object spanning the whole line.
+  /// For each key, `apply(key)` is invoked with the parser positioned at
+  /// the value; the callback must consume it via parse_string() or
+  /// parse_number(). Trailing bytes after the object are an error.
+  template <class Apply>
+  void parse_object(Apply&& apply) {
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skip_ws();
+      }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      apply(key);
+    }
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing bytes after object");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("short \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // The emitters only escape control bytes (< 0x20).
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape"); break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(std::string(context_) + " parse error at line " +
+                             std::to_string(lineno_) + ": " + what);
+  }
+
+ private:
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t lineno_;
+  const char* context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace redcr::obs

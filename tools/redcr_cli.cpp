@@ -25,6 +25,7 @@
 
 #include "apps/cg.hpp"
 #include "apps/master_worker.hpp"
+#include "apps/serve.hpp"
 #include "apps/spectral.hpp"
 #include "apps/stencil.hpp"
 #include "apps/synthetic.hpp"
@@ -311,17 +312,19 @@ int cmd_sweep(const Flags& flags) {
       }
     }
   } else {
-    // The whole sweep shares one config, so it maps straight onto the batch
-    // evaluator: the Eq. 9 sphere terms are memoized across degrees and the
-    // points run on the worker pool. Bitwise-identical to predict() per
-    // trial.
-    std::vector<double> degrees;
-    degrees.reserve(trials.size());
-    for (const exp::Trial& trial : trials) degrees.push_back(trial.at("r"));
-    model::BatchOptions batch;
-    batch.jobs = args.run_options().jobs;
-    const std::vector<model::Prediction> preds =
-        model::evaluate_batch(cfg, degrees, batch);
+    // The whole sweep shares one config, so it is exactly the sweep-shaped
+    // query redcr::Planner answers: the Eq. 9 sphere terms are memoized
+    // across degrees and the points run on the worker pool. The default
+    // EvalMode::kExact keeps every cell bitwise-identical to predict(), so
+    // routing through the facade moved no bytes.
+    Planner planner(/*plan_cache_capacity=*/1);
+    PlanRequest request;
+    request.config = cfg;
+    request.degrees.reserve(trials.size());
+    for (const exp::Trial& trial : trials)
+      request.degrees.push_back(trial.at("r"));
+    const PlanResponse plan = planner.plan(request, args.run_options().jobs);
+    const std::vector<model::Prediction>& preds = plan.sweep();
     for (std::size_t i = 0; i < trials.size(); ++i) {
       const model::Prediction& p = preds[i];
       t.add_row({{trials[i].at("r"), 2},
@@ -636,12 +639,56 @@ int cmd_analyze(const Flags& flags) {
   return 0;
 }
 
+// Capacity-planner-as-a-service: replay an NDJSON query log through
+// redcr::Planner (apps::serve_replay). Responses go to stdout (pipe-pure,
+// deterministic bytes — golden-diffable); the qps/latency report and the
+// planner.* metrics NDJSON go to stderr.
+int cmd_serve(const Flags& flags) {
+  const std::string path = flags.text("replay", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "redcr_cli serve: --replay FILE is required ('-' = stdin)\n");
+    return 2;
+  }
+  apps::ServeOptions options;
+  // "--jobs auto" (and absence) mean hardware concurrency, matching
+  // exp::BenchArgs; atof's 0 on "auto" is exactly the 0 = auto encoding.
+  options.jobs = static_cast<int>(flags.number("jobs", 0));
+  options.cache_capacity =
+      static_cast<std::size_t>(flags.number("cache", 256));
+  const std::string mode = flags.text("mode", "fast");
+  if (mode == "exact") {
+    options.mode = model::EvalMode::kExact;
+  } else if (mode != "fast") {
+    std::fprintf(stderr,
+                 "redcr_cli serve: invalid --mode '%s' (expected fast|exact)\n",
+                 mode.c_str());
+    return 2;
+  }
+  std::string requests;
+  std::string responses;
+  apps::ServeReport report;
+  try {
+    requests = read_text(path);
+    report = apps::serve_replay(requests, responses, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "redcr_cli serve: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  std::fwrite(responses.data(), 1, responses.size(), stdout);
+  std::fputs(report.render().c_str(), stderr);
+  obs::Registry registry;
+  report.export_metrics(registry);
+  registry.write_ndjson(stderr);
+  return 0;
+}
+
 void usage() {
   std::printf(
       "redcr_cli — combined partial redundancy + checkpointing toolkit\n\n"
       "  redcr_cli model    --procs N --hours T --mtbf-years Y --alpha A\n"
       "                     --ckpt-sec C --restart-sec R (--r R | --optimize)\n"
-      "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N]\n"
+      "  redcr_cli sweep    [same machine flags] [--step 0.25] [--jobs N|auto]\n"
       "                     [--json] [--filter 'r=2'] [--csv DIR]\n"
       "                     [--keep-going]\n"
       "                     [--ml-levels 'p:fetch[:stale];...'] [--flush-cost C]\n"
@@ -662,7 +709,19 @@ void usage() {
       "                     [--journal-out FILE]\n"
       "                     (alias: simulate)\n"
       "  redcr_cli analyze  --journal FILE [--blame] [--levels] [--top K]\n"
-      "                     [--no-model] [--diff FILE2]\n\n"
+      "                     [--no-model] [--diff FILE2]\n"
+      "  redcr_cli serve    --replay FILE [--jobs N|auto] [--cache N]\n"
+      "                     [--mode fast|exact]\n\n"
+      "Serving: `serve --replay FILE` replays an NDJSON query log (one\n"
+      "scenario per line, keys id/procs/hours/alpha/mtbf_years/ckpt_sec/\n"
+      "restart_sec/r_min/r_max/r_step, all optional with `model`-flag\n"
+      "defaults) through the plan-cached redcr::Planner and prints one\n"
+      "NDJSON response per request on stdout — best_r, total_hours, nodes,\n"
+      "interval_min, system_mtbf_hours, expected_failures, from_cache —\n"
+      "deterministic bytes at any --jobs level. The qps/latency report and\n"
+      "planner.* metrics land on stderr. --mode exact answers bitwise-\n"
+      "identically to scalar predict(); fast (default) uses the vectorized\n"
+      "kernels. '-' reads stdin.\n\n"
       "Journal analysis: `run --journal-out FILE` records every causally\n"
       "meaningful event (failures, per-level checkpoint commits, flush\n"
       "launches/losses, restarts, restores, rework, aborts) as NDJSON, each\n"
@@ -733,6 +792,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(flags);
   if (command == "run" || command == "simulate") return cmd_simulate(flags);
   if (command == "analyze") return cmd_analyze(flags);
+  if (command == "serve") return cmd_serve(flags);
   usage();
   return command == "--help" || command == "help" ? 0 : 2;
 }
