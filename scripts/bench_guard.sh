@@ -10,7 +10,9 @@
 # zero-cost scenario (faults_off_sim), which fails
 # when the disabled fault hooks slow the executor fast path; then runs
 # bench_multilevel's hierarchy scenario (multilevel_sim), which guards the
-# three-level async-flush executor path. The comparison runs inside the
+# three-level async-flush executor path; then runs bench_sdc's live-injection
+# scenario (sdc_sim), which guards the payload-strain voting hot path with
+# both SDC processes switched on. The comparison runs inside the
 # benches themselves (--guard), so no external JSON tooling is needed; on a
 # breach each bench prints the scenario name with the observed and baseline
 # rates ("<name> : <observed> vs baseline <base> -> REGRESSION"), and this
@@ -30,6 +32,7 @@
 #   build/bench/bench_engine --json > BENCH_baseline.json
 #   build/bench/bench_faults --quick --seeds 1 --json | tail -1   # append
 #   build/bench/bench_multilevel --quick --seeds 1 --json | tail -1
+#   build/bench/bench_sdc --quick --seeds 1 --json | tail -1
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,9 +42,11 @@ TOLERANCE="${BENCH_GUARD_TOLERANCE:-0.15}"
 HISTORY="${BENCH_GUARD_HISTORY-results/bench_history.ndjson}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_engine" || ! -x "$BUILD_DIR/bench/bench_faults" \
-      || ! -x "$BUILD_DIR/bench/bench_multilevel" ]]; then
+      || ! -x "$BUILD_DIR/bench/bench_multilevel" \
+      || ! -x "$BUILD_DIR/bench/bench_sdc" ]]; then
   cmake --build "$BUILD_DIR" --target bench_engine --target bench_faults \
-    --target bench_multilevel -j "$(nproc 2>/dev/null || echo 4)"
+    --target bench_multilevel --target bench_sdc \
+    -j "$(nproc 2>/dev/null || echo 4)"
 fi
 if [[ ! -f "$BASELINE" ]]; then
   echo "bench_guard.sh: no baseline at $BASELINE" >&2
@@ -106,5 +111,10 @@ guarded bench_faults --quick --seeds 1 --repeat 3
 # Hierarchy check: the three-level async-flush executor path must hold its
 # committed event rate.
 guarded bench_multilevel --quick --seeds 1 --repeat 3
+
+# SDC check: the executor with both corruption processes live (at-rest and
+# in-flight at r=2) must hold its committed event rate — this is the path
+# where every halo payload is strain-checked by the replica vote.
+guarded bench_sdc --quick --seeds 1 --repeat 3
 
 echo "bench_guard.sh: no guarded rate regressed more than ${TOLERANCE} vs $BASELINE"

@@ -70,6 +70,27 @@ run_multilevel_cell() {
 run_multilevel_cell "2-level sync" --ckpt-levels "$LEVELS_2"
 run_multilevel_cell "3-level async flush" --ckpt-levels "$LEVELS_3" --async-flush
 
+echo "=== ci.sh: SDC fault-matrix smoke (ASan/UBSan) ==="
+# Drive the silent-data-corruption pipeline through each detection regime
+# under the sanitizer build: r=1 (no voting — infections pass silently),
+# r=1.5 and r=2 (divergence detection + rollback + unverified-checkpoint
+# invalidation), r=3 (majority vote corrects in place). Exit 0/1 are
+# legitimate outcomes; anything else is a crash or sanitizer report.
+for red in 1 1.5 2 3; do
+  echo "--- sdc: redundancy=$red"
+  set +e
+  "$FAULT_CLI" run --virtual 8 --redundancy "$red" --mtbf-hours 1e6 \
+    --iterations 40 --compute-sec 5 --interval-sec 60 --ckpt-retention 3 \
+    --sdc-inflight-prob 2e-4 --sdc-atrest-rate 2e-4 --sdc-seed 4243 \
+    --seed 7 --faults-seed 11 --log-level error >/dev/null
+  status=$?
+  set -e
+  if [[ "$status" -ne 0 && "$status" -ne 1 ]]; then
+    echo "ci.sh: sdc cell crashed (exit $status)" >&2
+    exit 1
+  fi
+done
+
 echo "=== ci.sh: journal analyze smoke (ASan/UBSan) ==="
 # Emit a causal journal from the three-level async cell, then run the
 # analyzer over it under the sanitizer build: the blame report must
@@ -90,6 +111,16 @@ trap 'rm -rf "$JOURNAL_DIR"' EXIT
 "$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" --blame --levels
 "$FAULT_CLI" analyze --journal "$JOURNAL_DIR/a.journal" \
   --diff "$JOURNAL_DIR/b.journal"
+# Same reconciliation gate for SDC waste: a dual-redundancy run with both
+# corruption processes live must journal every rollback chained to its
+# injection, and the blame report must bill the [sdc] roots to a zero
+# residual (analyze exits non-zero otherwise).
+"$FAULT_CLI" run --virtual 8 --redundancy 2 --mtbf-hours 1e6 \
+  --iterations 40 --compute-sec 5 --interval-sec 60 --ckpt-retention 3 \
+  --sdc-inflight-prob 2e-4 --sdc-atrest-rate 2e-4 --sdc-seed 4243 \
+  --seed 7 --faults-seed 11 --log-level error \
+  --journal-out "$JOURNAL_DIR/sdc.journal" >/dev/null || true
+"$FAULT_CLI" analyze --journal "$JOURNAL_DIR/sdc.journal" --blame
 
 echo "=== ci.sh: serve-mode replay smoke (ASan/UBSan) ==="
 # Replay the checked-in request log through the serving front-end under

@@ -7,6 +7,7 @@
 
 #include "ckpt/hierarchy.hpp"
 #include "ckpt/store.hpp"
+#include "failure/sdc.hpp"
 #include "sim/task.hpp"
 #include "util/log.hpp"
 
@@ -308,10 +309,16 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
             epoch_image_ok_[r] = 0;
         }
       }
+      // Verification state is captured *now*, at the barrier — a forked-mode
+      // publish deferred to drain completion still records the infections
+      // live when the images were taken.
       auto publish = [this, iteration, epoch, work_elapsed,
                       entry_busy = epoch_flat_busy_,
                       entry_time = epoch_entry_time_,
-                      image_ok = epoch_image_ok_] {
+                      image_ok = epoch_image_ok_,
+                      infections = config_.sdc != nullptr
+                          ? config_.sdc->snapshot_infections()
+                          : std::vector<failure::InfectionRecord>{}] {
         snapshot_.valid = true;
         snapshot_.iteration = iteration;
         snapshot_.completed_at = engine_.now();
@@ -324,6 +331,7 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
           gen.cumulative_useful = config_.useful_work_base + work_elapsed;
           gen.image_ok = image_ok;
           gen.checksum = generation_checksum(config_.episode, epoch, iteration);
+          gen.infections = infections;
           config_.store->commit(std::move(gen));
         }
         // Device seconds this epoch consumed on the flat store: writes
@@ -418,6 +426,11 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
   const std::uint64_t checksum =
       generation_checksum(config_.episode, epoch, iteration);
   const double cumulative = config_.useful_work_base + work_elapsed;
+  // Captured once here: an async flush's generation carries the infections
+  // live at launch, even though it commits later.
+  const std::vector<failure::InfectionRecord> infections =
+      config_.sdc != nullptr ? config_.sdc->snapshot_infections()
+                             : std::vector<failure::InfectionRecord>{};
 
   auto make_generation = [&](std::vector<char> image_ok) {
     Generation gen;
@@ -426,6 +439,7 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
     gen.cumulative_useful = cumulative;
     gen.image_ok = std::move(image_ok);
     gen.checksum = checksum;
+    gen.infections = infections;
     return gen;
   };
 

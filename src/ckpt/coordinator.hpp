@@ -31,6 +31,10 @@
 #include "sim/cotask.hpp"
 #include "simmpi/world.hpp"
 
+namespace redcr::failure {
+class SdcMonitor;
+}  // namespace redcr::failure
+
 namespace redcr::ckpt {
 
 class CheckpointStore;
@@ -81,6 +85,11 @@ struct CkptConfig {
   /// Job-lifetime useful work at episode start; committed generations carry
   /// useful_work_base + work_elapsed as the executor's restore target.
   double useful_work_base = 0.0;
+  /// Live SDC infection monitor (not owned; null = no SDC fault model).
+  /// Consulted at every generation publish: a checkpoint committed while a
+  /// rank infection is live records those infections and becomes
+  /// *unverified* — invalidated when voting finally detects the strain.
+  const failure::SdcMonitor* sdc = nullptr;
 
   // --- Multi-level storage hierarchy (null = flat single-device) ----------
 

@@ -354,6 +354,18 @@ StorageHierarchy::FetchResult StorageHierarchy::fetch(
   return result;
 }
 
+std::vector<StorageHierarchy::Invalidated>
+StorageHierarchy::invalidate_unverified() {
+  std::vector<Invalidated> removed;
+  for (int i = 0; i < num_levels(); ++i) {
+    for (Generation& gen :
+         levels_[static_cast<size_t>(i)].store.invalidate_unverified()) {
+      removed.push_back(Invalidated{i, std::move(gen)});
+    }
+  }
+  return removed;
+}
+
 void StorageHierarchy::clear_volatile() {
   for (int i = 0; i < num_levels(); ++i) {
     if (i == pfs_level_) continue;

@@ -220,6 +220,20 @@ class StorageHierarchy {
   /// `image_bytes` is the per-rank image size the fetch reads back.
   FetchResult fetch(const std::vector<char>& dead, util::Bytes image_bytes);
 
+  /// One generation removed by invalidate_unverified(), with the level it
+  /// was stored at — the executor journals a "ckpt-invalidated" event per
+  /// entry, billed to the infection that tainted it.
+  struct Invalidated {
+    int level = -1;
+    Generation gen;
+  };
+
+  /// Erases every *unverified* generation at every level — called at SDC
+  /// detection time: those image sets hold corrupt state and must not serve
+  /// restores. Returns the removed generations, fastest level first and
+  /// newest-first within a level.
+  std::vector<Invalidated> invalidate_unverified();
+
   /// Drops every generation at volatile (non-PFS) levels — models a full
   /// node-cache loss (e.g. an allocation change between runs). The executor
   /// does NOT call this on restart: surviving cache levels persist across

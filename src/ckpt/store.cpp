@@ -41,6 +41,16 @@ void CheckpointStore::commit(Generation gen) {
   }
 }
 
+std::vector<Generation> CheckpointStore::invalidate_unverified() {
+  std::vector<Generation> removed;
+  for (std::size_t i = generations_.size(); i-- > 0;) {
+    if (generations_[i].verified()) continue;
+    removed.push_back(std::move(generations_[i]));
+    generations_.erase(generations_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return removed;
+}
+
 RestoreResult CheckpointStore::restore() {
   RestoreResult res;
   res.had_generations = !generations_.empty();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ckpt/coordinator.hpp"
+#include "failure/sdc.hpp"
 
 namespace redcr::ckpt {
 
@@ -38,9 +39,18 @@ struct Generation {
   /// Content tag derived from the image coordinates; surfaced in logs so a
   /// fallback names which generation it landed on.
   std::uint64_t checksum = 0;
+  /// Live rank infections at publish time (empty = *verified*). A
+  /// generation committed while an undetected SDC infection was active is
+  /// unverified: its images contain corrupt state, so it is invalidated
+  /// when voting finally detects the infection (Aupy et al.'s two-level
+  /// recovery), and restoring it before detection resurrects the
+  /// infections (failure::SdcMonitor::seed).
+  std::vector<failure::InfectionRecord> infections;
 
   /// The generation restores iff every rank's image validates.
   [[nodiscard]] bool valid() const noexcept;
+  /// Committed with no undetected infection active.
+  [[nodiscard]] bool verified() const noexcept { return infections.empty(); }
 };
 
 /// Deterministic content tag for a generation (SplitMix64 over coordinates).
@@ -72,6 +82,12 @@ class CheckpointStore {
   /// and returns the newest valid one. Non-destructive for the generation
   /// it returns: repeated restores land on the same one.
   RestoreResult restore();
+
+  /// Erases every unverified generation (committed while an infection was
+  /// active) — called at SDC detection time: those image sets hold corrupt
+  /// state and must not serve restores. Returns the removed generations,
+  /// newest first, so the executor can journal each invalidation.
+  std::vector<Generation> invalidate_unverified();
 
   /// Drops every retained generation — models a volatile level whose
   /// contents do not survive a relaunch (or were destroyed by a failure).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -28,6 +29,14 @@ void CkptFaultParams::validate() const {
   check_prob(write_failure_prob, "write_failure_prob");
   check_prob(corruption_prob, "corruption_prob");
   check_prob(restart_failure_prob, "restart_failure_prob");
+}
+
+void SdcParams::validate() const {
+  check_prob(inflight_prob, "sdc.inflight_prob");
+  if (!(atrest_rate >= 0.0) || std::isinf(atrest_rate)) {
+    reject("sdc.atrest_rate must be finite and >= 0, got " +
+           std::to_string(atrest_rate));
+  }
 }
 
 double RetryPolicy::delay_before(int attempt) const noexcept {
@@ -57,9 +66,25 @@ FaultProcess::FaultProcess(CkptFaultParams params) : params_(params) {
   params_.validate();
 }
 
+FaultProcess::FaultProcess(CkptFaultParams params, SdcParams sdc)
+    : params_(params), sdc_(sdc) {
+  params_.validate();
+  sdc_.validate();
+}
+
 double FaultProcess::draw(FaultClass cls, std::uint64_t a, std::uint64_t b,
                           std::uint64_t c) const noexcept {
   return util::Xoshiro256ss(params_.seed)
+      .split(static_cast<std::uint64_t>(cls))
+      .split(a)
+      .split(b)
+      .split(c)
+      .uniform01();
+}
+
+double FaultProcess::sdc_draw(FaultClass cls, std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c) const noexcept {
+  return util::Xoshiro256ss(sdc_.seed)
       .split(static_cast<std::uint64_t>(cls))
       .split(a)
       .split(b)
@@ -105,6 +130,40 @@ bool FaultProcess::level_write_fails(int level, double prob,
                       static_cast<std::uint64_t>(attempt & 0xFFFF);
   return draw(FaultClass::kLevelWriteFailure, episode,
               static_cast<std::uint64_t>(epoch), who) < prob;
+}
+
+bool FaultProcess::sdc_flips_copy(std::uint64_t episode, int sender_rank,
+                                  std::uint64_t ordinal,
+                                  int copy) const noexcept {
+  if (sdc_.inflight_prob <= 0.0) return false;
+  // Fold (rank, copy) into one salt; the send ordinal keeps its own slot so
+  // long-running ranks never alias earlier sends.
+  std::uint64_t who = (static_cast<std::uint64_t>(sender_rank) << 16) |
+                      static_cast<std::uint64_t>(copy & 0xFFFF);
+  return sdc_draw(FaultClass::kSdcInFlight, episode, who, ordinal) <
+         sdc_.inflight_prob;
+}
+
+double FaultProcess::sdc_infection_time(std::uint64_t episode,
+                                        int rank) const noexcept {
+  if (sdc_.atrest_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  auto rng = util::Xoshiro256ss(sdc_.seed)
+                 .split(static_cast<std::uint64_t>(FaultClass::kSdcAtRest))
+                 .split(episode)
+                 .split(static_cast<std::uint64_t>(rank));
+  return rng.exponential(1.0 / sdc_.atrest_rate);
+}
+
+std::uint64_t FaultProcess::sdc_strain(FaultClass cls, std::uint64_t episode,
+                                       std::uint64_t a,
+                                       std::uint64_t b) const noexcept {
+  std::uint64_t strain = util::Xoshiro256ss(sdc_.seed)
+                             .split(static_cast<std::uint64_t>(cls))
+                             .split(episode)
+                             .split(a)
+                             .split(b)
+                             .next();
+  return strain != 0 ? strain : 1;  // strain 0 means "clean"
 }
 
 bool FaultProcess::level_image_corrupts(int level, double prob,

@@ -37,6 +37,12 @@ enum class FaultClass : std::uint64_t {
   /// its own stream, salted with the level index.
   kLevelWriteFailure = 4,
   kLevelCorruption = 5,
+  /// Silent data corruption, the paper's Msg-plus-hash/voting target: a
+  /// payload flipped on the wire (one physical copy of one send) or a rank's
+  /// state silently infected at rest. Neither is visible to the C/R pipeline
+  /// — only replica voting can observe the divergence.
+  kSdcInFlight = 6,
+  kSdcAtRest = 7,
 };
 
 /// Probabilities of the three C/R fault classes. All default to 0, which is
@@ -65,6 +71,31 @@ struct CkptFaultParams {
   void validate() const;
 };
 
+/// Silent-data-corruption injection knobs. Both default to 0, which keeps
+/// every code path bit-identical to the SDC-free pipeline.
+struct SdcParams {
+  /// Probability one *physical copy* of one send is flipped on the wire
+  /// (per sender rank, per send, per replica copy). Transient: only that
+  /// copy is wrong; the sender's state stays clean.
+  double inflight_prob = 0.0;
+  /// Per-physical-rank rate (infections per second of episode time) of
+  /// at-rest state corruption. The first infection time of each rank is an
+  /// exponential draw; once infected, every payload the rank sends carries
+  /// its strain until the episode ends (a rollback restores clean state, a
+  /// restore from an unverified checkpoint resurrects the infection).
+  double atrest_rate = 0.0;
+  /// Root seed of the SDC streams; independent of the C/R fault seed and of
+  /// FailureParams::seed so enabling SDC changes neither schedule.
+  std::uint64_t seed = 4243;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return inflight_prob > 0.0 || atrest_rate > 0.0;
+  }
+
+  /// Rejects NaN/out-of-range knobs with a one-line std::invalid_argument.
+  void validate() const;
+};
+
 /// Capped exponential backoff: attempt 0 runs immediately, attempt k waits
 /// min(backoff_base * 2^(k-1), backoff_cap) seconds first.
 struct RetryPolicy {
@@ -85,6 +116,9 @@ class FaultProcess {
  public:
   /// Validates `params` (throws std::invalid_argument).
   explicit FaultProcess(CkptFaultParams params);
+
+  /// Same, with SDC injection enabled (both are validated).
+  FaultProcess(CkptFaultParams params, SdcParams sdc);
 
   /// Does this image-write attempt fail visibly?
   [[nodiscard]] bool write_fails(std::uint64_t episode, int epoch, int rank,
@@ -111,17 +145,42 @@ class FaultProcess {
                                           std::uint64_t episode, int epoch,
                                           int rank) const noexcept;
 
+  /// Is this physical copy of this send flipped in flight? `ordinal` is the
+  /// sender's send counter (deterministic under the engine's fixed event
+  /// order), `copy` the replica-copy index within the send's fan-out.
+  [[nodiscard]] bool sdc_flips_copy(std::uint64_t episode, int sender_rank,
+                                    std::uint64_t ordinal,
+                                    int copy) const noexcept;
+
+  /// First at-rest infection time of `rank` in `episode`, seconds from the
+  /// episode start; +infinity when the at-rest rate is 0 (never fires).
+  [[nodiscard]] double sdc_infection_time(std::uint64_t episode,
+                                          int rank) const noexcept;
+
+  /// Deterministic nonzero strain identifier for the injection at these
+  /// coordinates — a pure function of (seed, class, episode, a, b), so two
+  /// copies flipped by the same injection stay bitwise consistent.
+  [[nodiscard]] std::uint64_t sdc_strain(FaultClass cls, std::uint64_t episode,
+                                         std::uint64_t a,
+                                         std::uint64_t b) const noexcept;
+
   [[nodiscard]] const CkptFaultParams& params() const noexcept {
     return params_;
   }
+  [[nodiscard]] const SdcParams& sdc() const noexcept { return sdc_; }
   [[nodiscard]] bool enabled() const noexcept { return params_.enabled(); }
 
  private:
   /// Uniform [0,1) draw from the stream (seed, cls, a, b, c).
   [[nodiscard]] double draw(FaultClass cls, std::uint64_t a, std::uint64_t b,
                             std::uint64_t c) const noexcept;
+  /// SDC variant: same stream construction, rooted at the SDC seed.
+  [[nodiscard]] double sdc_draw(FaultClass cls, std::uint64_t a,
+                                std::uint64_t b,
+                                std::uint64_t c) const noexcept;
 
   CkptFaultParams params_;
+  SdcParams sdc_;
 };
 
 }  // namespace redcr::failure

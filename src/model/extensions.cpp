@@ -299,6 +299,85 @@ FailureWaste predicted_failure_waste(double interval, double ckpt_cost,
   return w;
 }
 
+void SdcModelParams::validate() const {
+  const auto check = [](double v, const char* name) {
+    if (!(v >= 0.0) || !std::isfinite(v))
+      throw std::invalid_argument(std::string("SdcModelParams: ") + name +
+                                  " must be finite and >= 0, got " +
+                                  std::to_string(v));
+  };
+  check(interval, "interval");
+  check(ckpt_cost, "ckpt_cost");
+  check(compute_per_iteration, "compute_per_iteration");
+  check(single_ranks, "single_ranks");
+  check(dual_ranks, "dual_ranks");
+  check(triple_ranks, "triple_ranks");
+  if (!(interval + ckpt_cost > 0.0))
+    throw std::invalid_argument(
+        "SdcModelParams: checkpoint period (interval + ckpt_cost) must be "
+        "> 0");
+  if (!(compute_per_iteration > 0.0))
+    throw std::invalid_argument(
+        "SdcModelParams: compute_per_iteration must be > 0 (the detector "
+        "runs once per iteration)");
+  if (single_ranks + dual_ranks + triple_ranks <= 0.0 &&
+      !(redundancy >= 1.0 && redundancy <= 3.0))
+    throw std::invalid_argument(
+        "SdcModelParams: give an explicit sphere-degree census or a "
+        "redundancy in [1, 3] to derive one");
+}
+
+SdcPrediction predict_sdc(const SdcModelParams& params) {
+  params.validate();
+  SdcPrediction out;
+
+  // Census: explicit counts, or the paper's partition in the continuum
+  // limit — degree mix (2-r, r-1) doubles below r = 2, (3-r, r-2) triples
+  // above, weighted by the replicas each sphere occupies.
+  double s = params.single_ranks;
+  double d = params.dual_ranks;
+  double t = params.triple_ranks;
+  if (s + d + t <= 0.0) {
+    const double r = params.redundancy;
+    if (r <= 2.0) {
+      s = 2.0 - r;
+      d = 2.0 * (r - 1.0);
+      t = 0.0;
+    } else {
+      s = 0.0;
+      d = 2.0 * (3.0 - r);
+      t = 3.0 * (r - 2.0);
+    }
+  }
+  const double census = s + d + t;
+  out.p_silent = s / census;
+  out.p_detect = d / census;
+  out.p_correct = t / census;
+
+  // Phase split: an at-rest infection lands uniformly inside a checkpoint
+  // period of length δ + c (see the header's derivation).
+  const double period = params.interval + params.ckpt_cost;
+  const double p_work = params.interval / period;
+  const double p_ckpt = params.ckpt_cost / period;
+  const double tc = params.compute_per_iteration;
+
+  // During work: caught at the same iteration's halo, T_c/2 away; nothing
+  // was committed since, so nothing invalidates. During a checkpoint: the
+  // epoch publishes unverified, and the detection waits out the remaining
+  // checkpoint (c/2) plus one full compute leg.
+  out.detection_latency =
+      p_work * (tc / 2.0) + p_ckpt * (params.ckpt_cost / 2.0 + tc);
+  out.invalidated_depth = p_ckpt;
+  // Rollback target is the last *verified* checkpoint: a work-phase
+  // infection loses the period's work so far (δ/2) plus the detection leg;
+  // a checkpoint-phase infection additionally forfeits the whole preceding
+  // period's work (the invalidated epoch banked it in vain).
+  out.rework_per_detection =
+      p_work * (params.interval / 2.0 + tc / 2.0) +
+      p_ckpt * (params.interval + tc);
+  return out;
+}
+
 Sensitivity sensitivity_at(const CombinedConfig& config, double r) {
   Sensitivity s;
   s.wrt_node_mtbf =

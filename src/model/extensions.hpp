@@ -180,4 +180,71 @@ struct FailureWaste {
                                                    double ckpt_cost,
                                                    double restart_cost);
 
+// --- Silent-data-corruption terms (simulator counterpart: failure::SdcMonitor
+// + the verified/unverified checkpoint recovery in runtime::JobExecutor) ------
+//
+// The SDC detector is replication itself: a tainted payload is noticed only
+// when a receiving copy-set diverges, which happens at the application's
+// communication cadence, not instantly. The closed forms below follow the
+// simulator's iteration structure — per iteration: checkpoint boundary
+// first, then T_c seconds of compute, then the halo exchange whose voting
+// is the detector. An at-rest infection therefore lands uniformly inside a
+// checkpoint period of length δ + c, and:
+//
+//   during work   (prob δ/(δ+c))  detected at the same iteration's halo:
+//                                 latency ≈ T_c/2; no checkpoint committed
+//                                 in between, so invalidation depth 0.
+//   during a ckpt (prob c/(δ+c))  the epoch publishes *unverified*; the
+//                                 detection waits for the next compute:
+//                                 latency ≈ c/2 + T_c; depth 1.
+//
+// Whether the infection is detectable at all is a property of where it
+// lands: ranks in dual spheres detect (uncorrectable → rollback), triple
+// spheres outvote it (corrected, no rollback), unreplicated spheres pass it
+// silently — the paper's partition (Eqs. 5–8) decides the mix.
+
+/// Inputs of predict_sdc. The sphere-degree census can be given exactly
+/// (count physical ranks per degree from red::ReplicaMap — the bench does
+/// this to avoid partition-rounding drift) or left all-zero to derive the
+/// continuous fractions from `redundancy` alone.
+struct SdcModelParams {
+  double interval = 0.0;   ///< δ: work seconds between checkpoints
+  double ckpt_cost = 0.0;  ///< c: wallclock of one checkpoint epoch
+  /// T_c: compute seconds per iteration — the detector's granularity (the
+  /// halo vote runs once per iteration).
+  double compute_per_iteration = 0.0;
+  /// Physical ranks living in degree-1 / degree-2 / degree-3 spheres.
+  double single_ranks = 0.0;
+  double dual_ranks = 0.0;
+  double triple_ranks = 0.0;
+  /// Fallback census source when the explicit counts are all zero:
+  /// r ∈ [1, 3] under the paper's partition.
+  double redundancy = 0.0;
+
+  /// Throws std::invalid_argument on NaN/negative values, a zero-length
+  /// checkpoint period, or an empty census with redundancy outside [1, 3].
+  void validate() const;
+};
+
+/// Closed-form SDC expectations, validated against the simulator by
+/// bench/bench_sdc (≤ 10% worst relative error gate on the latency and
+/// rework terms).
+struct SdcPrediction {
+  /// First-infection classification: where a uniformly placed at-rest
+  /// infection lands. p_silent + p_detect + p_correct == 1.
+  double p_silent = 0.0;   ///< degree-1 sphere: passes every vote
+  double p_detect = 0.0;   ///< degree-2: uncorrectable mismatch → rollback
+  double p_correct = 0.0;  ///< degree-3: outvoted, execution continues
+  /// E[detection latency | detectable], seconds from injection to the
+  /// uncorrectable mismatch.
+  double detection_latency = 0.0;
+  /// E[unverified generations invalidated per detection] = c / (δ + c).
+  double invalidated_depth = 0.0;
+  /// E[work discarded per detection], seconds: verified work rolled back
+  /// plus the infected work since the last *verified* checkpoint.
+  double rework_per_detection = 0.0;
+};
+
+[[nodiscard]] SdcPrediction predict_sdc(const SdcModelParams& params);
+
 }  // namespace redcr::model

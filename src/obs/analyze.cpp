@@ -143,12 +143,17 @@ BlameReport blame(const std::vector<Journal::Event>& events) {
   // unattributed instead of silently minting an entry).
   std::map<std::uint64_t, BlameEntry> by_cause;
   for (const Journal::Event& e : events) {
-    if (e.type != "sphere-death") continue;
+    // Two root-fault kinds: a sphere death (kill) and an SDC injection
+    // (detected later by replica voting; its rollback's rework/restart
+    // chain to the injection id). A corrected or still-silent injection
+    // simply accumulates zero waste.
+    if (e.type != "sphere-death" && e.type != "sdc-injected") continue;
     BlameEntry entry;
     entry.cause = e.id;
     entry.time = e.t;
     entry.episode = e.episode;
     entry.sphere = e.sphere;
+    entry.sdc = e.type == "sdc-injected";
     by_cause.emplace(e.id, entry);
   }
   for (const Journal::Event& e : events) {
@@ -209,9 +214,10 @@ std::string BlameReport::render(const BlameOptions& options) const {
   for (std::size_t i = 0; i < shown; ++i) {
     const BlameEntry& e = entries[i];
     appendf(out, "  %4zu  %8llu  %8.1f  %2d  %6d  %10.3f  %10.3f  %8.3f  "
-                 "%13.3f  %10.3f\n",
+                 "%13.3f  %10.3f%s\n",
             i + 1, static_cast<unsigned long long>(e.cause), e.time, e.episode,
-            e.sphere, e.rework, e.restart, e.fetch, e.flush_lost, e.total());
+            e.sphere, e.rework, e.restart, e.fetch, e.flush_lost, e.total(),
+            e.sdc ? "  [sdc]" : "");
   }
   if (shown < entries.size()) {
     double rework = 0.0, restart = 0.0, fetch = 0.0, lost = 0.0;

@@ -71,10 +71,14 @@ struct BlameOptions {
 
 /// One root fault's attributed waste.
 struct BlameEntry {
-  std::uint64_t cause = 0;  ///< the sphere-death event id
+  std::uint64_t cause = 0;  ///< the root event id (sphere-death/sdc-injected)
   double time = 0.0;        ///< job time of the fault
   int episode = -1;
   int sphere = -1;
+  /// True when the root is an SDC injection (detected by replica voting)
+  /// rather than a sphere death: its waste chain runs through sdc-detected
+  /// → rollback instead of a kill.
+  bool sdc = false;
   double rework = 0.0;      ///< Σ rework.dur with this cause
   double restart = 0.0;     ///< Σ restart-attempt.dur with this cause
   double fetch = 0.0;       ///< Σ fetch.dur with this cause

@@ -45,6 +45,19 @@ class Journal {
   ///   replica-death     injector; episode, rank
   ///   sphere-death      injector; episode, sphere, rank — THE root fault;
   ///                     its id becomes the `cause` of all downstream waste
+  ///   sdc-injected      SDC monitor; episode, rank, sphere, detail =
+  ///                     "kind=in-flight|at-rest" — the OTHER root-fault
+  ///                     kind: an SDC rollback's waste chains to it
+  ///   sdc-detected      SDC monitor; episode, rank, cause = the injection;
+  ///                     replica voting hit an uncorrectable divergence
+  ///   sdc-corrected     SDC monitor (once per strain); episode, rank,
+  ///                     cause = the injection; a majority outvoted it
+  ///   sdc-undetected    SDC monitor; episode, rank, cause = the injection;
+  ///                     a tainted payload passed voting and infected the
+  ///                     receiving rank
+  ///   ckpt-invalidated  executor (at detection); episode, epoch, level,
+  ///                     iteration, cause = the infection that tainted the
+  ///                     generation — an unverified checkpoint was erased
   ///   ckpt-commit       controller; episode, epoch, level (-1 = flat),
   ///                     iteration, dur = device seconds this epoch at the
   ///                     level, detail = level kind
@@ -58,7 +71,8 @@ class Journal {
   ///   flush-lost        controller; episode, epoch, level, cause = killing
   ///                     fault, dur = lost drain seconds
   ///   episode-end       executor; episode, dur = elapsed, sphere (when
-  ///                     killed), detail = completed|sphere-death|aborted
+  ///                     killed), detail =
+  ///                     completed|sphere-death|sdc-detected|aborted
   ///   restart-attempt   executor; episode, attempt, cause, dur = cost
   ///   restart-failed    executor; episode, attempt, cause
   ///   level-defeated    executor; episode, level, cause

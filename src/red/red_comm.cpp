@@ -49,6 +49,14 @@ Request RedComm::isend(Rank dst, int tag, Payload payload) {
   if (dst < 0 || dst >= size())
     throw std::out_of_range("RedComm::isend: virtual rank out of range");
   if (corruption_hook_) payload = corruption_hook_(std::move(payload));
+  // At-rest state corruption: an infected sender taints everything it sends
+  // (all copies consistently, so sibling replicas stay the divergence
+  // signal). Per-copy in-flight flips are applied inside the fan-out loop.
+  const std::uint64_t ordinal = send_ordinal_++;
+  if (sdc_ != nullptr) {
+    payload =
+        sdc_->on_send(endpoint_->rank(), std::move(payload), engine().now());
+  }
 
   auto parent = std::make_shared<simmpi::RequestState>();
   // A dead process sends nothing (live failure semantics); completing the
@@ -82,12 +90,21 @@ Request RedComm::isend(Rank dst, int tag, Payload payload) {
 
   auto remaining = std::make_shared<std::size_t>(live_dst.size());
   for (unsigned j = 0; j < live_dst.size(); ++j) {
+    Payload copy = payload;
+    if (sdc_ != nullptr) {
+      copy = sdc_->on_copy(endpoint_->rank(), ordinal, static_cast<int>(j),
+                           std::move(copy), engine().now());
+    }
     Request sub;
     if (sends_full(my_live_index, j, my_live_degree, config_->mode)) {
-      sub = endpoint_->isend(live_dst[j], tag, payload);
+      sub = endpoint_->isend(live_dst[j], tag, std::move(copy));
     } else {
-      sub = endpoint_->isend(live_dst[j], kHashTagOffset + tag,
-                             hash_payload(payload.hash()));
+      // The hash message hashes the (possibly corrupted) copy, and carries
+      // the copy's strain tag so a detection through a hash-only copy can
+      // still chain back to the injection event.
+      Payload hp = hash_payload(copy.hash());
+      if (copy.tainted()) hp = hp.corrupted(copy.strain());
+      sub = endpoint_->isend(live_dst[j], kHashTagOffset + tag, std::move(hp));
     }
     simmpi::attach_completion(sub, [this, remaining, parent] {
       if (--*remaining == 0) complete_request(*parent, engine());
@@ -283,12 +300,15 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
   assert(!fulls.empty() && "every copy-set carries at least one full copy");
 
   const Message* chosen = fulls.front();
+  bool mismatch = false;
+  bool corrected = false;
   if (config_->vote && hashes.size() > 1) {
     ++stats_.messages_compared;
     if (compared_counter_ != nullptr) compared_counter_->add();
     std::map<std::uint64_t, unsigned> counts;
     for (const std::uint64_t h : hashes) ++counts[h];
     if (counts.size() > 1) {
+      mismatch = true;
       ++stats_.mismatches_detected;
       if (detected_counter_ != nullptr) detected_counter_->add();
       // Majority vote: adopt a full copy carrying the majority content, if
@@ -304,6 +324,7 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
             });
         if (it != fulls.end()) {
           chosen = *it;
+          corrected = true;
           ++stats_.mismatches_corrected;
           if (corrected_counter_ != nullptr) corrected_counter_->add();
           REDCR_LOG_WARN << "red: replica mismatch outvoted (virtual rank "
@@ -311,6 +332,34 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
                          << tag << ", " << hashes.size() << " copies)";
         }
       }
+    }
+  }
+
+  // A tainted payload that survives the vote without any observed
+  // divergence passed the detector silently (single-copy spheres, or a
+  // consistently infected sender sphere).
+  if (chosen->payload.tainted() && !mismatch) ++stats_.mismatches_undetected;
+
+  if (sdc_ != nullptr) {
+    std::uint64_t seen = 0;
+    for (const Message& copy : copies) {
+      if (copy.payload.strain() != 0) {
+        seen = copy.payload.strain();
+        break;
+      }
+    }
+    if (seen != 0 || mismatch) {
+      SdcPolicy::Delivery delivery;
+      delivery.receiver_physical = endpoint_->rank();
+      delivery.receiver_virtual = virtual_rank_;
+      delivery.sender_virtual = src_virtual;
+      delivery.chosen_strain = chosen->payload.strain();
+      delivery.seen_strain = seen;
+      delivery.copies = hashes.size();
+      delivery.mismatch = mismatch;
+      delivery.corrected = corrected;
+      delivery.now = engine().now();
+      sdc_->on_delivery(delivery);
     }
   }
 

@@ -64,6 +64,48 @@ struct RedStats {
   std::uint64_t messages_compared = 0;
   std::uint64_t mismatches_detected = 0;
   std::uint64_t mismatches_corrected = 0;  ///< majority vote succeeded
+  /// Deliveries that surfaced a silently corrupted payload without the vote
+  /// observing any divergence (single-copy spheres, or every copy carrying
+  /// the same strain): the infection passed the detector.
+  std::uint64_t mismatches_undetected = 0;
+};
+
+/// Silent-data-corruption policy consulted by the interposition layer.
+/// Implemented by failure::SdcMonitor (red/ cannot depend on failure/, so
+/// this mirrors the Liveness-oracle pattern). All hooks are synchronous and
+/// run inside the engine's event order, so a deterministic implementation
+/// keeps the simulation bit-identical across reruns.
+class SdcPolicy {
+ public:
+  /// Verdict of one voted delivery, reported after comparison.
+  struct Delivery {
+    Rank receiver_physical = -1;
+    Rank receiver_virtual = -1;
+    Rank sender_virtual = -1;
+    /// Strain of the payload surfaced to the application (0 = clean).
+    std::uint64_t chosen_strain = 0;
+    /// First nonzero strain among the copies (0 = all clean).
+    std::uint64_t seen_strain = 0;
+    std::size_t copies = 0;  ///< copies compared (full + hash)
+    bool mismatch = false;   ///< the vote observed divergent content
+    bool corrected = false;  ///< a strict majority outvoted the divergence
+    double now = 0.0;        ///< simulated time of the delivery
+  };
+
+  virtual ~SdcPolicy() = default;
+  /// Called once per application-level send with the sender's physical
+  /// rank; an at-rest-infected rank's payload comes back corrupted.
+  virtual simmpi::Payload on_send(Rank sender_physical,
+                                  simmpi::Payload payload, double now) = 0;
+  /// Called per physical copy of the fan-out; may apply an in-flight flip.
+  /// `ordinal` is the sender's deterministic send counter, `copy` the index
+  /// within this send's live destination set.
+  virtual simmpi::Payload on_copy(Rank sender_physical, std::uint64_t ordinal,
+                                  int copy, simmpi::Payload payload,
+                                  double now) = 0;
+  /// Classification callback after voting: spreads silent infections,
+  /// journals detection/correction, and raises the detection alarm.
+  virtual void on_delivery(const Delivery& delivery) = 0;
 };
 
 class RedComm final : public simmpi::Comm {
@@ -95,11 +137,18 @@ class RedComm final : public simmpi::Comm {
   }
   [[nodiscard]] const ReplicaMap& map() const noexcept { return *map_; }
 
-  /// Test hook simulating silent data corruption: applied to every payload
-  /// this physical process sends.
+  /// Deterministic corruption adapter: applied to every payload this
+  /// physical process sends, before the seeded SDC policy. Kept as the thin
+  /// compatibility shim for tests that corrupt a specific replica directly;
+  /// production SDC injection goes through set_sdc().
   void set_corruption_hook(std::function<simmpi::Payload(simmpi::Payload)> f) {
     corruption_hook_ = std::move(f);
   }
+
+  /// Attaches the seeded SDC policy (nullptr detaches; must outlive this
+  /// RedComm). Drives in-flight copy flips, at-rest state corruption of the
+  /// sender, and the post-vote detect/correct/silent classification.
+  void set_sdc(SdcPolicy* sdc) { sdc_ = sdc; }
 
   /// Enables live failure semantics against the given oracle (must outlive
   /// this RedComm). Limitations: a wildcard receive whose sphere leader
@@ -163,6 +212,9 @@ class RedComm final : public simmpi::Comm {
   unsigned replica_index_;
   RedStats stats_;
   std::function<simmpi::Payload(simmpi::Payload)> corruption_hook_;
+  SdcPolicy* sdc_ = nullptr;
+  /// Deterministic per-comm send counter: the in-flight flip coordinates.
+  std::uint64_t send_ordinal_ = 0;
   const Liveness* liveness_ = nullptr;
   obs::Counter* compared_counter_ = nullptr;  // cached registry handles
   obs::Counter* detected_counter_ = nullptr;

@@ -75,6 +75,12 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
   config_.ckpt_faults.validate();
   config_.ckpt_write_retry.validate("JobConfig.ckpt_write_retry");
   config_.restart_retry.validate("JobConfig.restart_retry");
+  config_.sdc.validate();
+  if (config_.sdc.enabled() && config_.replication != Replication::kPush)
+    throw std::invalid_argument(
+        "JobExecutor: the SDC fault model requires push replication — "
+        "detection is the push protocol's replica voting, which the pull "
+        "protocol does not perform");
   if (config_.ckpt_retention < 1)
     throw std::invalid_argument(
         "JobExecutor: ckpt_retention must be >= 1, got " +
@@ -114,7 +120,8 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
     long start_iteration, std::uint64_t episode_index,
     ckpt::CheckpointStore& store, ckpt::StorageHierarchy* hierarchy,
     int epoch_base, const failure::FaultProcess* faults,
-    double useful_work_base) {
+    double useful_work_base,
+    const std::vector<failure::InfectionRecord>& seed_infections) {
   sim::Engine engine;
   engine.set_recorder(config_.recorder);
   net::Network network(engine, map_.num_physical(), config_.network);
@@ -138,6 +145,18 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
     }
   }
 
+  // SDC fault model: one monitor per episode tracks rank infections and
+  // classifies every voted delivery; an uncorrectable divergence stops the
+  // episode (the executor then rolls back to the last verified checkpoint).
+  std::optional<failure::SdcMonitor> sdc_monitor;
+  if (config_.sdc.enabled()) {
+    assert(faults != nullptr);
+    sdc_monitor.emplace(map_, *faults, episode_index);
+    sdc_monitor->set_recorder(config_.recorder);
+    sdc_monitor->set_journal(config_.journal);
+    sdc_monitor->seed(seed_infections);
+  }
+
   ckpt::CkptConfig ckpt_config;
   ckpt_config.interval =
       config_.checkpoint_enabled ? config_.checkpoint_interval : 1.0;
@@ -154,6 +173,7 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   ckpt_config.hierarchy = hierarchy;
   ckpt_config.level_devices = level_device_ptrs;
   ckpt_config.epoch_base = epoch_base;
+  ckpt_config.sdc = sdc_monitor ? &*sdc_monitor : nullptr;
   ckpt::CheckpointController controller(engine, storage, ckpt_config,
                                         static_cast<int>(map_.num_physical()));
   controller.set_recorder(config_.recorder);
@@ -171,6 +191,7 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
       auto comm = std::make_unique<red::RedComm>(
           world, map_, static_cast<red::Rank>(p), config_.red);
       if (config_.live_failure_semantics) comm->set_liveness(&monitor);
+      if (sdc_monitor) comm->set_sdc(&*sdc_monitor);
       comm->set_recorder(config_.recorder);
       comms.push_back(std::move(comm));
     } else {
@@ -191,6 +212,14 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
                            controller, start_iteration, shared));
   }
   controller.arm();
+
+  if (sdc_monitor) {
+    // The first uncorrectable divergence ends the episode: there is no
+    // point running on — the infected state must be rolled back.
+    sdc_monitor->set_alarm(
+        [&engine](const failure::SdcDetection&) { engine.request_stop(); });
+    if (config_.sdc.atrest_rate > 0.0) engine.spawn(sdc_monitor->run(engine));
+  }
 
   std::optional<failure::JobFailure> job_failure;
   if (config_.inject_failures) {
@@ -218,12 +247,19 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
   engine.run();
 
   EpisodeResult result;
-  result.finished = shared.completed && !job_failure;
+  if (sdc_monitor) {
+    result.sdc = sdc_monitor->detection();
+    result.sdc_stats = sdc_monitor->stats();
+    result.sdc_infected_end = sdc_monitor->snapshot_infections().size();
+  }
+  result.finished = shared.completed && !job_failure && !result.sdc;
   result.failure = job_failure;
-  if (!result.finished && !job_failure)
+  if (!result.finished && !job_failure && !result.sdc)
     throw std::logic_error(
         "JobExecutor: episode stalled — simulation deadlock");
-  result.elapsed = job_failure ? job_failure->time : shared.finish_time;
+  result.elapsed = job_failure   ? job_failure->time
+                   : result.sdc ? result.sdc->time
+                                : shared.finish_time;
   result.checkpoint_time = controller.total_checkpoint_time() +
                            controller.in_progress_elapsed(result.elapsed);
   // A kill mid-checkpoint is charged to checkpoint_time; record the
@@ -248,8 +284,13 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
                                result.elapsed + result.flush_drain);
       result.elapsed += result.flush_drain;
     } else {
-      // Bill every destroyed in-flight drain to the killing failure.
-      controller.drop_remaining_flushes(job_failure ? job_failure->cause : 0);
+      // Bill every destroyed in-flight drain to the killing failure (or to
+      // the injection whose detection forced the rollback: the relaunch
+      // abandons the drain, and the flushed images were suspect anyway).
+      controller.drop_remaining_flushes(
+          job_failure  ? job_failure->cause
+          : result.sdc ? result.sdc->injection_event
+                       : 0);
     }
     result.flushes_completed = controller.flushes_completed();
     result.flushes_lost = controller.flushes_lost();
@@ -280,6 +321,8 @@ JobExecutor::EpisodeResult JobExecutor::run_episode(
     if (const auto* push = dynamic_cast<const red::RedComm*>(comm.get())) {
       result.mismatches_detected += push->stats().mismatches_detected;
       result.mismatches_corrected += push->stats().mismatches_corrected;
+      result.messages_compared += push->stats().messages_compared;
+      result.mismatches_undetected += push->stats().mismatches_undetected;
     }
   }
   return result;
@@ -306,8 +349,9 @@ JobReport JobExecutor::run() {
   // The hierarchy's per-level probabilities ride the same oracle (and the
   // same seed knob), so a hierarchy with faults needs one even when the
   // flat probabilities are all zero.
-  if (config_.ckpt_faults.enabled() || config_.hierarchy.any_fault_prob())
-    fault_process.emplace(config_.ckpt_faults);
+  if (config_.ckpt_faults.enabled() || config_.hierarchy.any_fault_prob() ||
+      config_.sdc.enabled())
+    fault_process.emplace(config_.ckpt_faults, config_.sdc);
   const failure::FaultProcess* faults =
       fault_process ? &*fault_process : nullptr;
   const bool unreliable =
@@ -397,6 +441,9 @@ JobReport JobExecutor::run() {
   }
 
   long start_iteration = 0;
+  // Infections recorded inside the generation the previous restart restored:
+  // an *unverified* image resurrects them in the next episode's monitor.
+  std::vector<failure::InfectionRecord> seed_infections;
   for (int episode = 0; episode < config_.max_episodes; ++episode) {
     for (auto& workload : workloads_) workload->restore(start_iteration);
     // Episode engines restart at t = 0; job time resumes where the previous
@@ -415,7 +462,8 @@ JobReport JobExecutor::run() {
                    << report.wallclock << "s, iteration " << start_iteration;
     const EpisodeResult res =
         run_episode(start_iteration, static_cast<std::uint64_t>(episode),
-                    store, hier, epoch_base, faults, report.useful_work);
+                    store, hier, epoch_base, faults, report.useful_work,
+                    seed_infections);
     epoch_base += res.checkpoints + res.failed_checkpoints;
     if (hier != nullptr) {
       for (std::size_t l = 0; l < level_writes_total.size(); ++l) {
@@ -436,14 +484,20 @@ JobReport JobExecutor::run() {
         res.snapshot.valid ? res.snapshot.iteration : start_iteration;
     ep.checkpoints = res.checkpoints;
     ep.replica_deaths = static_cast<int>(res.physical_failures);
-    ep.end = res.finished ? EpisodeTrace::End::kCompleted
+    ep.end = res.finished  ? EpisodeTrace::End::kCompleted
              : res.failure ? EpisodeTrace::End::kSphereDeath
+             : res.sdc     ? EpisodeTrace::End::kSdcRollback
                            : EpisodeTrace::End::kAbandoned;
     if (res.failure) ep.dead_sphere = res.failure->sphere;
     ep.flushes_lost = res.flushes_lost;
     report.trace.push_back(ep);
 
-    const std::uint64_t cause = res.failure ? res.failure->cause : 0;
+    // An SDC rollback's waste events all chain to the *injection* event —
+    // the rollback's true root cause — exactly as a sphere death's chain to
+    // the kill.
+    const std::uint64_t cause = res.failure ? res.failure->cause
+                                : res.sdc   ? res.sdc->injection_event
+                                            : 0;
     if (jnl != nullptr) {
       obs::Journal::Event ev;
       ev.type = "episode-end";
@@ -452,8 +506,52 @@ JobReport JobExecutor::run() {
       ev.episode = episode;
       ev.dur = res.elapsed;
       if (res.failure) ev.sphere = res.failure->sphere;
-      ev.detail = res.finished ? "completed" : "sphere-death";
+      ev.detail = res.finished    ? "completed"
+                  : res.failure   ? "sphere-death"
+                                  : "sdc-detected";
       jnl->append(ev);
+    }
+
+    // An uncorrectable detection invalidates every *unverified* generation:
+    // images committed after the (then-undetected) injection hold corrupt
+    // state, so recovery must fall back past them (Aupy et al.'s two-level
+    // recovery). Each invalidation is billed to the infection that tainted
+    // the generation.
+    if (res.sdc) {
+      int invalidated = 0;
+      const auto journal_invalidated = [&](int level,
+                                           const ckpt::Generation& gen) {
+        ++invalidated;
+        if (jnl == nullptr) return;
+        obs::Journal::Event ev;
+        ev.type = "ckpt-invalidated";
+        ev.t = res.elapsed;
+        ev.cause =
+            gen.infections.empty() ? cause : gen.infections.front().cause;
+        ev.episode = episode;
+        ev.level = level;
+        ev.epoch = gen.snapshot.epoch;
+        ev.iteration = gen.snapshot.iteration;
+        jnl->append(ev);
+      };
+      if (hier != nullptr) {
+        for (const auto& inv : hier->invalidate_unverified())
+          journal_invalidated(inv.level, inv.gen);
+      } else {
+        for (const auto& gen : store.invalidate_unverified())
+          journal_invalidated(-1, gen);
+      }
+      report.sdc_invalidated_ckpts += invalidated;
+      report.trace.back().sdc_invalidated = invalidated;
+      if (rec != nullptr && invalidated > 0) {
+        rec->metrics().add("ckpt.invalidated",
+                           static_cast<double>(invalidated));
+        rec->instant("ckpt-invalidated", "ckpt", obs::kJobPid, res.elapsed);
+      }
+      if (invalidated > 0) {
+        REDCR_LOG_WARN << "job: SDC detection invalidated " << invalidated
+                       << " unverified checkpoint generation(s)";
+      }
     }
 
     ++report.episodes;
@@ -467,6 +565,12 @@ JobReport JobExecutor::run() {
     report.network_contention_wait += res.contention_wait;
     report.red_mismatches_detected += res.mismatches_detected;
     report.red_mismatches_corrected += res.mismatches_corrected;
+    report.red_messages_compared += res.messages_compared;
+    report.red_mismatches_undetected += res.mismatches_undetected;
+    report.sdc_injected +=
+        res.sdc_stats.injected_inflight + res.sdc_stats.injected_atrest;
+    report.sdc_corrected += res.sdc_stats.corrected_deliveries;
+    report.sdc_undetected += res.sdc_stats.undetected_deliveries;
 
     // The terminal flush drain is wallclock but neither work nor checkpoint
     // time — it gets its own accounting bucket (flush_time, above).
@@ -495,6 +599,12 @@ JobReport JobExecutor::run() {
       report.wallclock += res.elapsed;
       report.useful_work += work_this_episode;
       report.completed = true;
+      report.sdc_infected_final = res.sdc_infected_end;
+      if (res.sdc_infected_end > 0) {
+        REDCR_LOG_WARN << "job: completed with " << res.sdc_infected_end
+                       << " rank(s) still carrying an undetected infection — "
+                          "the result is silently corrupt";
+      }
       if (rec != nullptr) rec->add("time.useful_work", work_this_episode);
       REDCR_LOG_INFO << "job: episode " << episode
                      << " completed the workload after " << res.elapsed
@@ -505,11 +615,18 @@ JobReport JobExecutor::run() {
       return report;
     }
 
-    // Sphere death: pay the restart (with retries under unreliable C/R)
-    // and resume from the newest checkpoint generation that validates.
-    ++report.job_failures;
-    const auto restart_index =
-        static_cast<std::uint64_t>(report.job_failures - 1);
+    // Sphere death or SDC rollback: pay the restart (with retries under
+    // unreliable C/R) and resume from the newest checkpoint generation that
+    // validates. The restart-failure draw index spans both kinds, so an
+    // SDC-free run's sphere-death stream is untouched by the SDC knobs.
+    if (res.failure) {
+      ++report.job_failures;
+    } else {
+      ++report.sdc_rollbacks;
+      report.sdc_detection_latency += res.sdc->latency;
+    }
+    const auto restart_index = static_cast<std::uint64_t>(
+        report.job_failures + report.sdc_rollbacks - 1);
     bool restarted = false;
     int attempts = 0;
     double span_begin = res.elapsed;  // episode-local time for the recorder
@@ -767,11 +884,30 @@ JobReport JobExecutor::run() {
         ev.saved = gen.cumulative_useful;
         jnl->append(ev);
       }
+    } else if (res.sdc) {
+      // Nothing restorable survived the invalidation: the infection may
+      // predate every retained image, so the job restarts from scratch and
+      // every second credited so far is reclaimed as rework — billed to the
+      // injection through this episode's cause chain.
+      start_iteration = 0;
+      excess = report.useful_work;
+      report.trace.back().snapshot_iteration = 0;
+      REDCR_LOG_WARN << "job: no verified checkpoint survived the SDC "
+                        "rollback; restarting from scratch and reclaiming "
+                     << excess << "s of credited work";
     }
+    // The restored generation's recorded infections (empty for a verified
+    // one) seed the next episode's monitor: restoring an unverified image
+    // resurrects its infections.
+    seed_infections = restore.found
+                          ? restore.generation.infections
+                          : std::vector<failure::InfectionRecord>{};
     // Without any usable generation the next episode restarts from the same
     // iteration as this one did, and everything this episode did is rework.
     report.useful_work += credit - excess;
     report.rework_time += work_this_episode - credit + excess;
+    if (res.sdc && !res.failure)
+      report.sdc_rework += work_this_episode - credit + excess;
     if (rec != nullptr) {
       obs::Registry& metrics = rec->metrics();
       metrics.add("time.useful_work", credit - excess);
@@ -792,10 +928,13 @@ JobReport JobExecutor::run() {
     }
     REDCR_LOG_INFO << "job: episode " << episode << " killed at "
                    << res.elapsed << "s"
-                   << (res.failure ? " (sphere " +
-                                         std::to_string(res.failure->sphere) +
-                                         " died)"
-                                   : "")
+                   << (res.failure
+                           ? " (sphere " +
+                                 std::to_string(res.failure->sphere) + " died)"
+                       : res.sdc ? std::string(" (SDC detected at rank " +
+                                               std::to_string(res.sdc->rank) +
+                                               ")")
+                                 : std::string())
                    << "; restarting from iteration " << start_iteration;
   }
   REDCR_LOG_WARN << "job: gave up after " << config_.max_episodes

@@ -27,6 +27,7 @@
 #include "ckpt/store.hpp"
 #include "failure/faults.hpp"
 #include "failure/injector.hpp"
+#include "failure/sdc.hpp"
 #include "net/network.hpp"
 #include "obs/journal.hpp"
 #include "obs/recorder.hpp"
@@ -86,6 +87,14 @@ struct JobConfig {
   /// drain). Restores fetch from the cheapest level that survived the
   /// failure's dead set.
   ckpt::HierarchyParams hierarchy;
+  /// Silent-data-corruption fault model (in-flight copy flips + at-rest
+  /// rank infections, drawn from the seeded oracle). Disabled by default.
+  /// Requires Replication::kPush — detection *is* the push protocol's
+  /// replica voting, which the pull protocol does not perform. A dual
+  /// sphere detects (uncorrectable mismatch → rollback to the last
+  /// *verified* checkpoint), a triple sphere corrects and keeps going, an
+  /// unreplicated sphere lets the infection pass silently.
+  failure::SdcParams sdc;
   /// Retry/backoff for failed restart phases. Every attempt — including
   /// the first — charges restart_cost; retries additionally pay the
   /// backoff. Exhausting it ends the job in a JobAbort.
@@ -156,6 +165,12 @@ struct JobReport {
   double network_contention_wait = 0.0;
   std::uint64_t red_mismatches_detected = 0;
   std::uint64_t red_mismatches_corrected = 0;
+  /// Voted deliveries compared across replicas (previously recorded per
+  /// comm but silently dropped from the report).
+  std::uint64_t red_messages_compared = 0;
+  /// Deliveries that surfaced a tainted payload with no observable
+  /// divergence (r=1 spheres, or a consistently infected copy set).
+  std::uint64_t red_mismatches_undetected = 0;
   // --- Unreliable C/R (all zero under the reliable pipeline) --------------
   int restart_attempts = 0;    ///< restart attempts paid (>= job_failures)
   int failed_restarts = 0;     ///< restart attempts that failed
@@ -184,6 +199,23 @@ struct JobReport {
     std::uint64_t defeated = 0;       ///< restores that found it destroyed
   };
   std::vector<LevelReport> levels;
+  // --- Silent data corruption (all zero when the SDC model is off) --------
+  /// Episodes ended by an uncorrectable divergence (each pays a restart and
+  /// rolls back to the newest *verified* checkpoint).
+  int sdc_rollbacks = 0;
+  std::uint64_t sdc_injected = 0;    ///< injections (in-flight + at-rest)
+  std::uint64_t sdc_corrected = 0;   ///< deliveries where voting outvoted a strain
+  std::uint64_t sdc_undetected = 0;  ///< tainted deliveries that passed voting
+  /// Unverified checkpoint generations invalidated at detection time.
+  int sdc_invalidated_ckpts = 0;
+  /// Summed injection→detection latency across the job's rollbacks.
+  double sdc_detection_latency = 0.0;
+  /// Rework seconds billed to SDC rollbacks (a subset of rework_time; the
+  /// accounting invariant is untouched — SDC waste tiles into rework).
+  double sdc_rework = 0.0;
+  /// Physical ranks still carrying an undetected infection when the job
+  /// completed (> 0 = the result is silently corrupt — the r=1 story).
+  std::uint64_t sdc_infected_final = 0;
   /// Per-episode timeline (render with runtime::render_trace).
   std::vector<EpisodeTrace> trace;
 };
@@ -228,6 +260,14 @@ class JobExecutor {
     double contention_wait = 0.0;
     std::uint64_t mismatches_detected = 0;
     std::uint64_t mismatches_corrected = 0;
+    std::uint64_t messages_compared = 0;
+    std::uint64_t mismatches_undetected = 0;
+    // --- Silent data corruption ---------------------------------------------
+    /// The uncorrectable detection that stopped the episode, if one fired.
+    std::optional<failure::SdcDetection> sdc;
+    failure::SdcStats sdc_stats;
+    /// Ranks still infected when the episode ended (silent infections).
+    std::uint64_t sdc_infected_end = 0;
     // --- Storage hierarchy --------------------------------------------------
     std::vector<char> dead_ranks;       // per physical rank at episode end
     double flush_drain = 0.0;           // terminal drain beyond the finish
@@ -241,7 +281,9 @@ class JobExecutor {
                             ckpt::CheckpointStore& store,
                             ckpt::StorageHierarchy* hierarchy, int epoch_base,
                             const failure::FaultProcess* faults,
-                            double useful_work_base);
+                            double useful_work_base,
+                            const std::vector<failure::InfectionRecord>&
+                                seed_infections);
 
   JobConfig config_;
   red::ReplicaMap map_;

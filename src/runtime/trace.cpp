@@ -19,6 +19,8 @@ std::string render_trace(const std::vector<EpisodeTrace>& trace) {
       std::snprintf(death, sizeof death, "sphere %d died; job aborted",
                     ep.dead_sphere);
       outcome = death;
+    } else if (ep.end == EpisodeTrace::End::kSdcRollback) {
+      outcome = "SDC detected";
     }
     char progress[40];
     if (ep.end == EpisodeTrace::End::kCompleted) {
@@ -54,6 +56,11 @@ std::string render_trace(const std::vector<EpisodeTrace>& trace) {
     if (ep.flushes_lost > 0) {
       std::snprintf(line, sizeof line, "  [%d flush%s lost]", ep.flushes_lost,
                     ep.flushes_lost == 1 ? "" : "es");
+      out += line;
+    }
+    if (ep.sdc_invalidated > 0) {
+      std::snprintf(line, sizeof line, "  [%d ckpt%s invalidated]",
+                    ep.sdc_invalidated, ep.sdc_invalidated == 1 ? "" : "s");
       out += line;
     }
     out += '\n';

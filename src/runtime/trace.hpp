@@ -22,6 +22,7 @@ struct EpisodeTrace {
     kSphereDeath,
     kAbandoned,
     kAborted,  ///< structured JobAbort (exhausted restarts / no valid ckpt)
+    kSdcRollback,  ///< redundancy voting detected silent corruption
   } end = End::kCompleted;
   /// Virtual rank whose sphere died (End::kSphereDeath / kAborted).
   int dead_sphere = -1;
@@ -43,6 +44,9 @@ struct EpisodeTrace {
   /// Hierarchy mode: async flushes destroyed in flight by this episode's
   /// kill.
   int flushes_lost = 0;
+  /// Unverified checkpoint generations invalidated when this episode's SDC
+  /// detection fired (End::kSdcRollback only).
+  int sdc_invalidated = 0;
 };
 
 /// Renders a compact per-episode timeline, e.g.

@@ -64,16 +64,37 @@ class Payload {
   }
 
   /// Content hash (FNV-1a over the raw element bytes); timing-only payloads
-  /// hash their size. Used by the redundancy layer's Msg-plus-hash mode and
-  /// by replica voting.
+  /// hash their size. A nonzero corruption strain perturbs the hash, which
+  /// is how the redundancy layer's Msg-plus-hash mode and replica voting
+  /// observe silent corruption of size-only payloads. Used by both.
   [[nodiscard]] std::uint64_t hash() const noexcept;
 
   /// Byte-wise equality of contents (size equality for timing-only).
+  /// Payloads carrying different corruption strains never compare equal.
   friend bool operator==(const Payload& a, const Payload& b) noexcept;
+
+  /// A copy of this payload silently corrupted by `strain` — a nonzero
+  /// identifier of the injection event that flipped it. Two payloads hit by
+  /// the *same* strain stay bitwise consistent with each other (so a
+  /// consistently-infected replica pair diverges from nobody), while clean
+  /// vs. corrupted and differently-corrupted copies hash apart. Corrupting
+  /// an already-tainted payload folds the strains together.
+  [[nodiscard]] Payload corrupted(std::uint64_t strain) const {
+    assert(strain != 0);
+    Payload p = *this;
+    p.strain_ ^= strain;
+    if (p.strain_ == 0) p.strain_ = strain;  // keep a double hit observable
+    return p;
+  }
+
+  /// Nonzero when this payload carries silent corruption.
+  [[nodiscard]] std::uint64_t strain() const noexcept { return strain_; }
+  [[nodiscard]] bool tainted() const noexcept { return strain_ != 0; }
 
  private:
   std::shared_ptr<const std::vector<double>> data_;
   util::Bytes bytes_ = 0.0;
+  std::uint64_t strain_ = 0;
 };
 
 /// Payload carrying a single double. Prefer this over Payload::of({v})

@@ -21,10 +21,20 @@ std::uint64_t Payload::hash() const noexcept {
   } else {
     mix(reinterpret_cast<const unsigned char*>(&bytes_), sizeof(bytes_));
   }
+  if (strain_ != 0) {
+    // A silent corruption perturbs the content hash deterministically per
+    // strain: same-strain copies still agree, clean vs. tainted diverge.
+    // splitmix64 finalizer over the strain keeps the perturbation well mixed.
+    std::uint64_t z = strain_ + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h ^= z ^ (z >> 31);
+  }
   return h;
 }
 
 bool operator==(const Payload& a, const Payload& b) noexcept {
+  if (a.strain_ != b.strain_) return false;
   if (a.bytes_ != b.bytes_) return false;
   if (a.has_data() != b.has_data()) return false;
   if (!a.has_data()) return true;

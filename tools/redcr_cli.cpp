@@ -440,6 +440,13 @@ int cmd_simulate(const Flags& flags) {
       flags.number("restart-failure-prob", 0.0);
   cfg.ckpt_faults.seed = static_cast<std::uint64_t>(
       flags.number("faults-seed", static_cast<double>(cfg.ckpt_faults.seed)));
+  // Silent-data-corruption injection. Defaults keep both rates at zero,
+  // which leaves every payload strain-free and the stdout byte-identical
+  // to an SDC-free build.
+  cfg.sdc.inflight_prob = flags.number("sdc-inflight-prob", 0.0);
+  cfg.sdc.atrest_rate = flags.number("sdc-atrest-rate", 0.0);
+  cfg.sdc.seed = static_cast<std::uint64_t>(
+      flags.number("sdc-seed", static_cast<double>(cfg.sdc.seed)));
   cfg.ckpt_retention = static_cast<int>(flags.number("ckpt-retention", 1));
   cfg.ckpt_write_retry.max_attempts = static_cast<int>(
       flags.number("write-retries", cfg.ckpt_write_retry.max_attempts));
@@ -525,6 +532,29 @@ int cmd_simulate(const Flags& flags) {
                 report.fallback_restores);
     if (report.abort)
       std::fprintf(text, "abort            : %s\n", report.abort->describe().c_str());
+  }
+  // SDC accounting; only emitted when an --sdc-* rate is nonzero, so
+  // SDC-free stdout stays byte-identical.
+  if (cfg.sdc.enabled()) {
+    std::fprintf(text,
+                 "  sdc            : %llu injected (%llu corrected, %llu "
+                 "passed undetected)\n",
+                 static_cast<unsigned long long>(report.sdc_injected),
+                 static_cast<unsigned long long>(report.sdc_corrected),
+                 static_cast<unsigned long long>(report.sdc_undetected));
+    std::fprintf(text,
+                 "  sdc rollbacks  : %d (%d unverified ckpts invalidated, "
+                 "%.1f min rework)\n",
+                 report.sdc_rollbacks, report.sdc_invalidated_ckpts,
+                 util::to_minutes(report.sdc_rework));
+    if (report.sdc_rollbacks > 0)
+      std::fprintf(text, "  sdc latency    : %.1f s mean detection\n",
+                   report.sdc_detection_latency / report.sdc_rollbacks);
+    if (report.sdc_infected_final > 0)
+      std::fprintf(text,
+                   "  WARNING        : job finished with %llu rank(s) "
+                   "silently corrupted\n",
+                   static_cast<unsigned long long>(report.sdc_infected_final));
   }
   // Hierarchy accounting; only emitted when --ckpt-levels was given, so
   // flat-pipeline stdout stays byte-identical.
@@ -704,6 +734,8 @@ void usage() {
       "                     [--ckpt-retention D] [--write-retries N]\n"
       "                     [--restart-retries N] [--retry-backoff B]\n"
       "                     [--retry-backoff-cap C]\n"
+      "                     [--sdc-inflight-prob P] [--sdc-atrest-rate R]\n"
+      "                     [--sdc-seed S]\n"
       "                     [--ckpt-levels SPEC] [--async-flush]\n"
       "                     [--trace-out FILE] [--metrics-out FILE]\n"
       "                     [--journal-out FILE]\n"
@@ -758,6 +790,15 @@ void usage() {
       "probability P. Exhausted retries or no valid generation aborts the\n"
       "job (exit 1) with a structured reason. All draws derive from\n"
       "--faults-seed, so reruns are bit-identical at any --jobs level.\n\n"
+      "Silent data corruption (run, push protocol): --sdc-inflight-prob\n"
+      "flips each redundant send copy with probability P; --sdc-atrest-rate\n"
+      "corrupts each rank's resident state at exponential rate R per second.\n"
+      "Replication itself is the detector: dual spheres detect the\n"
+      "divergence (uncorrectable -> rollback to the last VERIFIED\n"
+      "checkpoint, unverified generations invalidated), triple spheres\n"
+      "outvote and correct it, unreplicated spheres pass it silently (the\n"
+      "job finishes with a corruption warning). All draws derive from\n"
+      "--sdc-seed, bit-identical at any --jobs level.\n\n"
       "Global: [--log-level debug|info|warn|error|off]  (or REDCR_LOG_LEVEL\n"
       "env var; the flag wins). --trace-out writes Chrome trace-event JSON\n"
       "(open in Perfetto or chrome://tracing); --metrics-out writes one\n"
