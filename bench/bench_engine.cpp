@@ -21,16 +21,22 @@
 //   serve_qps         apps::serve_replay over a synthetic NDJSON query log
 //                     (80% plan-cache hit rate) — the serving front-end's
 //                     end-to-end requests/sec
+//   fastforward_sim   a failure-heavy flat DES job run on the event engine
+//                     and on ExecMode::kFastForward back to back at the same
+//                     host moment — reports speedup_vs_event and fails hard
+//                     if the two reports are not bit-identical
 //
 //   bench_engine [--json] [--quick] [--jobs N] [--repeat N]
 //                [--guard BASELINE.json] [--tolerance F]
 //
 // --guard compares this run against a committed baseline JSON (the output
 // of a previous `bench_engine --json`) and exits 1 when a guarded rate
-// (event_throughput, batch_eval, batch_eval_exact, serve_qps) regresses by
-// more than --tolerance (default 0.15) — or when any scenario reporting
-// speedup_vs_scalar comes in at <= 1.0 (a parallel/vectorized path slower
-// than its scalar reference is a regression regardless of the baseline).
+// (event_throughput, batch_eval, batch_eval_exact, serve_qps,
+// fastforward_sim) regresses by more than --tolerance (default 0.15) — or
+// when any scenario reporting speedup_vs_scalar comes in at <= 1.0, or
+// fastforward_sim's speedup_vs_event below 10x (the fast-forward engine's
+// reason to exist is a ≥10x skip over the inter-failure event churn; both
+// rules are absolute, independent of the baseline).
 // scripts/bench_guard.sh wraps exactly this.
 #include <algorithm>
 #include <chrono>
@@ -52,8 +58,10 @@
 #include <vector>
 
 #include "apps/serve.hpp"
+#include "apps/synthetic.hpp"
 #include "model/batch.hpp"
 #include "net/network.hpp"
+#include "runtime/executor.hpp"
 #include "sim/engine.hpp"
 #include "simmpi/world.hpp"
 #include "util/units.hpp"
@@ -573,6 +581,93 @@ int main(int argc, char** argv) {
     results.push_back(std::move(s));
   }
 
+  {  // --- fastforward_sim (kFastForward vs the event engine, same job) ---
+    // A failure-heavy flat job: MTBF well below the failure-free runtime, so
+    // the event engine spends nearly all its time churning through events
+    // between deaths — exactly the regime the fast-forward engine skips.
+    apps::SyntheticSpec spec;
+    spec.iterations = quick ? 40 : 80;
+    spec.compute_per_iteration = 24.0;
+    spec.halo_bytes = 1e6;
+    spec.allreduces_per_iteration = 2;
+    runtime::JobConfig cfg;
+    cfg.num_virtual = static_cast<std::size_t>(quick ? 32 : 64);
+    cfg.redundancy = 1.5;
+    cfg.network.bandwidth = 1e8;
+    cfg.image_bytes = 1e9;
+    cfg.checkpoint_interval = 120.0;
+    cfg.restart_cost = 30.0;
+    cfg.fail.node_mtbf = util::hours(quick ? 0.15 : 0.2);
+    cfg.fail.seed = 7;
+    const auto make_factory = [&spec] {
+      return runtime::WorkloadFactory([spec](int, int) {
+        return std::make_unique<apps::SyntheticWorkload>(spec);
+      });
+    };
+    ScenarioResult s;
+    s.name = "fastforward_sim";
+    s.unit = "episodes/sec";
+    s.seconds = 1e300;
+    double event_seconds = 1e300;
+    runtime::JobReport event_report, ff_report;
+    for (int i = 0; i < repeat; ++i) {
+      // Both engines run back to back within one repetition — the same
+      // host moment — so load/frequency drift hits both sides of the
+      // speedup ratio equally (the scalar-reference pattern above).
+      runtime::JobConfig ev = cfg;
+      ev.engine = runtime::ExecMode::kEvent;
+      auto t0 = std::chrono::steady_clock::now();
+      event_report = runtime::JobExecutor(ev, make_factory()).run();
+      event_seconds = std::min(event_seconds, seconds_since(t0));
+      runtime::JobConfig ff = cfg;
+      ff.engine = runtime::ExecMode::kFastForward;
+      t0 = std::chrono::steady_clock::now();
+      ff_report = runtime::JobExecutor(ff, make_factory()).run();
+      s.seconds = std::min(s.seconds, seconds_since(t0));
+    }
+    s.ops = static_cast<std::uint64_t>(ff_report.episodes);
+    s.rate = static_cast<double>(s.ops) / s.seconds;
+    s.speedup = event_seconds / s.seconds;
+    s.speedup_label = "speedup_vs_event";
+    // The contract the speedup is worthless without: bit-identical reports
+    // (exact double comparison; the ff diagnostics block is exempt).
+    const bool identical =
+        event_report.completed == ff_report.completed &&
+        event_report.wallclock == ff_report.wallclock &&
+        event_report.useful_work == ff_report.useful_work &&
+        event_report.checkpoint_time == ff_report.checkpoint_time &&
+        event_report.rework_time == ff_report.rework_time &&
+        event_report.restart_time == ff_report.restart_time &&
+        event_report.episodes == ff_report.episodes &&
+        event_report.job_failures == ff_report.job_failures &&
+        event_report.physical_failures == ff_report.physical_failures &&
+        event_report.checkpoints == ff_report.checkpoints &&
+        event_report.messages == ff_report.messages &&
+        event_report.engine_events == ff_report.engine_events &&
+        event_report.network_contention_wait ==
+            ff_report.network_contention_wait &&
+        event_report.red_messages_compared == ff_report.red_messages_compared;
+    std::fprintf(text,
+                 "  fastforward_sim  : %10.0f episodes/sec (%.1fx vs event "
+                 "engine; %d failures; reports %s)\n",
+                 s.rate, s.speedup, ff_report.job_failures,
+                 identical ? "identical" : "DIFFERENT");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "bench_engine: fastforward_sim report diverges from the "
+                   "event engine\n");
+      return 1;
+    }
+    if (ff_report.ff.episodes_fast == 0) {
+      std::fprintf(stderr,
+                   "bench_engine: fastforward_sim never took the fast path "
+                   "(%d fallbacks)\n",
+                   ff_report.ff.fallbacks);
+      return 1;
+    }
+    results.push_back(std::move(s));
+  }
+
   if (json) std::fputs(to_json(results, quick).c_str(), stdout);
 
   if (!guard_path.empty()) {
@@ -587,8 +682,9 @@ int main(int argc, char** argv) {
     bool failed = false;
     std::fprintf(text, "guard vs %s (tolerance %.0f%%):\n", guard_path.c_str(),
                  100.0 * tolerance);
-    for (const char* guarded :
-         {"event_throughput", "batch_eval", "batch_eval_exact", "serve_qps"}) {
+    for (const char* guarded : {"event_throughput", "batch_eval",
+                                "batch_eval_exact", "serve_qps",
+                                "fastforward_sim"}) {
       double base = 0.0;
       if (!baseline_rate(baseline, guarded, &base)) {
         std::fprintf(stderr, "bench_engine: baseline has no rate for '%s'\n",
@@ -614,6 +710,16 @@ int main(int argc, char** argv) {
         std::fprintf(text,
                      "  %-17s: %.2fx vs scalar -> REGRESSION (parallel "
                      "path must beat the scalar loop)\n",
+                     s.name.c_str(), s.speedup);
+        failed = true;
+      }
+      // The fast-forward engine's contract is a >= 10x skip over the
+      // inter-failure churn on failure-heavy jobs; below that, arithmetic
+      // reconstruction has regressed into re-simulation.
+      if (s.speedup_label == "speedup_vs_event" && s.speedup < 10.0) {
+        std::fprintf(text,
+                     "  %-17s: %.1fx vs event engine -> REGRESSION "
+                     "(fast-forward must skip >= 10x)\n",
                      s.name.c_str(), s.speedup);
         failed = true;
       }

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
   const std::vector<bench::CellResult> cells =
       runner.map(trials, [&](const exp::Trial& trial) {
         const bench::CellResult cell = bench::run_experiment_cell(
-            trial.at("mtbf"), trial.at("r"), args.seeds, args.quick);
+            trial.at("mtbf"), trial.at("r"), args.seeds, args.quick,
+            bench::exec_mode(args.engine));
         std::fprintf(stderr, "  cell mtbf=%gh r=%.2f -> %.0f min (%d seeds)\n",
                      trial.at("mtbf"), trial.at("r"), cell.minutes_mean,
                      args.seeds);

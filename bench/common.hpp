@@ -12,11 +12,22 @@
 
 #include "apps/synthetic.hpp"
 #include "model/combined.hpp"
+#include "redcr/run_options.hpp"
 #include "runtime/executor.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
 namespace redcr::bench {
+
+/// Maps the CLI-facing engine choice onto the executor's mode enum.
+inline runtime::ExecMode exec_mode(redcr::EngineMode mode) noexcept {
+  switch (mode) {
+    case redcr::EngineMode::kEvent: return runtime::ExecMode::kEvent;
+    case redcr::EngineMode::kFastForward: return runtime::ExecMode::kFastForward;
+    case redcr::EngineMode::kAuto: return runtime::ExecMode::kAuto;
+  }
+  return runtime::ExecMode::kEvent;
+}
 
 /// The paper's measured CG application parameters (Section 6).
 inline model::AppParams paper_app() {
@@ -106,8 +117,13 @@ struct CellResult {
   double contention_wait_mean = 0.0;  ///< seconds queued behind busy NICs
 };
 
-inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
-                                      int seeds, bool quick) {
+/// `mode` selects the execution engine. Cells default to the event engine so
+/// speed-guarded benches keep timing the thing they guard; campaign sweeps
+/// pass kAuto to skip the inter-failure event churn (the reports — and thus
+/// every derived column, engine_events included — are bit-identical).
+inline CellResult run_experiment_cell(
+    double node_mtbf_hours, double redundancy, int seeds, bool quick,
+    runtime::ExecMode mode = runtime::ExecMode::kEvent) {
   CellResult cell;
   util::RunningStats wall, failures, checkpoints;
   util::RunningStats ckpt_min, rework_min, events, messages, contention;
@@ -115,6 +131,7 @@ inline CellResult run_experiment_cell(double node_mtbf_hours, double redundancy,
     runtime::JobConfig cfg = paper_cluster_config(
         node_mtbf_hours, redundancy, 1000 + static_cast<std::uint64_t>(seed));
     cfg.max_episodes = 2000;
+    cfg.engine = mode;
     runtime::JobExecutor executor(cfg,
                                   synthetic_factory(paper_cg_spec(quick)));
     const runtime::JobReport report = executor.run();

@@ -82,8 +82,36 @@ inline runtime::JobReport run_job(runtime::JobConfig config,
   obs::Journal journal;
   if (options.wants_recording()) config.recorder = &recorder;
   if (options.wants_journal()) config.journal = &journal;
+  switch (options.engine) {
+    case EngineMode::kEvent:
+      config.engine = runtime::ExecMode::kEvent;
+      break;
+    case EngineMode::kFastForward:
+      config.engine = runtime::ExecMode::kFastForward;
+      break;
+    case EngineMode::kAuto:
+      config.engine = runtime::ExecMode::kAuto;
+      break;
+  }
+  const bool record_engine =
+      options.wants_recording() && config.engine != runtime::ExecMode::kEvent;
   runtime::JobExecutor executor(std::move(config), std::move(factory));
   runtime::JobReport report = executor.run();
+  // Engine self-diagnostics: how the fast-forward driver covered the job.
+  // Gated on a non-event engine so event-mode exports stay byte-identical;
+  // a recording run always whole-config-falls-back (the sink consumes
+  // per-event output), which these counters make visible.
+  if (record_engine) {
+    obs::Registry& metrics = recorder.metrics();
+    metrics.add("engine.ff.episodes_fast",
+                static_cast<double>(report.ff.episodes_fast));
+    metrics.add("engine.ff.fallbacks",
+                static_cast<double>(report.ff.fallbacks));
+    metrics.add("engine.ff.epochs_skipped",
+                static_cast<double>(report.ff.epochs_skipped));
+    metrics.add("engine.ff.replay_events",
+                static_cast<double>(report.ff.replay_events));
+  }
   if (!options.trace_out.empty())
     detail::export_text(options.trace_out, recorder.trace().chrome_json());
   if (!options.metrics_out.empty())

@@ -2,11 +2,14 @@
 # Performance-regression gate for the hot-path engine.
 #
 # Runs bench_engine and compares the guarded rates (event_throughput,
-# batch_eval, batch_eval_exact, serve_qps) against the committed baseline,
-# failing on a >15% regression — and, independent of the baseline, failing
-# any scenario whose speedup_vs_scalar drops to 1.0x or below (a parallel
-# or vectorized path slower than its scalar reference is a regression even
-# if the absolute rate still clears the floor); then runs bench_faults'
+# batch_eval, batch_eval_exact, serve_qps, fastforward_sim) against the
+# committed baseline, failing on a >15% regression — and, independent of
+# the baseline, failing any scenario whose speedup_vs_scalar drops to 1.0x
+# or below (a parallel or vectorized path slower than its scalar reference
+# is a regression even if the absolute rate still clears the floor) and
+# failing fastforward_sim when its speedup_vs_event — measured back to back
+# against the event engine at the same host moment — drops below 10x, the
+# fast-forward engine's contract on failure-heavy jobs; then runs bench_faults'
 # zero-cost scenario (faults_off_sim), which fails
 # when the disabled fault hooks slow the executor fast path; then runs
 # bench_multilevel's hierarchy scenario (multilevel_sim), which guards the

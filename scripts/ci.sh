@@ -91,6 +91,56 @@ for red in 1 1.5 2 3; do
   fi
 done
 
+echo "=== ci.sh: fast-forward engine smoke (ASan/UBSan) ==="
+# Drive ExecMode::kFastForward through the sanitizer build on cells inside
+# its supported set (no visible write failures, no SDC, no journal): a
+# failure-heavy flat cell with latent corruption + retention fallback, and
+# the three-level async-flush cell. Exit 0/1 are legitimate; anything else
+# is a crash or sanitizer report.
+LEVELS_FF="local,bw=1e10,lat=0.01,rbw=1e10;xor,bw=1e10,lat=0.01,rbw=1e10,group=4,k=1,interval=2,ret=2,corr=0.05;pfs,bw=5e8,interval=4,ret=2,corr=0.02"
+run_ff_cell() {
+  echo "--- fastforward: $1"
+  shift
+  set +e
+  "$FAULT_CLI" run --virtual 8 --redundancy 1.5 --mtbf-hours 0.1 \
+    --iterations 30 --compute-sec 5 --interval-sec 60 \
+    --seed 7 --faults-seed 11 --log-level error \
+    --engine fastforward "$@" >/dev/null
+  status=$?
+  set -e
+  if [[ "$status" -ne 0 && "$status" -ne 1 ]]; then
+    echo "ci.sh: fast-forward cell crashed (exit $status)" >&2
+    exit 1
+  fi
+}
+run_ff_cell "flat + corruption + retention" \
+  --ckpt-corruption-prob 0.05 --restart-failure-prob 0.2 --ckpt-retention 3
+run_ff_cell "3-level async flush" --ckpt-levels "$LEVELS_FF" --async-flush
+
+echo "=== ci.sh: fast-forward differential smoke ==="
+# The bit-identity contract, end to end through the CLI: the same cell run
+# with --engine event and --engine fastforward must print byte-identical
+# reports. One flat cell and one three-level async cell.
+FF_DIR="$(mktemp -d)"
+run_ff_diff_cell() {
+  local name="$1"
+  shift
+  echo "--- differential: $name"
+  "$FAULT_CLI" run --virtual 8 --redundancy 1.5 --mtbf-hours 0.2 \
+    --iterations 30 --compute-sec 5 --interval-sec 60 \
+    --seed 7 --faults-seed 11 --log-level error \
+    --engine event "$@" > "$FF_DIR/event.txt" || true
+  "$FAULT_CLI" run --virtual 8 --redundancy 1.5 --mtbf-hours 0.2 \
+    --iterations 30 --compute-sec 5 --interval-sec 60 \
+    --seed 7 --faults-seed 11 --log-level error \
+    --engine fastforward "$@" > "$FF_DIR/ff.txt" || true
+  diff -u "$FF_DIR/event.txt" "$FF_DIR/ff.txt" \
+    || { echo "ci.sh: fast-forward report diverged ($name)" >&2; exit 1; }
+}
+run_ff_diff_cell "flat"
+run_ff_diff_cell "3-level async flush" --ckpt-levels "$LEVELS_FF" --async-flush
+rm -rf "$FF_DIR"
+
 echo "=== ci.sh: journal analyze smoke (ASan/UBSan) ==="
 # Emit a causal journal from the three-level async cell, then run the
 # analyzer over it under the sanitizer build: the blame report must

@@ -39,6 +39,11 @@ class SyntheticWorkload final : public Workload {
   sim::CoTask<void> run(simmpi::Comm& comm, long start_iteration,
                         BoundaryHook hook) override;
   void restore(long /*iteration*/) override {}  // stateless
+  /// Every iteration costs the same regardless of its index, so an episode
+  /// resumed at S is a time-shifted prefix of a from-scratch run.
+  [[nodiscard]] bool fast_forward_safe() const noexcept override {
+    return true;
+  }
 
   [[nodiscard]] const SyntheticSpec& spec() const noexcept { return spec_; }
 

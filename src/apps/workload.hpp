@@ -39,6 +39,17 @@ class Workload {
 
   /// Rewinds rank-local state to the checkpoint taken at `iteration`.
   virtual void restore(long iteration) = 0;
+
+  /// True when the kernel's simulated timing is a pure function of how many
+  /// iterations remain — i.e. iteration S+k of an episode started at S costs
+  /// exactly what iteration k of a from-scratch run costs. This is the
+  /// property the fast-forward executor's prototype-prefix reconstruction
+  /// relies on; kernels whose per-iteration cost depends on the absolute
+  /// iteration index (or on restored state) must leave this false, which
+  /// routes every job through the event engine.
+  [[nodiscard]] virtual bool fast_forward_safe() const noexcept {
+    return false;
+  }
 };
 
 }  // namespace redcr::apps

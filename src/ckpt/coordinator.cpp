@@ -96,6 +96,7 @@ sim::CoTask<int> CheckpointController::agree_epoch(simmpi::Endpoint& endpoint,
 
 sim::CoTask<bool> CheckpointController::maybe_checkpoint(
     simmpi::Endpoint& endpoint, long iteration) {
+  if (ff_probe_ != nullptr) ff_probe_->record_hook(iteration, engine_.now());
   if (!config_.enabled) co_return false;
   const int epoch = co_await agree_epoch(endpoint, iteration);
   auto& my_done = done_epoch_[static_cast<std::size_t>(endpoint.rank())];
@@ -111,6 +112,7 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
   // image-validity state.
   if (entered_count_ == 0) {
     epoch_entry_time_ = engine_.now();
+    if (ff_probe_ != nullptr) ff_probe_->epoch_entry.push_back(engine_.now());
     epoch_image_ok_.assign(static_cast<std::size_t>(num_physical_), 1);
     epoch_write_exhausted_ = false;
     if (config_.hierarchy != nullptr) {
@@ -261,6 +263,9 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
     if (abandoned) ++failed_epochs_;
     total_checkpoint_time_ += engine_.now() - epoch_entry_time_;
     const double work_elapsed = engine_.now() - total_checkpoint_time_;
+    if (ff_probe_ != nullptr)
+      ff_probe_->closes.push_back({epoch, iteration, work_elapsed,
+                                   total_checkpoint_time_, engine_.now()});
     if (journal_ != nullptr) {
       // Per-epoch closure event: dur is the checkpoint's wallclock span
       // (the paper's c), which the analyzer averages for the model's
@@ -319,6 +324,9 @@ sim::CoTask<void> CheckpointController::run_checkpoint(
                       infections = config_.sdc != nullptr
                           ? config_.sdc->snapshot_infections()
                           : std::vector<failure::InfectionRecord>{}] {
+        if (ff_probe_ != nullptr)
+          ff_probe_->publishes.push_back(
+              {epoch, iteration, work_elapsed, engine_.now()});
         snapshot_.valid = true;
         snapshot_.iteration = iteration;
         snapshot_.completed_at = engine_.now();
@@ -527,6 +535,9 @@ void CheckpointController::publish_hierarchy(long iteration, int epoch,
     pf.ready_at = ready;
     pf.level = pfs;
     pf.gen = make_generation(std::move(ok));
+    if (ff_probe_ != nullptr)
+      ff_probe_->flushes.push_back(
+          {epoch, iteration, work_elapsed, pf.start, pf.ready_at});
     pending_flushes_.push_back(std::move(pf));
     const std::size_t idx = pending_flushes_.size() - 1;
     if (recorder_ != nullptr) {

@@ -20,7 +20,9 @@
 // snapshot and re-arms the timer. The elapsed span is the paper's `c`.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "ckpt/quiesce.hpp"
@@ -107,6 +109,54 @@ struct CkptConfig {
   /// epoch ordinal `epoch_base + epoch` routes the per-level intervals so
   /// the PFS cadence spans episode boundaries.
   int epoch_base = 0;
+};
+
+/// Passive observation tables the fast-forward executor attaches to its
+/// failure-free *prototype* episodes (null on real runs: every site is one
+/// branch). Each record carries the engine time it was taken at, so the
+/// driver can answer any "state as of instant t" query — boundary entries,
+/// in-checkpoint windows, closes, publishes and async-flush launches — for
+/// an episode that is a time-shifted prefix of the prototype.
+struct FfProbe {
+  /// First entry into maybe_checkpoint per iteration (engine time); grows
+  /// on demand, NaN = boundary not reached yet.
+  std::vector<double> hook_entry;
+  /// First-rank checkpoint entry times, in epoch order.
+  std::vector<double> epoch_entry;
+  /// Rank-0 close of each completed epoch.
+  struct Close {
+    int epoch = 0;
+    long iteration = 0;
+    double work_elapsed = 0.0;      ///< episode work time as of the close
+    double total_ckpt_after = 0.0;  ///< cumulative checkpoint time after
+    double time = 0.0;              ///< engine time of the close
+  };
+  std::vector<Close> closes;
+  /// Flat-mode snapshot/generation publishes (forked mode: later than the
+  /// close; non-forked: at the close).
+  struct Publish {
+    int epoch = 0;
+    long iteration = 0;
+    double work_elapsed = 0.0;
+    double time = 0.0;
+  };
+  std::vector<Publish> publishes;
+  /// Hierarchy-mode async PFS flush launches.
+  struct Flush {
+    int epoch = 0;
+    long iteration = 0;
+    double work_elapsed = 0.0;
+    double start = 0.0;  ///< launch time (== the epoch's close time)
+    double ready = 0.0;  ///< drain completion time
+  };
+  std::vector<Flush> flushes;
+
+  void record_hook(long iteration, double now) {
+    const auto i = static_cast<std::size_t>(iteration);
+    if (i >= hook_entry.size())
+      hook_entry.resize(i + 1, std::numeric_limits<double>::quiet_NaN());
+    if (std::isnan(hook_entry[i])) hook_entry[i] = now;
+  }
 };
 
 /// The latest durable coordinated snapshot.
@@ -207,6 +257,10 @@ class CheckpointController {
   /// "flush-launch" / "flush-commit" / "flush-lost" drain events.
   void set_journal(obs::Journal* journal) { journal_ = journal; }
 
+  /// Attaches the fast-forward observation tables (nullptr detaches; not
+  /// owned). Only prototype episodes attach one.
+  void set_ff_probe(FfProbe* probe) noexcept { ff_probe_ = probe; }
+
  private:
   /// Max-agreement over the locally observed requested-epoch counter.
   sim::CoTask<int> agree_epoch(simmpi::Endpoint& endpoint, long iteration);
@@ -268,6 +322,7 @@ class CheckpointController {
   QuiesceStats last_quiesce_;
   obs::Recorder* recorder_ = nullptr;  // optional, not owned
   obs::Journal* journal_ = nullptr;    // optional, not owned
+  FfProbe* ff_probe_ = nullptr;        // optional, not owned
 };
 
 }  // namespace redcr::ckpt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -252,9 +253,28 @@ StorageHierarchy::StorageHierarchy(HierarchyParams params, int num_ranks)
   pfs_level_ = params_.pfs_level();
   levels_.reserve(params_.levels.size());
   for (const auto& lp : params_.levels) levels_.emplace_back(lp);
+  // Memoize the interval routing: it is periodic in lcm(intervals), so one
+  // table of that size answers every epoch. Pathological interval choices
+  // (coprime large intervals) could blow the lcm up, so cap the table and
+  // keep the per-call scan as the fallback (period_ stays 0).
+  constexpr long kMaxPeriod = 4096;
+  long period = 1;
+  for (const auto& lp : params_.levels) {
+    period = std::lcm(period, static_cast<long>(lp.interval));
+    if (period > kMaxPeriod) return;
+  }
+  route_.resize(static_cast<size_t>(period));
+  pfs_due_.resize(static_cast<size_t>(period));
+  for (long m = 0; m < period; ++m) {
+    route_[static_cast<size_t>(m)] = cache_level_for(static_cast<int>(m));
+    pfs_due_[static_cast<size_t>(m)] =
+        pfs_due(static_cast<int>(m)) ? 1 : 0;
+  }
+  period_ = static_cast<int>(period);  // set last: the fills above must scan
 }
 
 int StorageHierarchy::cache_level_for(int epoch) const noexcept {
+  if (period_ > 0) return route_[static_cast<size_t>(epoch % period_)];
   int chosen = -1;
   for (int i = 0; i < num_levels(); ++i) {
     if (i == pfs_level_) continue;
@@ -266,6 +286,7 @@ int StorageHierarchy::cache_level_for(int epoch) const noexcept {
 }
 
 bool StorageHierarchy::pfs_due(int epoch) const noexcept {
+  if (period_ > 0) return pfs_due_[static_cast<size_t>(epoch % period_)] != 0;
   return pfs_level_ >= 0 &&
          epoch % levels_[static_cast<size_t>(pfs_level_)].params.interval == 0;
 }

@@ -187,6 +187,11 @@ class StorageHierarchy {
   [[nodiscard]] int cache_level_for(int epoch) const noexcept;
   /// Does epoch `epoch` also drain to the PFS level?
   [[nodiscard]] bool pfs_due(int epoch) const noexcept;
+  /// Period of the interval-routing pattern: epochs e and e + period route
+  /// identically (the lcm of all level intervals). 0 when the lcm exceeds
+  /// the memo-table cap — routing then falls back to the per-call scan and
+  /// the fast-forward driver treats every epoch base as its own class.
+  [[nodiscard]] int routing_period() const noexcept { return period_; }
 
   /// Does this level survive a failure that left `dead` (per physical rank)
   /// dead? Pure function of the level kind/grouping and the dead set.
@@ -246,6 +251,11 @@ class StorageHierarchy {
   int num_ranks_;
   int pfs_level_ = -1;
   std::vector<Level> levels_;
+  // Interval routing repeats with period lcm(intervals); the hot loop in
+  // cache_level_for is replaced by one table lookup per checkpoint epoch.
+  int period_ = 0;
+  std::vector<int> route_;     // route_[e % period_] = cache level for e
+  std::vector<char> pfs_due_;  // pfs_due_[e % period_]
 };
 
 }  // namespace redcr::ckpt

@@ -31,6 +31,7 @@ StableStorage::StableStorage(sim::Engine& engine, StorageParams params)
 sim::Time StableStorage::write_completion(util::Bytes size) {
   assert(size >= 0.0);
   ++writes_;
+  if (write_log_ != nullptr) write_log_->push_back(engine_.now());
   bytes_ += size;
   const sim::Time start = std::max(engine_.now(), device_free_);
   device_free_ = start + params_.base_latency + size / params_.bandwidth;

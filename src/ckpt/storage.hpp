@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "util/units.hpp"
@@ -68,6 +69,13 @@ class StableStorage {
     faults_ = faults;
   }
 
+  /// Attaches an append-only log of successful-write reservation timestamps
+  /// (nullptr detaches; not owned). The fast-forward prototypes read
+  /// writes() as of any simulated instant from it.
+  void set_write_log(std::vector<sim::Time>* log) noexcept {
+    write_log_ = log;
+  }
+
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] double bytes_written() const noexcept { return bytes_; }
   /// Write attempts that failed visibly (unreliable mode only).
@@ -92,6 +100,7 @@ class StableStorage {
   std::uint64_t failed_writes_ = 0;
   double bytes_ = 0.0;
   double wasted_seconds_ = 0.0;
+  std::vector<sim::Time>* write_log_ = nullptr;  // fast-forward prototypes
 };
 
 }  // namespace redcr::ckpt

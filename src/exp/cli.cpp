@@ -17,6 +17,7 @@ constexpr const char* kUsage =
     "usage: %s [--quick|--full] [--seeds N] [--csv DIR]\n"
     "          [--jobs N|auto] [--json] [--filter AXIS=V[,AXIS=V...]]\n"
     "          [--progress] [--keep-going]\n"
+    "          [--engine event|fastforward|auto]\n"
     "          [--log-level debug|info|warn|error|off]\n";
 
 /// Strict positive-integer parse; std::atoi's silent 0 on garbage is exactly
@@ -82,6 +83,14 @@ std::optional<BenchArgs> BenchArgs::try_parse(int argc, char** argv,
       args.progress = true;
     } else if (std::strcmp(arg, "--keep-going") == 0) {
       args.keep_going = true;
+    } else if (std::strcmp(arg, "--engine") == 0) {
+      const char* v = value("--engine");
+      if (!v) return fail("--engine requires a value");
+      const std::optional<redcr::EngineMode> mode = redcr::parse_engine_mode(v);
+      if (!mode)
+        return fail(std::string("invalid --engine '") + v +
+                    "' (expected event|fastforward|auto)");
+      args.engine = *mode;
     } else if (std::strcmp(arg, "--log-level") == 0) {
       const char* v = value("--log-level");
       if (!v) return fail("--log-level requires a value");
@@ -135,6 +144,7 @@ redcr::RunOptions BenchArgs::run_options() const {
   options.progress = progress;
   options.keep_going = keep_going;
   options.log_level = log_level;
+  options.engine = engine;
   return options;
 }
 

@@ -11,6 +11,9 @@
 //   --progress       live trial-count/ETA line on stderr while sweeping
 //   --keep-going     record failing cells (exceptions, job aborts) with a
 //                    status column instead of aborting the sweep
+//   --engine E       event|fastforward|auto (default: auto) — execution
+//                    engine for the DES cells; fast-forward is bit-identical
+//                    where supported and falls back per episode elsewhere
 //   --log-level L    debug|info|warn|error|off (default: REDCR_LOG_LEVEL
 //                    env if set and valid, else warn)
 //
@@ -38,6 +41,10 @@ struct BenchArgs {
   bool progress = false;  ///< --progress: live ETA line on stderr
   bool keep_going = false;  ///< --keep-going: record failed cells, continue
   std::string filter;     ///< --filter: grid-cell subset spec (empty = all)
+  /// --engine: DES execution engine for the campaign cells. Sweeps default
+  /// to kAuto — the fast-forward skip is bit-identical where supported, so
+  /// only wallclock changes; pin to kEvent to time the event engine itself.
+  redcr::EngineMode engine = redcr::EngineMode::kAuto;
   std::optional<std::string> csv_dir;
   /// --log-level: parsed but not applied by try_parse (parse() applies it,
   /// so the non-exiting variant stays side-effect free for tests).

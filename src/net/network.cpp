@@ -49,6 +49,9 @@ sim::Time Network::delivery_time(NodeId src, NodeId dst, util::Bytes size) {
   stats_.contention_wait += inject_start - (now + params_.send_overhead);
   if (wait_counter_ != nullptr)
     wait_counter_->add(inject_start - (now + params_.send_overhead));
+  if (contention_log_ != nullptr &&
+      inject_start > now + params_.send_overhead)
+    contention_log_->emplace_back(now, stats_.contention_wait);
   egress_free_[src] = inject_start + transmission;
   return egress_free_[src] + params_.latency;
 }

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obs/recorder.hpp"
@@ -76,6 +77,15 @@ class Network {
   /// bytes and NIC queueing the r-fold fan-out causes.
   void set_recorder(obs::Recorder* recorder);
 
+  /// Attaches an append-only (time, cumulative contention_wait after the
+  /// addition) log, fed only when a message actually queues (nullptr
+  /// detaches; not owned). The fast-forward prototypes read the cumulative
+  /// value as of any simulated instant from it.
+  void set_contention_log(std::vector<std::pair<sim::Time, double>>* log)
+      noexcept {
+    contention_log_ = log;
+  }
+
  private:
   sim::Engine& engine_;
   NetworkParams params_;
@@ -84,6 +94,7 @@ class Network {
   obs::Counter* messages_counter_ = nullptr;  // cached registry handles
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* wait_counter_ = nullptr;
+  std::vector<std::pair<sim::Time, double>>* contention_log_ = nullptr;
 };
 
 }  // namespace redcr::net

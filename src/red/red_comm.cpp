@@ -305,6 +305,7 @@ void RedComm::finalize(Rank src_virtual, int tag, std::vector<Message> copies,
   if (config_->vote && hashes.size() > 1) {
     ++stats_.messages_compared;
     if (compared_counter_ != nullptr) compared_counter_->add();
+    if (compared_log_ != nullptr) compared_log_->push_back(engine().now());
     std::map<std::uint64_t, unsigned> counts;
     for (const std::uint64_t h : hashes) ++counts[h];
     if (counts.size() > 1) {

@@ -163,6 +163,13 @@ class RedComm final : public simmpi::Comm {
   /// counters shared by all RedComms of a job.
   void set_recorder(obs::Recorder* recorder);
 
+  /// Attaches an append-only log of voted-comparison timestamps, shared by
+  /// every RedComm of a job (nullptr detaches; not owned). The fast-forward
+  /// prototypes read messages_compared as of any simulated instant from it.
+  void set_compared_log(std::vector<sim::Time>* log) noexcept {
+    compared_log_ = log;
+  }
+
  private:
   /// Tag offsets for the control plane (hash copies, envelope forwarding).
   /// Application and collective tags are < 2^28, so these bands are private.
@@ -219,6 +226,7 @@ class RedComm final : public simmpi::Comm {
   obs::Counter* compared_counter_ = nullptr;  // cached registry handles
   obs::Counter* detected_counter_ = nullptr;
   obs::Counter* corrected_counter_ = nullptr;
+  std::vector<sim::Time>* compared_log_ = nullptr;  // fast-forward prototypes
 
   [[nodiscard]] bool dead(Rank physical) const {
     return liveness_ != nullptr && liveness_->is_dead(physical);

@@ -7,54 +7,11 @@
 #include <utility>
 
 #include "obs/json.hpp"
-#include "red/pull_comm.hpp"
-#include "simmpi/world.hpp"
+#include "runtime/episode_rig.hpp"
+#include "runtime/fastforward.hpp"
 #include "util/log.hpp"
 
 namespace redcr::runtime {
-
-namespace {
-
-/// Episode-wide completion bookkeeping shared by the rank processes.
-/// Under live failure semantics a dead replica never finishes (it starves
-/// on its receives), so the episode completes when every rank has either
-/// finished or died.
-struct EpisodeShared {
-  std::vector<bool> finished;
-  sim::Time finish_time = 0.0;
-  bool completed = false;
-  const failure::SphereMonitor* monitor = nullptr;  // live mode only
-
-  explicit EpisodeShared(std::size_t total) : finished(total, false) {}
-
-  void check_completion(sim::Engine& engine) {
-    if (completed) return;
-    for (std::size_t p = 0; p < finished.size(); ++p) {
-      const bool dead =
-          monitor != nullptr && monitor->is_dead(static_cast<red::Rank>(p));
-      if (!finished[p] && !dead) return;
-    }
-    completed = true;
-    finish_time = engine.now();
-    engine.request_stop();
-  }
-};
-
-/// Top-level simulated process for one physical rank: runs the workload
-/// behind its RedComm, hooking the checkpoint controller at every boundary.
-sim::Task rank_main(sim::Engine& engine, apps::Workload& workload,
-                    simmpi::Comm& comm, simmpi::Endpoint& endpoint,
-                    ckpt::CheckpointController& controller,
-                    long start_iteration, EpisodeShared& shared) {
-  apps::BoundaryHook hook = [&controller, &endpoint](long iteration) {
-    return controller.maybe_checkpoint(endpoint, iteration);
-  };
-  co_await workload.run(comm, start_iteration, std::move(hook));
-  shared.finished[static_cast<std::size_t>(endpoint.rank())] = true;
-  shared.check_completion(engine);
-}
-
-}  // namespace
 
 std::string JobAbort::describe() const {
   const std::string what =
@@ -68,8 +25,9 @@ std::string JobAbort::describe() const {
 
 JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
     : config_(std::move(config)),
-      map_(config_.num_virtual, config_.redundancy) {
-  if (!factory) throw std::invalid_argument("JobExecutor: null factory");
+      map_(config_.num_virtual, config_.redundancy),
+      factory_(std::move(factory)) {
+  if (!factory_) throw std::invalid_argument("JobExecutor: null factory");
   config_.fail.validate();
   config_.storage.validate();
   config_.ckpt_faults.validate();
@@ -110,223 +68,33 @@ JobExecutor::JobExecutor(JobConfig config, WorkloadFactory factory)
   for (std::size_t p = 0; p < map_.num_physical(); ++p) {
     const int virtual_rank = map_.virtual_of(static_cast<red::Rank>(p));
     workloads_.push_back(
-        factory(virtual_rank, static_cast<int>(map_.num_virtual())));
+        factory_(virtual_rank, static_cast<int>(map_.num_virtual())));
     if (!workloads_.back())
       throw std::invalid_argument("JobExecutor: factory returned null");
   }
 }
 
-JobExecutor::EpisodeResult JobExecutor::run_episode(
+EpisodeResult JobExecutor::run_episode(
     long start_iteration, std::uint64_t episode_index,
     ckpt::CheckpointStore& store, ckpt::StorageHierarchy* hierarchy,
     int epoch_base, const failure::FaultProcess* faults,
     double useful_work_base,
     const std::vector<failure::InfectionRecord>& seed_infections) {
-  sim::Engine engine;
-  engine.set_recorder(config_.recorder);
-  net::Network network(engine, map_.num_physical(), config_.network);
-  network.set_recorder(config_.recorder);
-  simmpi::World world(engine, network,
-                      static_cast<int>(map_.num_physical()));
-  ckpt::StableStorage storage(engine, config_.storage);
-  storage.set_fault_process(faults);
-
-  // Hierarchy mode: one episode-scope device per level. The controller
-  // draws each level's write failures itself (each level has its own
-  // probability), so no fault process is attached to these devices.
-  std::vector<std::unique_ptr<ckpt::StableStorage>> level_devices;
-  std::vector<ckpt::StableStorage*> level_device_ptrs;
-  if (hierarchy != nullptr) {
-    level_devices.reserve(static_cast<std::size_t>(hierarchy->num_levels()));
-    for (int l = 0; l < hierarchy->num_levels(); ++l) {
-      level_devices.push_back(std::make_unique<ckpt::StableStorage>(
-          engine, hierarchy->level(l).params.device));
-      level_device_ptrs.push_back(level_devices.back().get());
-    }
-  }
-
-  // SDC fault model: one monitor per episode tracks rank infections and
-  // classifies every voted delivery; an uncorrectable divergence stops the
-  // episode (the executor then rolls back to the last verified checkpoint).
-  std::optional<failure::SdcMonitor> sdc_monitor;
-  if (config_.sdc.enabled()) {
-    assert(faults != nullptr);
-    sdc_monitor.emplace(map_, *faults, episode_index);
-    sdc_monitor->set_recorder(config_.recorder);
-    sdc_monitor->set_journal(config_.journal);
-    sdc_monitor->seed(seed_infections);
-  }
-
-  ckpt::CkptConfig ckpt_config;
-  ckpt_config.interval =
-      config_.checkpoint_enabled ? config_.checkpoint_interval : 1.0;
-  ckpt_config.image_bytes = config_.image_bytes;
-  ckpt_config.use_counting_quiesce = config_.use_counting_quiesce;
-  ckpt_config.enabled = config_.checkpoint_enabled;
-  ckpt_config.incremental_fraction = config_.ckpt_incremental_fraction;
-  ckpt_config.forked = config_.ckpt_forked;
-  ckpt_config.faults = faults;
-  ckpt_config.write_retry = config_.ckpt_write_retry;
-  ckpt_config.store = hierarchy != nullptr ? nullptr : &store;
-  ckpt_config.episode = episode_index;
-  ckpt_config.useful_work_base = useful_work_base;
-  ckpt_config.hierarchy = hierarchy;
-  ckpt_config.level_devices = level_device_ptrs;
-  ckpt_config.epoch_base = epoch_base;
-  ckpt_config.sdc = sdc_monitor ? &*sdc_monitor : nullptr;
-  ckpt::CheckpointController controller(engine, storage, ckpt_config,
-                                        static_cast<int>(map_.num_physical()));
-  controller.set_recorder(config_.recorder);
-  controller.set_journal(config_.journal);
-
-  failure::SphereMonitor monitor(map_);
-  failure::FailureInjector injector(map_, config_.fail);
-  injector.set_recorder(config_.recorder);
-  injector.set_journal(config_.journal);
-
-  std::vector<std::unique_ptr<simmpi::Comm>> comms;
-  comms.reserve(map_.num_physical());
-  for (std::size_t p = 0; p < map_.num_physical(); ++p) {
-    if (config_.replication == Replication::kPush) {
-      auto comm = std::make_unique<red::RedComm>(
-          world, map_, static_cast<red::Rank>(p), config_.red);
-      if (config_.live_failure_semantics) comm->set_liveness(&monitor);
-      if (sdc_monitor) comm->set_sdc(&*sdc_monitor);
-      comm->set_recorder(config_.recorder);
-      comms.push_back(std::move(comm));
-    } else {
-      auto comm = std::make_unique<red::PullComm>(
-          world, map_, static_cast<red::Rank>(p));
-      if (config_.live_failure_semantics) comm->set_liveness(&monitor);
-      comm->set_recorder(config_.recorder);
-      comms.push_back(std::move(comm));
-    }
-  }
-
-  EpisodeShared shared(map_.num_physical());
-  if (config_.live_failure_semantics) shared.monitor = &monitor;
-
-  for (std::size_t p = 0; p < map_.num_physical(); ++p) {
-    engine.spawn(rank_main(engine, *workloads_[p], *comms[p],
-                           world.endpoint(static_cast<red::Rank>(p)),
-                           controller, start_iteration, shared));
-  }
-  controller.arm();
-
-  if (sdc_monitor) {
-    // The first uncorrectable divergence ends the episode: there is no
-    // point running on — the infected state must be rolled back.
-    sdc_monitor->set_alarm(
-        [&engine](const failure::SdcDetection&) { engine.request_stop(); });
-    if (config_.sdc.atrest_rate > 0.0) engine.spawn(sdc_monitor->run(engine));
-  }
-
-  std::optional<failure::JobFailure> job_failure;
-  if (config_.inject_failures) {
-    std::function<void(red::Rank)> on_replica_death;
-    if (config_.live_failure_semantics) {
-      // Abort every pending receive from the corpse so survivors degrade
-      // instead of hanging, then re-check completion (the corpse may have
-      // been the last unfinished rank).
-      on_replica_death = [&world, &shared, &engine](red::Rank dead) {
-        for (int p = 0; p < world.size(); ++p)
-          world.endpoint(p).abort_posted_from(dead);
-        shared.check_completion(engine);
-      };
-    }
-    engine.spawn(injector.run(
-        engine, monitor, episode_index,
-        [&controller] { return controller.in_checkpoint(); },
-        [&job_failure, &engine](failure::JobFailure jf) {
-          job_failure = jf;
-          engine.request_stop();
-        },
-        std::move(on_replica_death)));
-  }
-
-  engine.run();
-
-  EpisodeResult result;
-  if (sdc_monitor) {
-    result.sdc = sdc_monitor->detection();
-    result.sdc_stats = sdc_monitor->stats();
-    result.sdc_infected_end = sdc_monitor->snapshot_infections().size();
-  }
-  result.finished = shared.completed && !job_failure && !result.sdc;
-  result.failure = job_failure;
-  if (!result.finished && !job_failure && !result.sdc)
-    throw std::logic_error(
-        "JobExecutor: episode stalled — simulation deadlock");
-  result.elapsed = job_failure   ? job_failure->time
-                   : result.sdc ? result.sdc->time
-                                : shared.finish_time;
-  result.checkpoint_time = controller.total_checkpoint_time() +
-                           controller.in_progress_elapsed(result.elapsed);
-  // A kill mid-checkpoint is charged to checkpoint_time; record the
-  // truncated span too so the "checkpoint" spans tile the counter exactly.
-  if (config_.recorder != nullptr) {
-    const double partial = controller.in_progress_elapsed(result.elapsed);
-    if (partial > 0.0)
-      config_.recorder->span("checkpoint", "ckpt", obs::kJobPid,
-                             result.elapsed - partial, result.elapsed);
-  }
-  if (hierarchy != nullptr) {
-    // Settle the async flushes: commits the engine stop may have raced,
-    // then either drain the rest (finished episode — the terminal wait is
-    // the job's `flush` wallclock component) or drop them (a kill destroys
-    // in-flight drains).
-    controller.commit_ready_flushes(result.elapsed);
-    if (result.finished) {
-      result.flush_drain = controller.drain_remaining_flushes(result.elapsed);
-      if (result.flush_drain > 0.0 && config_.recorder != nullptr)
-        config_.recorder->span("flush-drain", "ckpt", obs::kJobPid,
-                               result.elapsed,
-                               result.elapsed + result.flush_drain);
-      result.elapsed += result.flush_drain;
-    } else {
-      // Bill every destroyed in-flight drain to the killing failure (or to
-      // the injection whose detection forced the rollback: the relaunch
-      // abandons the drain, and the flushed images were suspect anyway).
-      controller.drop_remaining_flushes(
-          job_failure  ? job_failure->cause
-          : result.sdc ? result.sdc->injection_event
-                       : 0);
-    }
-    result.flushes_completed = controller.flushes_completed();
-    result.flushes_lost = controller.flushes_lost();
-    result.dead_ranks.assign(map_.num_physical(), 0);
-    for (std::size_t p = 0; p < map_.num_physical(); ++p) {
-      if (monitor.is_dead(static_cast<red::Rank>(p)))
-        result.dead_ranks[p] = 1;
-    }
-    result.level_writes.reserve(level_devices.size());
-    result.level_write_failures.reserve(level_devices.size());
-    for (const auto& dev : level_devices) {
-      result.level_writes.push_back(dev->writes());
-      result.level_write_failures.push_back(dev->failed_writes());
-    }
-  }
-  result.snapshot = controller.snapshot();
-  result.checkpoints = controller.checkpoints_completed();
-  result.failed_checkpoints = controller.failed_epochs();
-  result.write_failures = controller.write_failures();
-  result.wasted_write_time = storage.wasted_write_seconds();
-  for (const auto& dev : level_devices)
-    result.wasted_write_time += dev->wasted_write_seconds();
-  result.physical_failures = monitor.dead_processes();
-  result.messages = world.stats().messages_sent;
-  result.events = engine.events_processed();
-  result.contention_wait = network.stats().contention_wait;
-  for (const auto& comm : comms) {
-    if (const auto* push = dynamic_cast<const red::RedComm*>(comm.get())) {
-      result.mismatches_detected += push->stats().mismatches_detected;
-      result.mismatches_corrected += push->stats().mismatches_corrected;
-      result.messages_compared += push->stats().messages_compared;
-      result.mismatches_undetected += push->stats().mismatches_undetected;
-    }
-  }
-  return result;
+  EpisodeRig::Options opts;
+  opts.start_iteration = start_iteration;
+  opts.episode_index = episode_index;
+  opts.epoch_base = epoch_base;
+  opts.useful_work_base = useful_work_base;
+  opts.inject = config_.inject_failures;
+  opts.recorder = config_.recorder;
+  opts.journal = config_.journal;
+  EpisodeRig rig(config_, map_, workloads_, store, hierarchy, faults,
+                 seed_infections, opts);
+  rig.start();
+  rig.run();
+  return rig.collect();
 }
+
 
 JobReport JobExecutor::run() {
   JobReport report;
@@ -356,6 +124,25 @@ JobReport JobExecutor::run() {
       fault_process ? &*fault_process : nullptr;
   const bool unreliable =
       faults != nullptr || config_.ckpt_retention > 1 || hier != nullptr;
+
+  // Fast-forward engine selection. kAuto quietly runs the event engine for
+  // configurations the driver cannot prove bit-identical; an explicit
+  // kFastForward request gets a warning naming the reason. Either way the
+  // whole-config fallback is visible as report.ff.fallbacks >= 1.
+  std::unique_ptr<FastForwardDriver> ff;
+  if (config_.engine != ExecMode::kEvent) {
+    std::string reason;
+    if (FastForwardDriver::supported(config_, workloads_, &reason)) {
+      ff = std::make_unique<FastForwardDriver>(config_, map_, factory_);
+    } else {
+      report.ff.fallbacks = 1;
+      if (config_.engine == ExecMode::kFastForward) {
+        REDCR_LOG_WARN << "job: fast-forward engine requested but the "
+                          "configuration is not coverable ("
+                       << reason << ") — running the event engine";
+      }
+    }
+  }
 
   // Populates the per-level lifetime counters; called at every return.
   int epoch_base = 0;
@@ -460,10 +247,27 @@ JobReport JobExecutor::run() {
     }
     REDCR_LOG_INFO << "job: episode " << episode << " begin at wallclock "
                    << report.wallclock << "s, iteration " << start_iteration;
+    std::optional<EpisodeResult> ff_res;
+    if (ff != nullptr)
+      ff_res = ff->try_episode(start_iteration,
+                               static_cast<std::uint64_t>(episode), store,
+                               hier, epoch_base, faults, report.useful_work);
     const EpisodeResult res =
-        run_episode(start_iteration, static_cast<std::uint64_t>(episode),
-                    store, hier, epoch_base, faults, report.useful_work,
-                    seed_infections);
+        ff_res ? std::move(*ff_res)
+               : run_episode(start_iteration,
+                             static_cast<std::uint64_t>(episode), store, hier,
+                             epoch_base, faults, report.useful_work,
+                             seed_infections);
+    if (ff != nullptr) {
+      if (ff_res) {
+        ++report.ff.episodes_fast;
+        report.ff.epochs_skipped +=
+            static_cast<std::uint64_t>(res.checkpoints);
+      } else {
+        ++report.ff.fallbacks;
+        report.ff.replay_events += res.events;
+      }
+    }
     epoch_base += res.checkpoints + res.failed_checkpoints;
     if (hier != nullptr) {
       for (std::size_t l = 0; l < level_writes_total.size(); ++l) {

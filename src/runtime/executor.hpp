@@ -36,6 +36,18 @@
 
 namespace redcr::runtime {
 
+/// Which engine advances the job between failures.
+enum class ExecMode {
+  kEvent,        ///< full discrete-event simulation, the reference path
+  kFastForward,  ///< sample deaths from the fault oracle and advance the
+                 ///< inter-failure stretches arithmetically; falls back to
+                 ///< the event engine per episode (and warns when the whole
+                 ///< configuration is unsupported)
+  kAuto,         ///< kFastForward when the configuration supports it,
+                 ///< silently kEvent otherwise (per-event consumers such as
+                 ///< trace/journal sinks force the event engine)
+};
+
 /// Which replication protocol carries the application's traffic.
 enum class Replication {
   kPush,  ///< RedMPI-style: every sender replica pushes to every receiver
@@ -105,6 +117,12 @@ struct JobConfig {
   /// false (a frozen rank cannot join the collective quiesce); restart
   /// after a sphere death then replays from iteration 0.
   bool live_failure_semantics = false;
+  /// Execution engine. kFastForward/kAuto reconstruct each killed episode's
+  /// result arithmetically from a cached failure-free prototype run and the
+  /// fault oracle, with a per-episode fall-back to the event engine whenever
+  /// message-level semantics could matter. The contract is bit-identical
+  /// JobReports and obs counters versus kEvent for every configuration.
+  ExecMode engine = ExecMode::kEvent;
   /// Safety valve: give up after this many episodes (reported as
   /// !completed). A job whose MTBF is far below its checkpoint cost can
   /// otherwise livelock, which is exactly Eq. 14's λ·t_RR ≥ 1 regime.
@@ -218,6 +236,57 @@ struct JobReport {
   std::uint64_t sdc_infected_final = 0;
   /// Per-episode timeline (render with runtime::render_trace).
   std::vector<EpisodeTrace> trace;
+  // --- Fast-forward engine diagnostics ------------------------------------
+  /// How the fast-forward engine covered the job. These fields are the ONE
+  /// exception to the bit-identity contract: they describe the engine, not
+  /// the simulated job, and stay all-zero under ExecMode::kEvent (the
+  /// differential harness compares everything but this block).
+  struct FastForwardStats {
+    int episodes_fast = 0;    ///< episodes reconstructed arithmetically
+    int fallbacks = 0;        ///< episodes replayed on the event engine
+                              ///< (plus 1 when the whole config fell back)
+    std::uint64_t epochs_skipped = 0;  ///< checkpoint epochs advanced in
+                                       ///< closed form instead of simulated
+    std::uint64_t replay_events = 0;   ///< engine events actually processed
+                                       ///< inside fallback episodes
+  };
+  FastForwardStats ff;
+};
+
+/// Everything one episode hands back to the job loop. Produced either by the
+/// event engine (EpisodeRig) or reconstructed arithmetically by the
+/// fast-forward driver — bit-identically, field by field.
+struct EpisodeResult {
+  bool finished = false;                       // workload ran to completion
+  sim::Time elapsed = 0.0;                     // episode wallclock
+  double checkpoint_time = 0.0;                // incl. partial at kill
+  ckpt::Snapshot snapshot;                     // last durable snapshot
+  std::optional<failure::JobFailure> failure;  // set when a sphere died
+  int checkpoints = 0;
+  int failed_checkpoints = 0;                  // write-exhausted epochs
+  std::uint64_t write_failures = 0;
+  double wasted_write_time = 0.0;
+  std::size_t physical_failures = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+  double contention_wait = 0.0;
+  std::uint64_t mismatches_detected = 0;
+  std::uint64_t mismatches_corrected = 0;
+  std::uint64_t messages_compared = 0;
+  std::uint64_t mismatches_undetected = 0;
+  // --- Silent data corruption ---------------------------------------------
+  /// The uncorrectable detection that stopped the episode, if one fired.
+  std::optional<failure::SdcDetection> sdc;
+  failure::SdcStats sdc_stats;
+  /// Ranks still infected when the episode ended (silent infections).
+  std::uint64_t sdc_infected_end = 0;
+  // --- Storage hierarchy --------------------------------------------------
+  std::vector<char> dead_ranks;       // per physical rank at episode end
+  double flush_drain = 0.0;           // terminal drain beyond the finish
+  int flushes_completed = 0;
+  int flushes_lost = 0;
+  std::vector<std::uint64_t> level_writes;          // per level
+  std::vector<std::uint64_t> level_write_failures;  // per level
 };
 
 /// Creates the per-physical-rank workload instance. Called once per physical
@@ -244,39 +313,6 @@ class JobExecutor {
   }
 
  private:
-  struct EpisodeResult {
-    bool finished = false;                       // workload ran to completion
-    sim::Time elapsed = 0.0;                     // episode wallclock
-    double checkpoint_time = 0.0;                // incl. partial at kill
-    ckpt::Snapshot snapshot;                     // last durable snapshot
-    std::optional<failure::JobFailure> failure;  // set when a sphere died
-    int checkpoints = 0;
-    int failed_checkpoints = 0;                  // write-exhausted epochs
-    std::uint64_t write_failures = 0;
-    double wasted_write_time = 0.0;
-    std::size_t physical_failures = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t events = 0;
-    double contention_wait = 0.0;
-    std::uint64_t mismatches_detected = 0;
-    std::uint64_t mismatches_corrected = 0;
-    std::uint64_t messages_compared = 0;
-    std::uint64_t mismatches_undetected = 0;
-    // --- Silent data corruption ---------------------------------------------
-    /// The uncorrectable detection that stopped the episode, if one fired.
-    std::optional<failure::SdcDetection> sdc;
-    failure::SdcStats sdc_stats;
-    /// Ranks still infected when the episode ended (silent infections).
-    std::uint64_t sdc_infected_end = 0;
-    // --- Storage hierarchy --------------------------------------------------
-    std::vector<char> dead_ranks;       // per physical rank at episode end
-    double flush_drain = 0.0;           // terminal drain beyond the finish
-    int flushes_completed = 0;
-    int flushes_lost = 0;
-    std::vector<std::uint64_t> level_writes;          // per level
-    std::vector<std::uint64_t> level_write_failures;  // per level
-  };
-
   EpisodeResult run_episode(long start_iteration, std::uint64_t episode_index,
                             ckpt::CheckpointStore& store,
                             ckpt::StorageHierarchy* hierarchy, int epoch_base,
@@ -287,6 +323,9 @@ class JobExecutor {
 
   JobConfig config_;
   red::ReplicaMap map_;
+  /// Kept (not just consumed) so the fast-forward driver can build its own
+  /// prototype workload instances without disturbing the job's.
+  WorkloadFactory factory_;
   std::vector<std::unique_ptr<apps::Workload>> workloads_;  // per physical
 };
 

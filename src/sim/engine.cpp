@@ -258,6 +258,7 @@ bool Engine::step(Time limit) {
   now_ = node->time;
   ++events_processed_;
   if (events_counter_ != nullptr) events_counter_->add();
+  if (time_log_ != nullptr) time_log_->push_back(now_);
   Callback callback = std::move(node->callback);
   release_node(node);  // the node is reusable while its callback runs
   maybe_shrink();

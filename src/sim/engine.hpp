@@ -124,6 +124,12 @@ class Engine {
   /// event when detached.
   void set_recorder(obs::Recorder* recorder);
 
+  /// Attaches an append-only log of processed-event timestamps (nullptr
+  /// detaches; not owned). The fast-forward prototypes use it to answer
+  /// "how many events fired strictly before t" and to detect timestamp
+  /// collisions; one branch per event when detached.
+  void set_time_log(std::vector<Time>* log) noexcept { time_log_ = log; }
+
   // --- Coroutine plumbing (used by Task, CoTask and the awaitables) -----
 
   /// Resumes a suspended coroutine. Every suspension point receives at most
@@ -212,6 +218,7 @@ class Engine {
   std::exception_ptr pending_exception_;
   obs::Counter* events_counter_ = nullptr;     // cached registry handles
   obs::Counter* cancelled_counter_ = nullptr;  // (null when no recorder)
+  std::vector<Time>* time_log_ = nullptr;      // fast-forward prototype log
 };
 
 }  // namespace redcr::sim

@@ -146,6 +146,7 @@ Endpoint& World::endpoint(Rank rank) {
 
 Request World::inject(Rank src, Rank dst, int tag, Payload payload) {
   ++stats_.messages_sent;
+  if (messages_log_ != nullptr) messages_log_->push_back(engine_->now());
 
   // Park the message in the arena so the delivery closure below captures a
   // 32-bit slot instead of the Message (stays in std::function's inline

@@ -109,6 +109,13 @@ class World {
   [[nodiscard]] net::Network& network() const noexcept { return *network_; }
   [[nodiscard]] const WorldStats& stats() const noexcept { return stats_; }
 
+  /// Attaches an append-only log of message-injection timestamps (nullptr
+  /// detaches; not owned). The fast-forward prototypes read messages_sent
+  /// as of any simulated instant from it; one branch per send when detached.
+  void set_messages_log(std::vector<sim::Time>* log) noexcept {
+    messages_log_ = log;
+  }
+
  private:
   friend class Endpoint;
 
@@ -140,6 +147,7 @@ class World {
   std::deque<Request> pending_sends_;
   std::uint64_t next_seq_ = 1;
   WorldStats stats_;
+  std::vector<sim::Time>* messages_log_ = nullptr;  // fast-forward prototypes
 };
 
 }  // namespace redcr::simmpi

@@ -490,6 +490,20 @@ int cmd_simulate(const Flags& flags) {
   options.trace_out = flags.text("trace-out", "");
   options.metrics_out = flags.text("metrics-out", "");
   options.journal_out = flags.text("journal-out", "");
+  // Engine default: auto — fast-forward wherever bit-identity is provable,
+  // event otherwise (a --trace-out/--journal-out sink always falls back:
+  // the arithmetic skip produces no per-event output to record).
+  const std::string engine_name = flags.text("engine", "auto");
+  const std::optional<redcr::EngineMode> engine_mode =
+      redcr::parse_engine_mode(engine_name);
+  if (!engine_mode) {
+    std::fprintf(stderr,
+                 "redcr_cli: invalid --engine '%s' (expected "
+                 "event|fastforward|auto)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+  options.engine = *engine_mode;
   runtime::JobReport report;
   try {
     report = redcr::run_job(
@@ -737,6 +751,7 @@ void usage() {
       "                     [--sdc-inflight-prob P] [--sdc-atrest-rate R]\n"
       "                     [--sdc-seed S]\n"
       "                     [--ckpt-levels SPEC] [--async-flush]\n"
+      "                     [--engine event|fastforward|auto]\n"
       "                     [--trace-out FILE] [--metrics-out FILE]\n"
       "                     [--journal-out FILE]\n"
       "                     (alias: simulate)\n"
@@ -799,6 +814,12 @@ void usage() {
       "outvote and correct it, unreplicated spheres pass it silently (the\n"
       "job finishes with a corruption warning). All draws derive from\n"
       "--sdc-seed, bit-identical at any --jobs level.\n\n"
+      "Execution engine (run): --engine auto (default) skips the\n"
+      "inter-failure event churn arithmetically wherever the fast-forward\n"
+      "driver can prove the result bit-identical, and silently runs the\n"
+      "event engine elsewhere; fastforward warns when it must fall back;\n"
+      "event pins the full discrete-event simulation. Reports are\n"
+      "bit-identical across engines for every supported configuration.\n\n"
       "Global: [--log-level debug|info|warn|error|off]  (or REDCR_LOG_LEVEL\n"
       "env var; the flag wins). --trace-out writes Chrome trace-event JSON\n"
       "(open in Perfetto or chrome://tracing); --metrics-out writes one\n"
